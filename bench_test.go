@@ -1,0 +1,290 @@
+package s2fa
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus micro-benchmarks for the pipeline stages. The
+// experiment benches regenerate the corresponding artifact end to end on
+// every iteration (virtual synthesis clock — seconds of real time for
+// four modeled hours of DSE).
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/b2c"
+	"s2fa/internal/blaze"
+	"s2fa/internal/cir"
+	"s2fa/internal/dse"
+	"s2fa/internal/exp"
+	"s2fa/internal/fpga"
+	"s2fa/internal/hls"
+	"s2fa/internal/jvmsim"
+	"s2fa/internal/kdsl"
+	"s2fa/internal/merlin"
+	"s2fa/internal/space"
+)
+
+// BenchmarkFig3DSETrajectories regenerates Fig. 3: S2FA vs vanilla
+// OpenTuner DSE trajectories for all eight kernels.
+func BenchmarkFig3DSETrajectories(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(1)
+		r, err := exp.Fig3(s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Series) != 8 {
+			b.Fatalf("got %d series", len(r.Series))
+		}
+	}
+}
+
+// BenchmarkFig4Speedups regenerates Fig. 4: manual and S2FA design
+// speedups over the JVM for all eight kernels.
+func BenchmarkFig4Speedups(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(1)
+		r, err := exp.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.MeanSpeedup <= 1 {
+			b.Fatalf("mean speedup %.2f", r.MeanSpeedup)
+		}
+	}
+}
+
+// BenchmarkTable1DesignSpaces regenerates the per-application design
+// space summary (Table 1 instantiated).
+func BenchmarkTable1DesignSpaces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(1)
+		rows, err := exp.Table1(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkTable2ResourceUtilization regenerates Table 2: resource
+// utilization and frequency of the best DSE designs.
+func BenchmarkTable2ResourceUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(1)
+		rows, err := exp.Table2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatalf("got %d rows", len(rows))
+		}
+	}
+}
+
+// BenchmarkStoppingCriteriaAblation regenerates the §5.2 stopping
+// criteria study (entropy vs trivial).
+func BenchmarkStoppingCriteriaAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(1)
+		if _, err := exp.StoppingAblation(s, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Pipeline micro-benchmarks ---
+
+// BenchmarkFrontend measures kdsl parsing + type checking + bytecode
+// generation across all eight kernels.
+func BenchmarkFrontend(b *testing.B) {
+	srcs := make([]string, 0, 8)
+	for _, a := range apps.All() {
+		srcs = append(srcs, a.Source)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range srcs {
+			if _, err := kdsl.CompileSource(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBytecodeToC measures the decompiler (CFG, lifting,
+// structuring, flattening) across all eight kernels.
+func BenchmarkBytecodeToC(b *testing.B) {
+	var cls []*apps.App
+	for _, a := range apps.All() {
+		if _, err := a.Class(); err != nil {
+			b.Fatal(err)
+		}
+		cls = append(cls, a)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range cls {
+			c, _ := a.Class()
+			if _, err := b2c.Compile(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkHLSEstimate measures one analytic synthesis evaluation of the
+// Smith-Waterman kernel.
+func BenchmarkHLSEstimate(b *testing.B) {
+	a := apps.Get("S-W")
+	k, err := a.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := fpga.VU9P()
+	sp := space.Identify(k)
+	ann, err := merlin.Annotate(k, sp.Directives(sp.PerformanceSeed()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hls.Estimate(ann, dev, int64(a.Tasks), hls.Options{})
+	}
+}
+
+// BenchmarkMerlinMaterialize measures structural transformation (tile +
+// unroll with tree reduction) of the LR kernel.
+func BenchmarkMerlinMaterialize(b *testing.B) {
+	a := apps.Get("LR")
+	k, err := a.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := merlin.Directives{Loops: map[string]cir.LoopOpt{
+		k.TaskLoopID: {Parallel: 3, Pipeline: cir.PipeOn},
+	}}
+	for _, l := range k.Loops() {
+		if l.ID != k.TaskLoopID && l.TripCount() >= 4 {
+			d.Loops[l.ID] = cir.LoopOpt{Parallel: 4}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := merlin.Materialize(k, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJVMInterpreter measures the bytecode interpreter on AES
+// blocks (tasks/op for the baseline cost model).
+func BenchmarkJVMInterpreter(b *testing.B) {
+	a := apps.Get("AES")
+	cls, err := a.Class()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	tasks := a.Gen(rng, 16)
+	vm := jvmsim.New(cls)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := vm.Call(tasks[i%len(tasks)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKernelEvaluator measures the HLS-C evaluator on KMeans tasks
+// (functional FPGA emulation speed).
+func BenchmarkKernelEvaluator(b *testing.B) {
+	a := apps.Get("KMeans")
+	cls, err := a.Class()
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := a.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	tasks := a.Gen(rng, 64)
+	layout := blaze.Layout{Class: cls, Kernel: k}
+	bufs, err := layout.Serialize(tasks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, out := range layout.AllocOutputs(len(tasks)) {
+		bufs[name] = out
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := cir.NewEvaluator(k)
+		if err := ev.Execute(len(tasks), bufs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerialization measures the Blaze data processing methods
+// (JVM objects <-> flat kernel buffers) on S-W pairs.
+func BenchmarkSerialization(b *testing.B) {
+	a := apps.Get("S-W")
+	cls, err := a.Class()
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := a.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	tasks := a.Gen(rng, 128)
+	layout := blaze.Layout{Class: cls, Kernel: k}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.Serialize(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDSEKMeans measures one full S2FA DSE run on the KMeans kernel
+// (virtual 4-hour budget).
+func BenchmarkDSEKMeans(b *testing.B) {
+	a := apps.Get("KMeans")
+	k, err := a.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	dev := fpga.VU9P()
+	sp := space.Identify(k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval := dse.NewEvaluator(k, sp, dev, int64(a.Tasks), hls.Options{})
+		out := dse.Run(k, sp, eval, dse.S2FAConfig(int64(i)+1))
+		if !out.Best.Feasible {
+			b.Fatal("no feasible design")
+		}
+	}
+}
+
+// BenchmarkComponentAblation regenerates the per-mechanism DSE ablation
+// (seeds / partitions / entropy stopping) documented in EXPERIMENTS.md.
+func BenchmarkComponentAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(1)
+		r, err := exp.ComponentAblation(s, []string{"KMeans", "AES"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 2 {
+			b.Fatalf("rows = %d", len(r.Rows))
+		}
+	}
+}

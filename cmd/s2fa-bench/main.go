@@ -1,0 +1,84 @@
+// Command s2fa-bench regenerates the paper's evaluation (§5): the DSE
+// trajectory comparison of Fig. 3, the resource/frequency Table 2, the
+// speedup comparison of Fig. 4, the per-application design-space summary
+// (Table 1), and the stopping-criteria ablation. All runs use a virtual
+// synthesis clock, so the full evaluation completes in seconds.
+//
+// Usage:
+//
+//	s2fa-bench                  # everything
+//	s2fa-bench -exp fig4        # one experiment
+//	s2fa-bench -seed 3          # different (still deterministic) run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s2fa/internal/exp"
+)
+
+func main() {
+	var (
+		which = flag.String("exp", "all", "experiment: fig3 | fig4 | table1 | table2 | ablation | components | all")
+		seed  = flag.Int64("seed", 1, "random seed (reproducible)")
+	)
+	flag.Parse()
+
+	s := exp.NewSuite(*seed)
+	run := func(name string, f func() (string, error)) {
+		if *which != "all" && *which != name {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "s2fa-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	run("table1", func() (string, error) {
+		rows, err := exp.Table1(s)
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderTable1(rows), nil
+	})
+	run("fig3", func() (string, error) {
+		r, err := exp.Fig3(s, nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("table2", func() (string, error) {
+		rows, err := exp.Table2(s)
+		if err != nil {
+			return "", err
+		}
+		return exp.RenderTable2(rows), nil
+	})
+	run("fig4", func() (string, error) {
+		r, err := exp.Fig4(s)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("ablation", func() (string, error) {
+		r, err := exp.StoppingAblation(s, nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+	run("components", func() (string, error) {
+		r, err := exp.ComponentAblation(s, nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Render(), nil
+	})
+}

@@ -1,0 +1,113 @@
+// Command s2fa runs the Spark-to-FPGA-Accelerator pipeline on one kernel:
+// it compiles Scala-subset kernel source (or one of the built-in paper
+// workloads) to bytecode, decompiles it to HLS C, explores the design
+// space, and reports the chosen accelerator design.
+//
+// Usage:
+//
+//	s2fa -app S-W                       # built-in workload
+//	s2fa -src kernel.scala              # your own kernel class
+//	s2fa -app KMeans -dse vanilla       # OpenTuner baseline exploration
+//	s2fa -app AES -dump-bytecode -dump-c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/bytecode"
+	"s2fa/internal/cir"
+	"s2fa/internal/core"
+	"s2fa/internal/dse"
+)
+
+func main() {
+	var (
+		srcPath  = flag.String("src", "", "path to a kernel class source file")
+		appName  = flag.String("app", "", "built-in workload name (PR, KMeans, KNN, LR, SVM, LLS, AES, S-W)")
+		dseMode  = flag.String("dse", "s2fa", "exploration mode: s2fa | vanilla | trivial")
+		tasks    = flag.Int("tasks", 4096, "batch size the design is optimized for")
+		seed     = flag.Int64("seed", 1, "random seed (reproducible runs)")
+		dumpBC   = flag.Bool("dump-bytecode", false, "print the compiled bytecode")
+		dumpC    = flag.Bool("dump-c", false, "print the generated HLS C before DSE")
+		dumpBest = flag.Bool("dump-best", false, "print the chosen design's annotated HLS C")
+	)
+	flag.Parse()
+
+	if (*srcPath == "") == (*appName == "") {
+		fmt.Fprintln(os.Stderr, "specify exactly one of -src or -app")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var src string
+	switch {
+	case *srcPath != "":
+		data, err := os.ReadFile(*srcPath)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		a := apps.Get(*appName)
+		if a == nil {
+			fatal(fmt.Errorf("unknown app %q", *appName))
+		}
+		src = a.Source
+		if *tasks == 4096 {
+			*tasks = a.Tasks
+		}
+	}
+
+	fw := core.New()
+	fw.Seed = *seed
+	fw.Tasks = *tasks
+	switch *dseMode {
+	case "s2fa":
+	case "vanilla":
+		cfg := dse.VanillaConfig(*seed)
+		fw.DSE = &cfg
+	case "trivial":
+		cfg := dse.TrivialStopConfig(*seed)
+		fw.DSE = &cfg
+	default:
+		fatal(fmt.Errorf("unknown -dse mode %q", *dseMode))
+	}
+
+	cls, kernel, err := fw.Compile(src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compiled class %s (accelerator id %q, pattern %s)\n", cls.Name, cls.ID, cls.Pattern())
+	if *dumpBC {
+		fmt.Println(bytecode.DisassembleClass(cls))
+	}
+	if *dumpC {
+		fmt.Println("--- generated HLS C (pre-DSE) ---")
+		fmt.Println(cir.Print(kernel))
+	}
+
+	build, err := fw.BuildFromClass(cls, kernel)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("design space: %d parameters, %.3g points\n", len(build.Space.Params), build.Space.Cardinality())
+	fmt.Printf("DSE (%s): %d evaluations over %.0f virtual minutes, %d partitions\n",
+		*dseMode, build.Outcome.Evaluations, build.Outcome.TotalMinutes, len(build.Outcome.Partitions))
+	for i, p := range build.Outcome.Partitions {
+		fmt.Printf("  partition %d: %s\n", i, p.String())
+	}
+	fmt.Printf("best design: %v\n", build.Best)
+	fmt.Printf("estimated kernel time for %d tasks: %.6fs\n", *tasks, build.Best.Seconds())
+	if *dumpBest {
+		fmt.Println("--- chosen design (annotated HLS C) ---")
+		fmt.Println(build.BestHLSSource())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s2fa:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package s2fa reproduces "S2FA: An Accelerator Automation Framework for
+// Heterogeneous Computing in Datacenters" (DAC 2018): a compilation
+// framework that turns the Scala kernels of Spark applications into
+// optimized FPGA accelerator designs and integrates them with the Blaze
+// runtime.
+//
+// The public entry points live under internal/core (the framework
+// facade), internal/exp (the paper's evaluation), and the two commands
+// cmd/s2fa and cmd/s2fa-bench. The root package exists to host the
+// repository-level benchmark harness (bench_test.go), which regenerates
+// every table and figure of the paper's evaluation section.
+package s2fa

@@ -1,0 +1,70 @@
+// Batch sweep: when is offloading worth it?
+//
+// Blaze invokes an accelerator per batch, paying fixed driver/DMA setup
+// plus PCIe transfer. For tiny batches the single-threaded JVM wins; as
+// the batch grows the FPGA's throughput dominates. This example sweeps
+// the batch size for the AES accelerator and prints the modeled
+// crossover — the system-level behavior that makes Blaze batch RDD
+// partitions before offloading.
+//
+// Run: go run ./examples/batchsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/blaze"
+	"s2fa/internal/core"
+	"s2fa/internal/jvmsim"
+	"s2fa/internal/spark"
+)
+
+func main() {
+	app := apps.Get("AES")
+	fw := core.New()
+	fw.Tasks = app.Tasks
+
+	build, err := fw.BuildFromSource(app.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AES design: %v\n\n", build.Best)
+
+	mgr := blaze.NewManager(fw.Device)
+	if err := fw.Deploy(build, mgr); err != nil {
+		log.Fatal(err)
+	}
+	cold := blaze.NewManager(fw.Device) // no accelerator: JVM path
+
+	fmt.Printf("%10s %14s %14s %10s\n", "batch", "FPGA (model)", "JVM (model)", "speedup")
+	rng := rand.New(rand.NewSource(11))
+	crossover := -1
+	for _, n := range []int{4, 16, 64, 256, 1024, 4096, 16384} {
+		tasks := app.Gen(rng, n)
+		rdd := spark.Parallelize(spark.NewContext(), tasks, 4)
+
+		cls, _ := app.Class()
+		_, fstats, err := blaze.Wrap(rdd, mgr).MapAcc(jvmsim.New(cls))
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, jstats, err := blaze.Wrap(rdd, cold).MapAcc(jvmsim.New(cls))
+		if err != nil {
+			log.Fatal(err)
+		}
+		speedup := float64(jstats.SimTime) / float64(fstats.SimTime)
+		if speedup >= 1 && crossover < 0 {
+			crossover = n
+		}
+		fmt.Printf("%10d %14v %14v %9.2fx\n", n, fstats.SimTime, jstats.SimTime, speedup)
+	}
+	if crossover >= 0 {
+		fmt.Printf("\noffloading pays off from roughly %d tasks per batch\n", crossover)
+		fmt.Println("(below that, the fixed accelerator invocation overhead dominates)")
+	} else {
+		fmt.Println("\nno crossover in the swept range")
+	}
+}

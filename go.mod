@@ -1,0 +1,3 @@
+module s2fa
+
+go 1.22

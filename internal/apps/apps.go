@@ -1,0 +1,318 @@
+// Package apps defines the paper's evaluation workloads (§5.1, Table 2):
+// PageRank, K-Means, K-Nearest-Neighbor, Logistic Regression, SVM, Least
+// Linear Square, AES, and Smith-Waterman. Each workload carries its
+// kernel source in the Scala-subset DSL, a deterministic input generator,
+// a plain-Go reference implementation (reference.go), and the expert
+// "manual design" configuration Fig. 4 compares against.
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"s2fa/internal/b2c"
+	"s2fa/internal/bytecode"
+	"s2fa/internal/cir"
+	"s2fa/internal/jvmsim"
+	"s2fa/internal/kdsl"
+)
+
+// ManualDesign is the expert-written HLS configuration: the directive
+// heuristics a hardware engineer would apply by hand, expressed against
+// the same transformation library. StageSplit marks datapaths whose long
+// operation chains were manually pipelined into stages (the LR manual
+// design of §5.2).
+type ManualDesign struct {
+	TaskParallel  int
+	TaskPipeline  cir.PipelineMode
+	MidPipeline   bool // pipeline intermediate (non-task, non-leaf) loops
+	MidParallel   int  // unroll intermediate loops
+	InnerPipeline bool // pipeline innermost loops
+	InnerParallel int  // unroll innermost loops
+	FlattenDepth1 bool // flatten depth-1 loops (fully unroll their bodies)
+	BitWidth      int
+	StageSplit    bool
+}
+
+// Directives materializes the manual design against a concrete kernel.
+func (m ManualDesign) Directives(k *cir.Kernel) (loops map[string]cir.LoopOpt, bw map[string]int) {
+	loops = map[string]cir.LoopOpt{}
+	bw = map[string]int{}
+	info := cir.Analyze(k)
+	for _, li := range info.All {
+		var opt cir.LoopOpt
+		switch {
+		case li.Loop.ID == k.TaskLoopID:
+			opt.Parallel = m.TaskParallel
+			opt.Pipeline = m.TaskPipeline
+		case m.FlattenDepth1 && li.Depth == 1:
+			opt.Pipeline = cir.PipeFlatten
+		case len(li.Children) > 0 && m.MidPipeline:
+			opt.Pipeline = cir.PipeOn
+			if m.MidParallel > 1 {
+				p := m.MidParallel
+				if li.Trip > 0 && int64(p) > li.Trip {
+					p = int(li.Trip)
+				}
+				opt.Parallel = p
+			}
+		case len(li.Children) == 0 && m.InnerPipeline:
+			opt.Pipeline = cir.PipeOn
+			if m.InnerParallel > 1 {
+				p := m.InnerParallel
+				if li.Trip > 0 && int64(p) > li.Trip {
+					p = int(li.Trip)
+				}
+				opt.Parallel = p
+			}
+		}
+		loops[li.Loop.ID] = opt
+	}
+	if m.BitWidth != 0 {
+		for _, p := range k.Params {
+			if p.IsArray {
+				bw[p.Name] = m.BitWidth
+			}
+		}
+	}
+	return loops, bw
+}
+
+// App is one evaluation workload.
+type App struct {
+	Name   string // Table 2 kernel name (e.g. "S-W")
+	ID     string // accelerator ID (`val id`)
+	Type   string // Table 2 type column
+	Source string
+	// Tasks is the batch size used for the paper-shaped experiments.
+	Tasks int
+	// Gen produces n per-task JVM input values.
+	Gen func(rng *rand.Rand, n int) []jvmsim.Val
+	// Manual is the expert design for Fig. 4.
+	Manual ManualDesign
+
+	once   sync.Once
+	class  *bytecode.Class
+	kernel *cir.Kernel
+	cErr   error
+}
+
+// Class compiles (once) the DSL source to bytecode.
+func (a *App) Class() (*bytecode.Class, error) {
+	a.compile()
+	return a.class, a.cErr
+}
+
+// Kernel compiles (once) the bytecode to the HLS-C kernel.
+func (a *App) Kernel() (*cir.Kernel, error) {
+	a.compile()
+	return a.kernel, a.cErr
+}
+
+func (a *App) compile() {
+	a.once.Do(func() {
+		cls, err := kdsl.CompileSource(a.Source)
+		if err != nil {
+			a.cErr = fmt.Errorf("app %s: %w", a.Name, err)
+			return
+		}
+		a.class = cls
+		k, err := b2c.Compile(cls)
+		if err != nil {
+			a.cErr = fmt.Errorf("app %s: %w", a.Name, err)
+			return
+		}
+		a.kernel = k
+	})
+}
+
+var registry []*App
+
+// All returns the eight workloads in Table 2 order.
+func All() []*App { return registry }
+
+// Get returns the named workload, or nil.
+func Get(name string) *App {
+	for _, a := range registry {
+		if a.Name == name || a.ID == name {
+			return a
+		}
+	}
+	return nil
+}
+
+func init() {
+	registry = []*App{
+		{
+			Name: "PR", ID: "PR_kernel", Type: "graph proc.",
+			Source: prSource(), Tasks: 4096,
+			Gen: genPR,
+			Manual: ManualDesign{
+				TaskParallel: 4, TaskPipeline: cir.PipeOn,
+				InnerPipeline: true, InnerParallel: 8, BitWidth: 512,
+			},
+		},
+		{
+			Name: "KMeans", ID: "KMeans_kernel", Type: "classification",
+			Source: kmeansSource(), Tasks: 4096,
+			Gen: genKMeans,
+			Manual: ManualDesign{
+				TaskParallel: 16, TaskPipeline: cir.PipeOn,
+				FlattenDepth1: true, BitWidth: 512,
+			},
+		},
+		{
+			Name: "KNN", ID: "KNN_kernel", Type: "classification",
+			Source: knnSource(), Tasks: 2048,
+			Gen: genKNN,
+			Manual: ManualDesign{
+				TaskParallel: 8, TaskPipeline: cir.PipeOn,
+				MidPipeline: true, MidParallel: 8,
+				InnerPipeline: true, InnerParallel: 4, BitWidth: 512,
+			},
+		},
+		{
+			Name: "LR", ID: "LR_kernel", Type: "regression",
+			Source: lrSource(), Tasks: 4096,
+			Gen: genReg(false),
+			Manual: ManualDesign{
+				TaskParallel: 16, TaskPipeline: cir.PipeOn,
+				InnerPipeline: true, InnerParallel: 8, BitWidth: 512,
+				StageSplit: true,
+			},
+		},
+		{
+			Name: "SVM", ID: "SVM_kernel", Type: "regression",
+			Source: svmSource(), Tasks: 4096,
+			Gen: genReg(true),
+			Manual: ManualDesign{
+				TaskParallel: 16, TaskPipeline: cir.PipeOn,
+				InnerPipeline: true, InnerParallel: 8, BitWidth: 512,
+			},
+		},
+		{
+			Name: "LLS", ID: "LLS_kernel", Type: "regression",
+			Source: llsSource(), Tasks: 4096,
+			Gen: genReg(false),
+			Manual: ManualDesign{
+				TaskParallel: 16, TaskPipeline: cir.PipeOn,
+				InnerPipeline: true, InnerParallel: 8, BitWidth: 512,
+			},
+		},
+		{
+			Name: "AES", ID: "AES_kernel", Type: "string proc.",
+			Source: aesSource(), Tasks: 16384,
+			Gen: genAES,
+			Manual: ManualDesign{
+				// The classic feedforward AES pipeline: the whole task
+				// body (all ten rounds) unrolled into one pipelined
+				// datapath accepting a block per cycle.
+				TaskParallel: 2, TaskPipeline: cir.PipeFlatten, BitWidth: 512,
+			},
+		},
+		{
+			Name: "S-W", ID: "SW_kernel", Type: "string proc.",
+			Source: swSource(), Tasks: 1024,
+			Gen: genSW,
+			Manual: ManualDesign{
+				// Systolic-style wavefront: the cell row fully unrolled
+				// under a pipelined row loop, replicated across tasks.
+				TaskParallel: 4, TaskPipeline: cir.PipeOn,
+				MidPipeline:   true,
+				InnerPipeline: true, InnerParallel: 64, BitWidth: 512,
+			},
+		},
+	}
+}
+
+// Input generators. All draw from the caller's RNG for reproducibility.
+
+func genSW(rng *rand.Rand, n int) []jvmsim.Val {
+	const alphabet = "ACGT"
+	out := make([]jvmsim.Val, n)
+	for t := 0; t < n; t++ {
+		a := make([]cir.Value, SWLen)
+		b := make([]cir.Value, SWLen)
+		for i := range a {
+			a[i] = cir.IntVal(cir.Char, int64(alphabet[rng.Intn(4)]))
+			b[i] = cir.IntVal(cir.Char, int64(alphabet[rng.Intn(4)]))
+		}
+		out[t] = jvmsim.Tuple(jvmsim.Array(a), jvmsim.Array(b))
+	}
+	return out
+}
+
+func genKMeans(rng *rand.Rand, n int) []jvmsim.Val {
+	out := make([]jvmsim.Val, n)
+	for t := 0; t < n; t++ {
+		p := make([]cir.Value, KMeansD)
+		for j := range p {
+			p[j] = cir.FloatVal(cir.Double, rng.Float64()*10)
+		}
+		out[t] = jvmsim.Array(p)
+	}
+	return out
+}
+
+func genKNN(rng *rand.Rand, n int) []jvmsim.Val {
+	out := make([]jvmsim.Val, n)
+	for t := 0; t < n; t++ {
+		p := make([]cir.Value, KNND)
+		for j := range p {
+			p[j] = cir.FloatVal(cir.Double, rng.Float64()*10)
+		}
+		out[t] = jvmsim.Array(p)
+	}
+	return out
+}
+
+func genReg(pm bool) func(rng *rand.Rand, n int) []jvmsim.Val {
+	return func(rng *rand.Rand, n int) []jvmsim.Val {
+		out := make([]jvmsim.Val, n)
+		for t := 0; t < n; t++ {
+			x := make([]cir.Value, RegD)
+			for j := range x {
+				x[j] = cir.FloatVal(cir.Double, rng.NormFloat64())
+			}
+			y := float64(rng.Intn(2))
+			if pm {
+				y = y*2 - 1 // ±1 labels for SVM
+			}
+			out[t] = jvmsim.Tuple(jvmsim.Array(x), jvmsim.Scalar(cir.FloatVal(cir.Double, y)))
+		}
+		return out
+	}
+}
+
+func genPR(rng *rand.Rand, n int) []jvmsim.Val {
+	out := make([]jvmsim.Val, n)
+	for t := 0; t < n; t++ {
+		r := make([]cir.Value, PRDeg)
+		d := make([]cir.Value, PRDeg)
+		active := 1 + rng.Intn(PRDeg)
+		for e := 0; e < PRDeg; e++ {
+			if e < active {
+				r[e] = cir.FloatVal(cir.Double, rng.Float64())
+				d[e] = cir.IntVal(cir.Int, int64(1+rng.Intn(8)))
+			} else {
+				r[e] = cir.FloatVal(cir.Double, 0)
+				d[e] = cir.IntVal(cir.Int, 0)
+			}
+		}
+		out[t] = jvmsim.Tuple(jvmsim.Array(r), jvmsim.Array(d))
+	}
+	return out
+}
+
+func genAES(rng *rand.Rand, n int) []jvmsim.Val {
+	out := make([]jvmsim.Val, n)
+	for t := 0; t < n; t++ {
+		b := make([]cir.Value, AESBlock)
+		for i := range b {
+			b[i] = cir.IntVal(cir.Char, int64(int8(rng.Intn(256))))
+		}
+		out[t] = jvmsim.Array(b)
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package apps
+
+import (
+	"crypto/aes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"s2fa/internal/blaze"
+	"s2fa/internal/cir"
+	"s2fa/internal/jvmsim"
+)
+
+// TestAllAppsCompile checks every workload flows through the full
+// front-end: DSL -> bytecode -> HLS-C kernel.
+func TestAllAppsCompile(t *testing.T) {
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			cls, err := a.Class()
+			if err != nil {
+				t.Fatalf("class: %v", err)
+			}
+			if cls.ID != a.ID {
+				t.Errorf("class ID = %q, want %q", cls.ID, a.ID)
+			}
+			k, err := a.Kernel()
+			if err != nil {
+				t.Fatalf("kernel: %v", err)
+			}
+			if k.TaskLoopID != "L0" {
+				t.Errorf("task loop = %q", k.TaskLoopID)
+			}
+			if len(k.Params) < 2 {
+				t.Errorf("kernel has %d params", len(k.Params))
+			}
+			if len(cir.Print(k)) == 0 {
+				t.Error("empty kernel source")
+			}
+		})
+	}
+}
+
+// runBoth executes n generated tasks through the JVM simulator and the
+// generated kernel (via the Blaze layout), returning both result sets.
+func runBoth(t *testing.T, a *App, n int) (jvm []jvmsim.Val, kernelBufs map[string][]cir.Value) {
+	t.Helper()
+	cls, err := a.Class()
+	if err != nil {
+		t.Fatalf("class: %v", err)
+	}
+	k, err := a.Kernel()
+	if err != nil {
+		t.Fatalf("kernel: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	tasks := a.Gen(rng, n)
+
+	vm := jvmsim.New(cls)
+	jvm = make([]jvmsim.Val, n)
+	for i, task := range tasks {
+		v, err := vm.Call(task)
+		if err != nil {
+			t.Fatalf("jvm task %d: %v", i, err)
+		}
+		jvm[i] = v
+	}
+
+	layout := blaze.Layout{Class: cls, Kernel: k}
+	bufs, err := layout.Serialize(tasks)
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	for name, out := range layout.AllocOutputs(n) {
+		bufs[name] = out
+	}
+	ev := cir.NewEvaluator(k)
+	ev.MaxSteps = 2_000_000_000
+	if err := ev.Execute(n, bufs); err != nil {
+		t.Fatalf("kernel eval: %v\n%s", err, cir.Print(k))
+	}
+	return jvm, bufs
+}
+
+// expectValsEqual compares a JVM value against a kernel buffer segment.
+func expectValsEqual(t *testing.T, app string, task int, jvmV jvmsim.Val, seg []cir.Value) {
+	t.Helper()
+	if jvmV.IsArr {
+		if len(jvmV.Arr) != len(seg) {
+			t.Fatalf("%s task %d: length %d vs %d", app, task, len(jvmV.Arr), len(seg))
+		}
+		for i := range seg {
+			requireClose(t, app, task, i, jvmV.Arr[i], seg[i])
+		}
+		return
+	}
+	if len(seg) != 1 {
+		t.Fatalf("%s task %d: scalar vs buffer len %d", app, task, len(seg))
+	}
+	requireClose(t, app, task, 0, jvmV.S, seg[0])
+}
+
+func requireClose(t *testing.T, app string, task, i int, a, b cir.Value) {
+	t.Helper()
+	if a.K.IsFloat() {
+		if math.Abs(a.AsFloat()-b.AsFloat()) > 1e-9*(1+math.Abs(a.AsFloat())) {
+			t.Fatalf("%s task %d elem %d: jvm=%v kernel=%v", app, task, i, a, b)
+		}
+		return
+	}
+	if a.AsInt() != b.AsInt() {
+		t.Fatalf("%s task %d elem %d: jvm=%v kernel=%v", app, task, i, a, b)
+	}
+}
+
+// TestDifferentialJVMvsKernel is the backbone equivalence check of the
+// whole reproduction: for every workload, the bytecode executed on the
+// JVM simulator and the generated HLS-C kernel executed on the IR
+// evaluator must agree.
+func TestDifferentialJVMvsKernel(t *testing.T) {
+	const n = 6
+	for _, a := range All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			cls, _ := a.Class()
+			k, _ := a.Kernel()
+			jvm, bufs := runBoth(t, a, n)
+			layout := blaze.Layout{Class: cls, Kernel: k}
+
+			if k.Pattern == cir.PatternReduce {
+				// Fold JVM results with the class's reduce method.
+				vm := jvmsim.New(cls)
+				acc := jvm[0]
+				for _, v := range jvm[1:] {
+					var err error
+					acc, err = vm.Reduce(acc, v)
+					if err != nil {
+						t.Fatalf("jvm reduce: %v", err)
+					}
+				}
+				got, err := layout.DeserializeReduced(bufs)
+				if err != nil {
+					t.Fatalf("deserialize reduced: %v", err)
+				}
+				if !acc.IsArr || !got.IsArr {
+					t.Fatalf("reduce results not arrays: %v %v", acc, got)
+				}
+				for i := range acc.Arr {
+					if math.Abs(acc.Arr[i].AsFloat()-got.Arr[i].AsFloat()) > 1e-9 {
+						t.Fatalf("reduce elem %d: jvm=%v kernel=%v", i, acc.Arr[i], got.Arr[i])
+					}
+				}
+				return
+			}
+
+			results, err := layout.Deserialize(bufs, n)
+			if err != nil {
+				t.Fatalf("deserialize: %v", err)
+			}
+			for task := 0; task < n; task++ {
+				jv, kv := jvm[task], results[task]
+				if jv.IsTup {
+					if !kv.IsTup || len(jv.Tup) != len(kv.Tup) {
+						t.Fatalf("task %d: tuple shape mismatch", task)
+					}
+					for f := range jv.Tup {
+						seg := kv.Tup[f].Arr
+						if !kv.Tup[f].IsArr {
+							seg = []cir.Value{kv.Tup[f].S}
+						}
+						expectValsEqual(t, a.Name, task, jv.Tup[f], seg)
+					}
+					continue
+				}
+				seg := kv.Arr
+				if !kv.IsArr {
+					seg = []cir.Value{kv.S}
+				}
+				expectValsEqual(t, a.Name, task, jv, seg)
+			}
+		})
+	}
+}
+
+// TestJVMAgainstGoReferences checks the JVM path against the independent
+// Go reference implementations.
+func TestJVMAgainstGoReferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 4
+
+	t.Run("S-W", func(t *testing.T) {
+		a := Get("S-W")
+		cls, err := a.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := jvmsim.New(cls)
+		for _, task := range a.Gen(rng, n) {
+			res, err := vm.Call(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			aBytes := valsToBytes(task.Tup[0].Arr)
+			bBytes := valsToBytes(task.Tup[1].Arr)
+			w1, w2 := SWRef(aBytes, bBytes)
+			g1 := valsToBytes(res.Tup[0].Arr)
+			g2 := valsToBytes(res.Tup[1].Arr)
+			if string(g1) != string(w1) || string(g2) != string(w2) {
+				t.Fatalf("alignment mismatch:\n%q\n%q\nvs\n%q\n%q", g1, g2, w1, w2)
+			}
+		}
+	})
+
+	t.Run("KMeans", func(t *testing.T) {
+		a := Get("KMeans")
+		cls, err := a.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := jvmsim.New(cls)
+		for _, task := range a.Gen(rng, 16) {
+			res, err := vm.Call(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := KMeansRef(valsToFloats(task.Arr))
+			if int(res.S.AsInt()) != want {
+				t.Fatalf("assignment %d != %d", res.S.AsInt(), want)
+			}
+		}
+	})
+
+	t.Run("KNN", func(t *testing.T) {
+		a := Get("KNN")
+		cls, err := a.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := jvmsim.New(cls)
+		for _, task := range a.Gen(rng, 16) {
+			res, err := vm.Call(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := KNNRef(valsToFloats(task.Arr))
+			if int(res.S.AsInt()) != want {
+				t.Fatalf("vote %d != %d", res.S.AsInt(), want)
+			}
+		}
+	})
+
+	regChecks := map[string]func([]float64, float64) []float64{
+		"LR": LRRef, "SVM": SVMRef, "LLS": LLSRef,
+	}
+	for name, ref := range regChecks {
+		name, ref := name, ref
+		t.Run(name, func(t *testing.T) {
+			a := Get(name)
+			cls, err := a.Class()
+			if err != nil {
+				t.Fatal(err)
+			}
+			vm := jvmsim.New(cls)
+			for _, task := range a.Gen(rng, 8) {
+				res, err := vm.Call(task)
+				if err != nil {
+					t.Fatal(err)
+				}
+				x := valsToFloats(task.Tup[0].Arr)
+				y := task.Tup[1].S.AsFloat()
+				want := ref(x, y)
+				got := valsToFloats(res.Arr)
+				for j := range want {
+					if math.Abs(want[j]-got[j]) > 1e-12 {
+						t.Fatalf("grad[%d]: %g != %g", j, got[j], want[j])
+					}
+				}
+			}
+		})
+	}
+
+	t.Run("PR", func(t *testing.T) {
+		a := Get("PR")
+		cls, err := a.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := jvmsim.New(cls)
+		for _, task := range a.Gen(rng, 8) {
+			res, err := vm.Call(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ranks := valsToFloats(task.Tup[0].Arr)
+			degs := make([]int32, PRDeg)
+			for i, v := range task.Tup[1].Arr {
+				degs[i] = int32(v.AsInt())
+			}
+			want := PRRef(ranks, degs)
+			if math.Abs(res.S.AsFloat()-want) > 1e-12 {
+				t.Fatalf("rank %g != %g", res.S.AsFloat(), want)
+			}
+		}
+	})
+
+	t.Run("AES", func(t *testing.T) {
+		a := Get("AES")
+		cls, err := a.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := jvmsim.New(cls)
+		for _, task := range a.Gen(rng, 8) {
+			res, err := vm.Call(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			block := valsToBytes(task.Arr)
+			want := AESRef(block)
+			got := valsToBytes(res.Arr)
+			if string(got) != string(want) {
+				t.Fatalf("aes mismatch: % x vs % x", got, want)
+			}
+		}
+	})
+}
+
+// TestAESRefAgainstStdlib pins the table-based AES implementation to
+// crypto/aes.
+func TestAESRefAgainstStdlib(t *testing.T) {
+	c, err := aes.NewCipher(AESKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 64; i++ {
+		block := make([]byte, 16)
+		rng.Read(block)
+		want := make([]byte, 16)
+		c.Encrypt(want, block)
+		got := AESRef(block)
+		if string(got) != string(want) {
+			t.Fatalf("block %d: % x != % x", i, got, want)
+		}
+	}
+}
+
+func valsToBytes(vs []cir.Value) []byte {
+	out := make([]byte, len(vs))
+	for i, v := range vs {
+		out[i] = byte(v.AsInt())
+	}
+	return out
+}
+
+func valsToFloats(vs []cir.Value) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v.AsFloat()
+	}
+	return out
+}

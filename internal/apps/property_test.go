@@ -1,0 +1,213 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"s2fa/internal/blaze"
+	"s2fa/internal/cir"
+	"s2fa/internal/jvmsim"
+	"s2fa/internal/merlin"
+	"s2fa/internal/space"
+)
+
+// runKernelOn executes the given kernel over tasks and returns output
+// buffers.
+func runKernelOn(t *testing.T, a *App, k *cir.Kernel, tasks []jvmsim.Val) map[string][]cir.Value {
+	t.Helper()
+	cls, err := a.Class()
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := blaze.Layout{Class: cls, Kernel: k}
+	bufs, err := layout.Serialize(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range layout.AllocOutputs(len(tasks)) {
+		bufs[name] = out
+	}
+	ev := cir.NewEvaluator(k)
+	ev.MaxSteps = 2_000_000_000
+	if err := ev.Execute(len(tasks), bufs); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return bufs
+}
+
+// TestPropertyDifferentialRandomSeeds re-runs the JVM-vs-kernel
+// differential over many random input batches (property-style, driven by
+// testing/quick's seed generation).
+func TestPropertyDifferentialRandomSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"KMeans", "PR", "AES"} {
+		a := Get(name)
+		cls, err := a.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := a.Kernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			tasks := a.Gen(rng, 3)
+			bufs := runKernelOn(t, a, k, tasks)
+			layout := blaze.Layout{Class: cls, Kernel: k}
+			results, err := layout.Deserialize(bufs, 3)
+			if err != nil {
+				return false
+			}
+			vm := jvmsim.New(cls)
+			for i, task := range tasks {
+				want, err := vm.Call(task)
+				if err != nil {
+					return false
+				}
+				if !valsEqual(want, results[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func valsEqual(a, b jvmsim.Val) bool {
+	switch {
+	case a.IsTup:
+		if !b.IsTup || len(a.Tup) != len(b.Tup) {
+			return false
+		}
+		for i := range a.Tup {
+			if !valsEqual(a.Tup[i], b.Tup[i]) {
+				return false
+			}
+		}
+		return true
+	case a.IsArr:
+		if !b.IsArr || len(a.Arr) != len(b.Arr) {
+			return false
+		}
+		for i := range a.Arr {
+			if !scalarClose(a.Arr[i], b.Arr[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return scalarClose(a.S, b.S)
+	}
+}
+
+func scalarClose(a, b cir.Value) bool {
+	if a.K.IsFloat() {
+		return math.Abs(a.AsFloat()-b.AsFloat()) <= 1e-9*(1+math.Abs(a.AsFloat()))
+	}
+	return a.AsInt() == b.AsInt()
+}
+
+// TestPropertyMaterializeRandomDirectives draws random (small) directive
+// sets and checks that materialized transformations preserve semantics —
+// the repository's strongest invariant.
+func TestPropertyMaterializeRandomDirectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"KMeans", "LLS", "AES"} {
+		a := Get(name)
+		k, err := a.Kernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			d := merlin.Directives{Loops: map[string]cir.LoopOpt{}, BitWidths: map[string]int{}}
+			for _, li := range k.Loops() {
+				var opt cir.LoopOpt
+				// Small structural factors keep materialized ASTs sane.
+				if rng.Intn(2) == 0 {
+					opt.Parallel = 1 + rng.Intn(3)
+				}
+				if rng.Intn(3) == 0 && li.TripCount() > 3 {
+					opt.Tile = 2 + rng.Intn(3)
+				}
+				switch rng.Intn(3) {
+				case 0:
+					opt.Pipeline = cir.PipeOn
+				case 1:
+					if li.TripCount() > 0 && li.TripCount() <= 16 {
+						opt.Pipeline = cir.PipeFlatten
+					}
+				}
+				d.Loops[li.ID] = opt
+			}
+			xk, err := merlin.Materialize(k, d)
+			if err != nil {
+				// Structural preconditions (e.g. flatten over a dynamic
+				// bound) are legitimate rejections, not failures.
+				return true
+			}
+			tasks := a.Gen(rng, 3)
+			base := runKernelOn(t, a, k, tasks)
+			xf := runKernelOn(t, a, xk, tasks)
+			for _, p := range k.Params {
+				if !p.IsOutput {
+					continue
+				}
+				bb, xb := base[p.Name], xf[p.Name]
+				for i := range bb {
+					if p.Elem.IsFloat() {
+						if math.Abs(bb[i].AsFloat()-xb[i].AsFloat()) > 1e-6*(1+math.Abs(bb[i].AsFloat())) {
+							return false
+						}
+					} else if bb[i].AsInt() != xb[i].AsInt() {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestSpaceIdentificationStable asserts design-space identification is a
+// pure function of the kernel.
+func TestSpaceIdentificationStable(t *testing.T) {
+	for _, a := range All() {
+		k, err := a.Kernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, s2 := space.Identify(k), space.Identify(k)
+		if len(s1.Params) != len(s2.Params) || s1.Cardinality() != s2.Cardinality() {
+			t.Errorf("%s: unstable identification", a.Name)
+		}
+	}
+}
+
+// TestManualDesignsFeasible asserts every Fig. 4 expert configuration
+// synthesizes (they are meaningless comparisons otherwise).
+func TestManualDesignsFeasible(t *testing.T) {
+	for _, a := range All() {
+		k, err := a.Kernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		loops, bw := a.Manual.Directives(k)
+		if _, err := merlin.Annotate(k, merlin.Directives{Loops: loops, BitWidths: bw}); err != nil {
+			t.Errorf("%s manual directives invalid: %v", a.Name, err)
+		}
+	}
+}

@@ -1,0 +1,406 @@
+package apps
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Model-constant dimensions for the workloads. They follow the scale of
+// the paper's kernels (S-W on 128-char pairs producing 256-char
+// alignments, Code 2/Code 3).
+const (
+	// SWLen is the per-task sequence length; SWOut the alignment length.
+	SWLen = 128
+	SWOut = 256
+	// KMeansK clusters over KMeansD-dimensional points.
+	KMeansK = 16
+	KMeansD = 8
+	// KNNTrain training points of KNND dims, 3-nearest-neighbor vote.
+	KNNTrain = 256
+	KNND     = 4
+	// RegD is the feature dimension of LR/SVM/LLS.
+	RegD = 16
+	// PRDeg is the (padded) neighbor count per PageRank vertex.
+	PRDeg = 32
+	// AESBlock is the AES-128 block size.
+	AESBlock = 16
+)
+
+// Deterministic model constants shared between the DSL sources (as class
+// constant fields) and the Go reference implementations.
+var (
+	KMeansCenters = genFloats(KMeansK*KMeansD, 11, 0, 10)
+	KNNPoints     = genFloats(KNNTrain*KNND, 23, 0, 10)
+	KNNLabels     = genInts(KNNTrain, 31, 0, 4)
+	RegWeights    = genFloats(RegD, 47, -1, 1)
+	// AESKey is the FIPS-197 example key.
+	AESKey = []byte{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+	}
+)
+
+func genFloats(n int, seed int64, lo, hi float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return out
+}
+
+func genInts(n int, seed int64, lo, hi int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + rng.Intn(hi-lo)
+	}
+	return out
+}
+
+func floatLits(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		s := fmt.Sprintf("%.17g", x)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ", ")
+}
+
+func intLits(v []int) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func byteLits(v []byte) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// swSource is the Smith-Waterman kernel of the paper's motivating example
+// (Code 2): affine-free local alignment with traceback into fixed 256-char
+// outputs.
+func swSource() string {
+	return fmt.Sprintf(`
+class SmithWaterman extends Accelerator[(Array[Char], Array[Char]), (Array[Char], Array[Char])] {
+  val id: String = "SW_kernel"
+  val inSizes: Array[Int] = Array(%d, %d)
+  def call(in: (Array[Char], Array[Char])): (Array[Char], Array[Char]) = {
+    val a: Array[Char] = in._1
+    val b: Array[Char] = in._2
+    var H: Array[Int] = new Array[Int](129 * 129)
+    var D: Array[Int] = new Array[Int](129 * 129)
+    var maxV: Int = 0
+    var maxI: Int = 0
+    var maxJ: Int = 0
+    for (i <- 1 until 129) {
+      for (j <- 1 until 129) {
+        var sc: Int = -1
+        if (a(i - 1) == b(j - 1)) {
+          sc = 2
+        }
+        val dg: Int = H((i - 1) * 129 + (j - 1)) + sc
+        val up: Int = H((i - 1) * 129 + j) - 1
+        val lf: Int = H(i * 129 + (j - 1)) - 1
+        var v: Int = 0
+        var d: Int = 0
+        if (dg > v) {
+          v = dg
+          d = 1
+        }
+        if (up > v) {
+          v = up
+          d = 2
+        }
+        if (lf > v) {
+          v = lf
+          d = 3
+        }
+        H(i * 129 + j) = v
+        D(i * 129 + j) = d
+        if (v > maxV) {
+          maxV = v
+          maxI = i
+          maxJ = j
+        }
+      }
+    }
+    var out1: Array[Char] = new Array[Char](%d)
+    var out2: Array[Char] = new Array[Char](%d)
+    var ti: Int = maxI
+    var tj: Int = maxJ
+    var p: Int = %d - 1
+    while (ti > 0 && tj > 0 && D(ti * 129 + tj) != 0 && p >= 0) {
+      val d: Int = D(ti * 129 + tj)
+      if (d == 1) {
+        out1(p) = a(ti - 1)
+        out2(p) = b(tj - 1)
+        ti = ti - 1
+        tj = tj - 1
+      } else if (d == 2) {
+        out1(p) = a(ti - 1)
+        out2(p) = 45.toChar
+        ti = ti - 1
+      } else {
+        out1(p) = 45.toChar
+        out2(p) = b(tj - 1)
+        tj = tj - 1
+      }
+      p = p - 1
+    }
+    (out1, out2)
+  }
+}
+`, SWLen, SWLen, SWOut, SWOut, SWOut)
+}
+
+// kmeansSource assigns each point to its nearest of K fixed centers (one
+// Lloyd iteration's assignment step, the hot Spark map of KMeans).
+func kmeansSource() string {
+	return fmt.Sprintf(`
+class KMeans extends Accelerator[Array[Double], Int] {
+  val id: String = "KMeans_kernel"
+  val inSizes: Array[Int] = Array(%d)
+  val centers: Array[Double] = Array(%s)
+  def call(in: Array[Double]): Int = {
+    var best: Int = 0
+    var bestDist: Double = 1.0e30
+    for (k <- 0 until %d) {
+      var dist: Double = 0.0
+      for (j <- 0 until %d) {
+        val t: Double = in(j) - centers(k * %d + j)
+        dist = dist + t * t
+      }
+      if (dist < bestDist) {
+        bestDist = dist
+        best = k
+      }
+    }
+    best
+  }
+}
+`, KMeansD, floatLits(KMeansCenters), KMeansK, KMeansD, KMeansD)
+}
+
+// knnSource classifies each query point by a 3-nearest-neighbor vote over
+// a fixed training set.
+func knnSource() string {
+	return fmt.Sprintf(`
+class KNN extends Accelerator[Array[Double], Int] {
+  val id: String = "KNN_kernel"
+  val inSizes: Array[Int] = Array(%d)
+  val pts: Array[Double] = Array(%s)
+  val labels: Array[Int] = Array(%s)
+  def call(in: Array[Double]): Int = {
+    var d1: Double = 1.0e30
+    var d2: Double = 1.0e30
+    var d3: Double = 1.0e30
+    var l1: Int = 0
+    var l2: Int = 0
+    var l3: Int = 0
+    for (t <- 0 until %d) {
+      var dist: Double = 0.0
+      for (j <- 0 until %d) {
+        val df: Double = in(j) - pts(t * %d + j)
+        dist = dist + df * df
+      }
+      if (dist < d1) {
+        d3 = d2
+        l3 = l2
+        d2 = d1
+        l2 = l1
+        d1 = dist
+        l1 = labels(t)
+      } else if (dist < d2) {
+        d3 = d2
+        l3 = l2
+        d2 = dist
+        l2 = labels(t)
+      } else if (dist < d3) {
+        d3 = dist
+        l3 = labels(t)
+      }
+    }
+    var vote: Int = l1
+    if (l2 == l3 && l2 != l1) {
+      vote = l2
+    }
+    vote
+  }
+}
+`, KNND, floatLits(KNNPoints), intLits(KNNLabels), KNNTrain, KNND, KNND)
+}
+
+// lrSource computes one logistic-regression gradient contribution per
+// point and sums them with a reduce combiner. The sigmoid's exponential
+// is the II=13 bottleneck the paper discusses for the S2FA LR design.
+func lrSource() string {
+	return regressionSource("LogisticRegression", "LR_kernel", `
+    var dot: Double = 0.0
+    for (j <- 0 until %[1]d) {
+      dot = dot + w(j) * x(j)
+    }
+    val s: Double = 1.0 / (1.0 + Math.exp(-dot))
+    val coef: Double = s - y
+    var g: Array[Double] = new Array[Double](%[1]d)
+    for (j <- 0 until %[1]d) {
+      g(j) = coef * x(j)
+    }
+    g`)
+}
+
+// svmSource computes a hinge-loss (sub)gradient per point.
+func svmSource() string {
+	return regressionSource("SVM", "SVM_kernel", `
+    var dot: Double = 0.0
+    for (j <- 0 until %[1]d) {
+      dot = dot + w(j) * x(j)
+    }
+    val margin: Double = y * dot
+    var g: Array[Double] = new Array[Double](%[1]d)
+    if (margin < 1.0) {
+      for (j <- 0 until %[1]d) {
+        g(j) = 0.01 * w(j) - y * x(j)
+      }
+    } else {
+      for (j <- 0 until %[1]d) {
+        g(j) = 0.01 * w(j)
+      }
+    }
+    g`)
+}
+
+// llsSource computes a least-squares gradient per point.
+func llsSource() string {
+	return regressionSource("LeastLinearSquare", "LLS_kernel", `
+    var dot: Double = 0.0
+    for (j <- 0 until %[1]d) {
+      dot = dot + w(j) * x(j)
+    }
+    val coef: Double = dot - y
+    var g: Array[Double] = new Array[Double](%[1]d)
+    for (j <- 0 until %[1]d) {
+      g(j) = coef * x(j)
+    }
+    g`)
+}
+
+func regressionSource(class, id, body string) string {
+	return fmt.Sprintf(`
+class %s extends Accelerator[(Array[Double], Double), Array[Double]] {
+  val id: String = "%s"
+  val inSizes: Array[Int] = Array(%d, 1)
+  val w: Array[Double] = Array(%s)
+  def call(in: (Array[Double], Double)): Array[Double] = {
+    val x: Array[Double] = in._1
+    val y: Double = in._2
+%s
+  }
+  def reduce(a: Array[Double], b: Array[Double]): Array[Double] = {
+    for (j <- 0 until %d) {
+      a(j) = a(j) + b(j)
+    }
+    a
+  }
+}
+`, class, id, RegD, floatLits(RegWeights), fmt.Sprintf(body, RegD), RegD)
+}
+
+// prSource computes one PageRank update per vertex from padded neighbor
+// rank/degree vectors — a tiny amount of compute per byte moved, which is
+// why PR stays memory-bound on the FPGA (paper §5.2).
+func prSource() string {
+	return fmt.Sprintf(`
+class PageRank extends Accelerator[(Array[Double], Array[Int]), Double] {
+  val id: String = "PR_kernel"
+  val inSizes: Array[Int] = Array(%d, %d)
+  def call(in: (Array[Double], Array[Int])): Double = {
+    val r: Array[Double] = in._1
+    val deg: Array[Int] = in._2
+    var s: Double = 0.0
+    for (e <- 0 until %d) {
+      if (deg(e) > 0) {
+        s = s + r(e) / deg(e).toDouble
+      }
+    }
+    0.15 + 0.85 * s
+  }
+}
+`, PRDeg, PRDeg, PRDeg)
+}
+
+// aesSource is AES-128 ECB encryption of one block per task with
+// precomputed round keys, S-box table lookups, and inline MixColumns —
+// the classic byte-twiddling workload where the JVM falls furthest behind
+// (paper: string-processing speedups of ~1225x).
+func aesSource() string {
+	return fmt.Sprintf(`
+class AES extends Accelerator[Array[Char], Array[Char]] {
+  val id: String = "AES_kernel"
+  val inSizes: Array[Int] = Array(%d)
+  val sbox: Array[Int] = Array(%s)
+  val rkey: Array[Int] = Array(%s)
+  val shift: Array[Int] = Array(0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11)
+  def call(in: Array[Char]): Array[Char] = {
+    var st: Array[Int] = new Array[Int](16)
+    for (i <- 0 until 16) {
+      st(i) = (in(i).toInt & 255) ^ rkey(i)
+    }
+    for (r <- 1 until 10) {
+      var sb: Array[Int] = new Array[Int](16)
+      for (i <- 0 until 16) {
+        sb(i) = sbox(st(i))
+      }
+      var sh: Array[Int] = new Array[Int](16)
+      for (i <- 0 until 16) {
+        sh(i) = sb(shift(i))
+      }
+      for (c <- 0 until 4) {
+        val a0: Int = sh(c * 4)
+        val a1: Int = sh(c * 4 + 1)
+        val a2: Int = sh(c * 4 + 2)
+        val a3: Int = sh(c * 4 + 3)
+        val b0: Int = ((a0 << 1) ^ (((a0 >> 7) & 1) * 27)) & 255
+        val b1: Int = ((a1 << 1) ^ (((a1 >> 7) & 1) * 27)) & 255
+        val b2: Int = ((a2 << 1) ^ (((a2 >> 7) & 1) * 27)) & 255
+        val b3: Int = ((a3 << 1) ^ (((a3 >> 7) & 1) * 27)) & 255
+        st(c * 4) = b0 ^ (b1 ^ a1) ^ a2 ^ a3
+        st(c * 4 + 1) = a0 ^ b1 ^ (b2 ^ a2) ^ a3
+        st(c * 4 + 2) = a0 ^ a1 ^ b2 ^ (b3 ^ a3)
+        st(c * 4 + 3) = (b0 ^ a0) ^ a1 ^ a2 ^ b3
+      }
+      for (i <- 0 until 16) {
+        st(i) = st(i) ^ rkey(r * 16 + i)
+      }
+    }
+    var fs: Array[Int] = new Array[Int](16)
+    for (i <- 0 until 16) {
+      fs(i) = sbox(st(i))
+    }
+    var outb: Array[Char] = new Array[Char](16)
+    for (i <- 0 until 16) {
+      outb(i) = (fs(shift(i)) ^ rkey(160 + i)).toChar
+    }
+    outb
+  }
+}
+`, AESBlock, intLits(aesSboxInts()), byteLits(ExpandAESKey(AESKey)))
+}
+
+func aesSboxInts() []int {
+	out := make([]int, 256)
+	for i, b := range aesSbox {
+		out[i] = int(b)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package b2c
+
+import (
+	"math"
+	"testing"
+
+	"s2fa/internal/bytecode"
+	"s2fa/internal/cir"
+	"s2fa/internal/jvmsim"
+	"s2fa/internal/kdsl"
+)
+
+const vaddSrc = `
+class VAdd extends Accelerator[(Array[Float], Array[Float]), Array[Float]] {
+  val id: String = "vadd"
+  val inSizes: Array[Int] = Array(16, 16)
+  def call(in: (Array[Float], Array[Float])): Array[Float] = {
+    val a: Array[Float] = in._1
+    val b: Array[Float] = in._2
+    var c: Array[Float] = new Array[Float](16)
+    for (i <- 0 until 16) {
+      c(i) = a(i) + b(i)
+    }
+    c
+  }
+}
+`
+
+func compileSrc(t *testing.T, src string) *bytecode.Class {
+	t.Helper()
+	cls, err := kdsl.CompileSource(src)
+	if err != nil {
+		t.Fatalf("kdsl compile: %v", err)
+	}
+	return cls
+}
+
+func TestCompileVAddStructure(t *testing.T) {
+	cls := compileSrc(t, vaddSrc)
+	k, err := Compile(cls)
+	if err != nil {
+		t.Fatalf("b2c compile: %v", err)
+	}
+	if k.Pattern != cir.PatternMap {
+		t.Errorf("pattern = %v, want map", k.Pattern)
+	}
+	if len(k.Params) != 3 {
+		t.Fatalf("params = %d, want 3 (in_1, in_2, out)", len(k.Params))
+	}
+	if k.Params[0].Name != "in_1" || k.Params[1].Name != "in_2" || k.Params[2].Name != "out" {
+		t.Errorf("param names = %s,%s,%s", k.Params[0].Name, k.Params[1].Name, k.Params[2].Name)
+	}
+	if !k.Params[2].IsOutput || k.Params[2].Length != 16 {
+		t.Errorf("out param = %+v, want output length 16", k.Params[2])
+	}
+	loops := k.Loops()
+	if len(loops) != 2 {
+		t.Fatalf("loops = %d, want 2 (task + element)", len(loops))
+	}
+	if loops[0].ID != "L0" || loops[0].Var != "_task" {
+		t.Errorf("task loop = %q var %q", loops[0].ID, loops[0].Var)
+	}
+	if loops[1].TripCount() != 16 {
+		t.Errorf("inner trip = %d, want 16", loops[1].TripCount())
+	}
+	src := cir.Print(k)
+	if len(src) == 0 {
+		t.Error("empty printed kernel")
+	}
+}
+
+// TestVAddDifferential checks jvmsim(bytecode) == evaluator(generated C).
+func TestVAddDifferential(t *testing.T) {
+	cls := compileSrc(t, vaddSrc)
+	k, err := Compile(cls)
+	if err != nil {
+		t.Fatalf("b2c compile: %v", err)
+	}
+
+	const n = 5
+	in1 := make([]cir.Value, n*16)
+	in2 := make([]cir.Value, n*16)
+	for i := range in1 {
+		in1[i] = cir.FloatVal(cir.Float, float64(i)*0.5)
+		in2[i] = cir.FloatVal(cir.Float, float64(i)*0.25+1)
+	}
+	out := make([]cir.Value, n*16)
+	for i := range out {
+		out[i] = cir.Value{K: cir.Float}
+	}
+
+	ev := cir.NewEvaluator(k)
+	err = ev.Execute(n, map[string][]cir.Value{
+		"in_1": in1, "in_2": in2, "out": out,
+	})
+	if err != nil {
+		t.Fatalf("evaluator: %v", err)
+	}
+
+	vm := jvmsim.New(cls)
+	for task := 0; task < n; task++ {
+		a := append([]cir.Value(nil), in1[task*16:(task+1)*16]...)
+		b := append([]cir.Value(nil), in2[task*16:(task+1)*16]...)
+		res, err := vm.Call(jvmsim.Tuple(jvmsim.Array(a), jvmsim.Array(b)))
+		if err != nil {
+			t.Fatalf("jvm call: %v", err)
+		}
+		if !res.IsArr || len(res.Arr) != 16 {
+			t.Fatalf("jvm result shape: %v", res)
+		}
+		for e := 0; e < 16; e++ {
+			want := res.Arr[e].AsFloat()
+			got := out[task*16+e].AsFloat()
+			if math.Abs(want-got) > 1e-6 {
+				t.Fatalf("task %d elem %d: jvm=%g kernel=%g", task, e, want, got)
+			}
+		}
+	}
+}

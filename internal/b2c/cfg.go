@@ -1,0 +1,326 @@
+// Package b2c is the S2FA bytecode-to-C compiler (paper §3.2): it lifts
+// JVM-style stack bytecode into the HLS-C IR. The pipeline mirrors the
+// heavily modified APARAPI code generator the paper describes:
+//
+//  1. CFG construction over the bytecode,
+//  2. per-block abstract stack interpretation that rebuilds expression
+//     trees and statements,
+//  3. dominator-based control-flow structuring back to loops and
+//     conditionals,
+//  4. counted-loop recovery (canonical `for` form with trip counts),
+//  5. composite-type flattening: Tuple2 fields become flat kernel buffer
+//     arguments, local `new` arrays become static C arrays, and returned
+//     tuples become writes through output buffers (Code 2 -> Code 3),
+//  6. RDD-pattern template insertion: the outer task loop for `map`, and
+//     inlined combiner application for `reduce`.
+package b2c
+
+import (
+	"fmt"
+
+	"s2fa/internal/bytecode"
+)
+
+// bblock is one CFG basic block over a bytecode range [start, end).
+type bblock struct {
+	id         int
+	start, end int
+	// succs in CFG order; for conditional terminators succs[0] is the
+	// branch-taken target and succs[1] the fall-through.
+	succs []int
+	preds []int
+}
+
+// cfg is the control-flow graph of one method.
+type cfg struct {
+	m      *bytecode.Method
+	blocks []*bblock
+	// blockAt maps an instruction index (leader) to its block id.
+	blockAt map[int]int
+	// idom[b] is the immediate dominator block id (-1 for entry).
+	idom []int
+	// domSets[b] is the full dominator set of block b.
+	domSets []map[int]bool
+	// ipdom[b] is the immediate postdominator (-1 for virtual exit).
+	ipdom []int
+	// loopHeaders maps header block id to the set of blocks in its
+	// natural loop.
+	loopHeaders map[int]map[int]bool
+}
+
+// buildCFG partitions the method into basic blocks and computes
+// dominators, postdominators, and natural loops.
+func buildCFG(m *bytecode.Method) (*cfg, error) {
+	n := len(m.Code)
+	leaders := map[int]bool{0: true}
+	for i, in := range m.Code {
+		switch in.Op {
+		case bytecode.OpGoto, bytecode.OpBrFalse, bytecode.OpBrTrue:
+			leaders[in.Target] = true
+			if i+1 < n {
+				leaders[i+1] = true
+			}
+		case bytecode.OpReturn:
+			if i+1 < n {
+				leaders[i+1] = true
+			}
+		}
+	}
+	g := &cfg{m: m, blockAt: map[int]int{}}
+	for i := 0; i < n; i++ {
+		if leaders[i] {
+			b := &bblock{id: len(g.blocks), start: i}
+			g.blockAt[i] = b.id
+			g.blocks = append(g.blocks, b)
+		}
+		g.blocks[len(g.blocks)-1].end = i + 1
+	}
+	for _, b := range g.blocks {
+		last := m.Code[b.end-1]
+		switch last.Op {
+		case bytecode.OpGoto:
+			b.succs = []int{g.blockAt[last.Target]}
+		case bytecode.OpBrFalse, bytecode.OpBrTrue:
+			if b.end >= n {
+				return nil, fmt.Errorf("b2c: %s: conditional branch at method end", m.Name)
+			}
+			b.succs = []int{g.blockAt[last.Target], g.blockAt[b.end]}
+		case bytecode.OpReturn:
+			// no successors
+		default:
+			if b.end < n {
+				b.succs = []int{g.blockAt[b.end]}
+			} else {
+				return nil, fmt.Errorf("b2c: %s: code falls off the end", m.Name)
+			}
+		}
+		for _, s := range b.succs {
+			g.blocks[s].preds = append(g.blocks[s].preds, b.id)
+		}
+	}
+	g.computeDominators()
+	g.computePostdominators()
+	if err := g.findLoops(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// computeDominators uses the iterative dataflow algorithm (the CFGs here
+// are tiny).
+func (g *cfg) computeDominators() {
+	n := len(g.blocks)
+	dom := make([]map[int]bool, n)
+	all := map[int]bool{}
+	for i := 0; i < n; i++ {
+		all[i] = true
+	}
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			dom[i] = map[int]bool{0: true}
+		} else {
+			cp := map[int]bool{}
+			for k := range all {
+				cp[k] = true
+			}
+			dom[i] = cp
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 1; i < n; i++ {
+			b := g.blocks[i]
+			var inter map[int]bool
+			for _, p := range b.preds {
+				if inter == nil {
+					inter = map[int]bool{}
+					for k := range dom[p] {
+						inter[k] = true
+					}
+				} else {
+					for k := range inter {
+						if !dom[p][k] {
+							delete(inter, k)
+						}
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[int]bool{}
+			}
+			inter[i] = true
+			if len(inter) != len(dom[i]) {
+				dom[i] = inter
+				changed = true
+				continue
+			}
+			for k := range inter {
+				if !dom[i][k] {
+					dom[i] = inter
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	g.idom = make([]int, n)
+	for i := 0; i < n; i++ {
+		g.idom[i] = -1
+		// The immediate dominator is the dominator with the largest
+		// dominator set other than the block itself.
+		bestSize := -1
+		for d := range dom[i] {
+			if d == i {
+				continue
+			}
+			if len(dom[d]) > bestSize {
+				bestSize = len(dom[d])
+				g.idom[i] = d
+			}
+		}
+	}
+	g.domSets = dom
+}
+
+// computePostdominators mirrors computeDominators on the reversed graph
+// with a virtual exit joining all return blocks.
+func (g *cfg) computePostdominators() {
+	n := len(g.blocks)
+	pdom := make([]map[int]bool, n)
+	all := map[int]bool{}
+	for i := 0; i < n; i++ {
+		all[i] = true
+	}
+	exits := map[int]bool{}
+	for _, b := range g.blocks {
+		if len(b.succs) == 0 {
+			exits[b.id] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if exits[i] {
+			pdom[i] = map[int]bool{i: true}
+		} else {
+			cp := map[int]bool{}
+			for k := range all {
+				cp[k] = true
+			}
+			pdom[i] = cp
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < n; i++ {
+			if exits[i] {
+				continue
+			}
+			b := g.blocks[i]
+			var inter map[int]bool
+			for _, s := range b.succs {
+				if inter == nil {
+					inter = map[int]bool{}
+					for k := range pdom[s] {
+						inter[k] = true
+					}
+				} else {
+					for k := range inter {
+						if !pdom[s][k] {
+							delete(inter, k)
+						}
+					}
+				}
+			}
+			if inter == nil {
+				inter = map[int]bool{}
+			}
+			inter[i] = true
+			if !sameSet(inter, pdom[i]) {
+				pdom[i] = inter
+				changed = true
+			}
+		}
+	}
+	g.ipdom = make([]int, n)
+	for i := 0; i < n; i++ {
+		g.ipdom[i] = -1
+		bestSize := -1
+		for d := range pdom[i] {
+			if d == i {
+				continue
+			}
+			if len(pdom[d]) > bestSize {
+				bestSize = len(pdom[d])
+				g.ipdom[i] = d
+			}
+		}
+	}
+}
+
+func sameSet(a, b map[int]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// findLoops identifies natural loops from back edges (t -> h with h
+// dominating t). Irreducible flow is rejected, as a real decompiler
+// would.
+func (g *cfg) findLoops() error {
+	g.loopHeaders = map[int]map[int]bool{}
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			if g.dominates(s, b.id) {
+				// back edge b -> s
+				body := g.loopHeaders[s]
+				if body == nil {
+					body = map[int]bool{s: true}
+					g.loopHeaders[s] = body
+				}
+				// Collect the natural loop: all blocks reaching b
+				// without passing through s.
+				var stack []int
+				if !body[b.id] {
+					body[b.id] = true
+					stack = append(stack, b.id)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, p := range g.blocks[x].preds {
+						if !body[p] {
+							body[p] = true
+							stack = append(stack, p)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Reducibility check: every loop's entry edges must all target the
+	// header.
+	for h, body := range g.loopHeaders {
+		for bID := range body {
+			if bID == h {
+				continue
+			}
+			for _, p := range g.blocks[bID].preds {
+				if !body[p] {
+					return fmt.Errorf("b2c: %s: irreducible control flow entering loop at block %d", g.m.Name, bID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (g *cfg) dominates(a, b int) bool {
+	return g.domSets[b][a]
+}

@@ -1,0 +1,182 @@
+package b2c
+
+import (
+	"testing"
+
+	"s2fa/internal/bytecode"
+	"s2fa/internal/cir"
+)
+
+// loopMethod builds the canonical condition-top loop bytecode:
+//
+//	0: const 0        ; i = 0
+//	1: store 0
+//	2: load 0         ; header: i < 5 ?
+//	3: const 5
+//	4: bin lt
+//	5: brfalse 12
+//	6: load 0         ; body: i = i + 1
+//	7: const 1
+//	8: bin add
+//	9: store 0
+//	10: goto 2
+//	12: const 0, return
+func loopMethod() *bytecode.Method {
+	ci := func(v int64) bytecode.Instr {
+		return bytecode.Instr{Op: bytecode.OpConst, Kind: cir.Int, Val: cir.IntVal(cir.Int, v)}
+	}
+	return &bytecode.Method{
+		Name:       "loop",
+		Ret:        bytecode.Prim(cir.Int),
+		LocalTypes: []bytecode.TypeDesc{bytecode.Prim(cir.Int)},
+		LocalNames: []string{"i"},
+		Code: []bytecode.Instr{
+			ci(0),
+			{Op: bytecode.OpStore, A: 0, Kind: cir.Int},
+			{Op: bytecode.OpLoad, A: 0, Kind: cir.Int},
+			ci(5),
+			{Op: bytecode.OpBin, Bin: cir.Lt, Kind: cir.Int},
+			{Op: bytecode.OpBrFalse, Target: 11},
+			{Op: bytecode.OpLoad, A: 0, Kind: cir.Int},
+			ci(1),
+			{Op: bytecode.OpBin, Bin: cir.Add, Kind: cir.Int},
+			{Op: bytecode.OpStore, A: 0, Kind: cir.Int},
+			{Op: bytecode.OpGoto, Target: 2},
+			ci(0),
+			{Op: bytecode.OpReturn},
+		},
+	}
+}
+
+func TestBuildCFGLoop(t *testing.T) {
+	m := loopMethod()
+	if err := bytecode.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	g, err := buildCFG(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks: [0..2) init, [2..6) header, [6..11) body, [11..13) exit.
+	if len(g.blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.blocks))
+	}
+	header := g.blockAt[2]
+	body := g.blockAt[6]
+	exit := g.blockAt[11]
+
+	// Natural loop: header dominates body; back edge body->header.
+	loop, ok := g.loopHeaders[header]
+	if !ok {
+		t.Fatal("loop header not detected")
+	}
+	if !loop[body] || !loop[header] {
+		t.Errorf("loop body set = %v", loop)
+	}
+	if loop[exit] {
+		t.Error("exit block inside the natural loop")
+	}
+
+	// Dominators: entry dominates everything; header dominates body and exit.
+	if !g.dominates(0, body) || !g.dominates(header, body) || !g.dominates(header, exit) {
+		t.Error("dominator relation broken")
+	}
+	if g.dominates(body, header) {
+		t.Error("body cannot dominate header")
+	}
+	// idom of body is header.
+	if g.idom[body] != header {
+		t.Errorf("idom(body) = %d, want %d", g.idom[body], header)
+	}
+	// Postdominators: exit postdominates the header.
+	if g.ipdom[header] != exit && g.ipdom[g.ipdom[header]] != exit {
+		t.Errorf("ipdom chain from header does not reach exit: %v", g.ipdom)
+	}
+}
+
+func TestBuildCFGDiamond(t *testing.T) {
+	ci := func(v int64) bytecode.Instr {
+		return bytecode.Instr{Op: bytecode.OpConst, Kind: cir.Int, Val: cir.IntVal(cir.Int, v)}
+	}
+	m := &bytecode.Method{
+		Name:       "diamond",
+		Ret:        bytecode.Prim(cir.Int),
+		LocalTypes: []bytecode.TypeDesc{bytecode.Prim(cir.Int)},
+		LocalNames: []string{"x"},
+		Code: []bytecode.Instr{
+			ci(1),
+			{Op: bytecode.OpBrFalse, Target: 5}, // 1
+			ci(10),                              // 2 then
+			{Op: bytecode.OpStore, A: 0, Kind: cir.Int},
+			{Op: bytecode.OpGoto, Target: 7}, // 4
+			ci(20),                           // 5 else
+			{Op: bytecode.OpStore, A: 0, Kind: cir.Int},
+			{Op: bytecode.OpLoad, A: 0, Kind: cir.Int}, // 7 join
+			{Op: bytecode.OpReturn},
+		},
+	}
+	if err := bytecode.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	g, err := buildCFG(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.loopHeaders) != 0 {
+		t.Error("diamond has no loops")
+	}
+	entry := 0
+	join := g.blockAt[7]
+	if g.ipdom[entry] != join {
+		t.Errorf("ipdom(entry) = %d, want join %d", g.ipdom[entry], join)
+	}
+	// Lift + structure the whole method and check an If is produced.
+	lf := newLifter(&bytecode.Class{Name: "d"}, m, g)
+	if err := lf.liftAll(); err != nil {
+		t.Fatal(err)
+	}
+	body, err := structureMethod(g, lf.blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundIf := false
+	for _, s := range body {
+		if _, ok := s.(*cir.If); ok {
+			foundIf = true
+		}
+	}
+	if !foundIf {
+		t.Errorf("structured body has no If: %#v", body)
+	}
+}
+
+func TestNotExprSimplification(t *testing.T) {
+	lt := &cir.Binary{K: cir.Bool, Op: cir.Lt,
+		L: &cir.VarRef{K: cir.Int, Name: "i"}, R: &cir.IntLit{K: cir.Int, Val: 5}}
+	inv := notExpr(lt).(*cir.Binary)
+	if inv.Op != cir.Ge {
+		t.Errorf("!(i<5) = %v", inv.Op)
+	}
+	double := notExpr(&cir.Unary{Op: cir.Not, X: lt})
+	if double != lt {
+		t.Error("double negation not folded")
+	}
+	other := notExpr(&cir.VarRef{K: cir.Bool, Name: "b"})
+	if u, ok := other.(*cir.Unary); !ok || u.Op != cir.Not {
+		t.Error("plain negation wrapper missing")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"SW_kernel": "SW_kernel",
+		"a-b.c d":   "a_b_c_d",
+		"":          "kernel",
+		"日本":        "__",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,503 @@
+package b2c
+
+import (
+	"fmt"
+
+	"s2fa/internal/bytecode"
+	"s2fa/internal/cir"
+)
+
+// flattener performs the composite-type flattening and template insertion
+// of paper §3.2: tuple parameters become flat per-field kernel buffers,
+// returned tuples become writes through output buffers (so the Tuple2
+// constructor disappears), and the whole body is wrapped in the task loop
+// with per-task buffer offsets (Code 3's `&in_1[i*128]`).
+type flattener struct {
+	cls    *bytecode.Class
+	kernel *cir.Kernel
+	// inputs/outputs track buffer layout: name -> per-task element count.
+	inLens  map[string]int
+	outLens map[string]int
+	// scalarIns are input buffers holding one scalar per task, accessed
+	// as bare VarRefs in the decompiled body.
+	scalarIns map[string]bool
+	// scalarRes names scalar per-task results in reduce mode.
+	scalarRes map[string]bool
+	// outNames in field order.
+	outNames []string
+}
+
+// buildParams derives the input buffer interface from the call method's
+// parameter descriptor and the class's data-layout template.
+func (f *flattener) buildParams(lf *lifter) error {
+	f.inLens = map[string]int{}
+	f.outLens = map[string]int{}
+	f.scalarIns = map[string]bool{}
+	f.scalarRes = map[string]bool{}
+
+	pname := lf.localName(0)
+	pdesc := f.cls.Call.Params[0]
+	fields := []bytecode.TypeDesc{pdesc}
+	names := []string{pname}
+	if pdesc.IsTuple() {
+		fields = pdesc.Tuple
+		names = names[:0]
+		for i := range fields {
+			names = append(names, paramFieldName(pname, i))
+		}
+	}
+	for i, ft := range fields {
+		ln := 1
+		if ft.Array {
+			ln = f.cls.InSizes[i]
+		} else {
+			f.scalarIns[names[i]] = true
+		}
+		f.inLens[names[i]] = ln
+		f.kernel.Params = append(f.kernel.Params, cir.Param{
+			Name:    names[i],
+			Elem:    ft.Kind,
+			IsArray: true,
+			Length:  ln,
+		})
+	}
+	return nil
+}
+
+// rewriteCallBody replaces the final Return with output-buffer writes.
+// In map mode results go directly to out buffers; in reduce mode they go
+// to per-task temporaries that the inlined combiner folds into the out
+// accumulators.
+func (f *flattener) rewriteCallBody(body cir.Block) (cir.Block, error) {
+	if len(body) == 0 {
+		return nil, fmt.Errorf("b2c: empty call body")
+	}
+	ret, ok := body[len(body)-1].(*cir.Return)
+	if !ok {
+		return nil, fmt.Errorf("b2c: call body does not end in a return")
+	}
+	body = body[:len(body)-1]
+
+	var fields []cir.Expr
+	if tup, isTuple := ret.Val.(*cir.Call); isTuple && tup.Name == markTuple {
+		fields = tup.Args
+	} else {
+		fields = []cir.Expr{ret.Val}
+	}
+
+	retDesc := f.cls.Call.Ret
+	fdescs := []bytecode.TypeDesc{retDesc}
+	if retDesc.IsTuple() {
+		fdescs = retDesc.Tuple
+	}
+	if len(fields) != len(fdescs) {
+		return nil, fmt.Errorf("b2c: return arity %d does not match output type arity %d", len(fields), len(fdescs))
+	}
+
+	reduceMode := f.cls.Reduce != nil
+	for k, fe := range fields {
+		outName := "out"
+		if len(fields) > 1 {
+			outName = fmt.Sprintf("out_%d", k+1)
+		}
+		f.outNames = append(f.outNames, outName)
+		target := outName
+		if reduceMode {
+			target = fmt.Sprintf("_res_%d", k+1)
+		}
+		switch fd := fdescs[k]; {
+		case fd.Array:
+			vr, isVar := fe.(*cir.VarRef)
+			if !isVar {
+				return nil, fmt.Errorf("b2c: array output _%d must be a local array variable", k+1)
+			}
+			srcLen, known := arrayLenIn(body, vr.Name, f.inLens)
+			if !known {
+				return nil, fmt.Errorf("b2c: cannot determine length of output array %q", vr.Name)
+			}
+			f.outLens[outName] = srcLen
+			if isLocalArray(body, vr.Name) {
+				// The paper's transformation: the local output array is
+				// replaced by the kernel's output argument.
+				if reduceMode {
+					body = renameArray(body, vr.Name, target)
+				} else {
+					body = removeArrDecl(body, vr.Name)
+					body = renameArray(body, vr.Name, target)
+				}
+			} else {
+				// Pass-through of an input buffer: copy element-wise.
+				cp := copyLoop(target, vr.Name, fd.Kind, srcLen, fmt.Sprintf("_cp%d", k))
+				if reduceMode {
+					body = append(body, &cir.ArrDecl{Name: target, Elem: fd.Kind, Len: srcLen})
+				}
+				body = append(body, cp)
+			}
+			f.kernel.Params = append(f.kernel.Params, cir.Param{
+				Name: outName, Elem: fd.Kind, IsArray: true, Length: srcLen, IsOutput: true,
+			})
+		default:
+			f.outLens[outName] = 1
+			if reduceMode {
+				f.scalarRes[target] = true
+				body = append(body,
+					&cir.Decl{Name: target, K: fd.Kind, Init: fe})
+			} else {
+				body = append(body, &cir.Assign{
+					LHS: &cir.Index{K: fd.Kind, Arr: outName, Idx: &cir.IntLit{K: cir.Int, Val: 0}},
+					RHS: fe,
+				})
+			}
+			f.kernel.Params = append(f.kernel.Params, cir.Param{
+				Name: outName, Elem: fd.Kind, IsArray: true, Length: 1, IsOutput: true,
+			})
+		}
+	}
+	return body, nil
+}
+
+// inlineReduce decompiles the combiner and splices it after the task
+// computation, with its first parameter mapped to the output accumulators
+// and its second to the per-task result temporaries.
+func (f *flattener) inlineReduce(cls *bytecode.Class) (cir.Block, error) {
+	body, lf, err := decompile(cls, cls.Reduce)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) == 0 {
+		return nil, fmt.Errorf("b2c: empty reduce body")
+	}
+	ret, ok := body[len(body)-1].(*cir.Return)
+	if !ok {
+		return nil, fmt.Errorf("b2c: reduce body does not end in a return")
+	}
+	body = body[:len(body)-1]
+
+	aName, bName := lf.localName(0), lf.localName(1)
+	retDesc := cls.Reduce.Ret
+	fdescs := []bytecode.TypeDesc{retDesc}
+	if retDesc.IsTuple() {
+		fdescs = retDesc.Tuple
+	}
+
+	// The combiner must accumulate in place: it returns its first
+	// parameter (template constraint; additive identity is zero).
+	var retFields []cir.Expr
+	if tup, isTuple := ret.Val.(*cir.Call); isTuple && tup.Name == markTuple {
+		retFields = tup.Args
+	} else {
+		retFields = []cir.Expr{ret.Val}
+	}
+	for k, rf := range retFields {
+		want := aName
+		if retDesc.IsTuple() {
+			want = paramFieldName(aName, k)
+		}
+		vr, isVar := rf.(*cir.VarRef)
+		if !isVar || vr.Name != want {
+			return nil, fmt.Errorf("b2c: reduce must return its first parameter (in-place accumulation template); field %d returns %s", k+1, cir.ExprString(rf))
+		}
+	}
+
+	// Alpha-rename combiner locals away from call-body names.
+	body = cir.RenameLocals(body, "_red")
+
+	for k, fd := range fdescs {
+		aField, bField := aName, bName
+		if retDesc.IsTuple() {
+			aField = paramFieldName(aName, k)
+			bField = paramFieldName(bName, k)
+		}
+		outName := f.outNames[k]
+		resName := fmt.Sprintf("_res_%d", k+1)
+		if fd.Array {
+			body = renameArray(body, aField, outName)
+			body = renameArray(body, bField, resName)
+		} else {
+			body = cir.SubstVarBlock(body, bField, &cir.VarRef{K: fd.Kind, Name: resName})
+			// Scalar accumulator lives at out[0]; reads and writes both
+			// map to the buffer element.
+			body = substScalarAccum(body, aField, outName, fd.Kind)
+		}
+	}
+	return body, nil
+}
+
+// substScalarAccum maps reads and writes of a scalar combiner parameter
+// to element 0 of the output buffer.
+func substScalarAccum(b cir.Block, name, outName string, k cir.Kind) cir.Block {
+	elem := func() cir.Expr {
+		return &cir.Index{K: k, Arr: outName, Idx: &cir.IntLit{K: cir.Int, Val: 0}}
+	}
+	b = cir.SubstVarBlock(b, name, elem())
+	// SubstVar does not rewrite assignment targets that are VarRefs (it
+	// clones them); patch those explicitly.
+	var walk func(b cir.Block)
+	walk = func(b cir.Block) {
+		for _, s := range b {
+			switch s := s.(type) {
+			case *cir.Assign:
+				if vr, ok := s.LHS.(*cir.VarRef); ok && vr.Name == name {
+					s.LHS = elem()
+				}
+			case *cir.If:
+				walk(s.Then)
+				walk(s.Else)
+			case *cir.Loop:
+				walk(s.Body)
+			case *cir.While:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(b)
+	return b
+}
+
+// indexByTask rewrites buffer accesses with per-task offsets: element e of
+// input buffer p becomes p[task*len + e]; map-mode outputs likewise;
+// reduce-mode outputs are task-invariant accumulators.
+func (f *flattener) indexByTask(b cir.Block) cir.Block {
+	taskRef := func() cir.Expr { return &cir.VarRef{K: cir.Int, Name: taskVar} }
+	offsets := map[string]int{}
+	for name, ln := range f.inLens {
+		offsets[name] = ln
+	}
+	if f.cls.Reduce == nil {
+		for name, ln := range f.outLens {
+			offsets[name] = ln
+		}
+	}
+	var rewriteExpr func(e cir.Expr) cir.Expr
+	rewriteExpr = func(e cir.Expr) cir.Expr {
+		switch e := e.(type) {
+		case nil:
+			return nil
+		case *cir.IntLit, *cir.FloatLit:
+			return e
+		case *cir.VarRef:
+			// Scalar input fields read the task's element.
+			if f.scalarIns[e.Name] {
+				return &cir.Index{K: e.K, Arr: e.Name, Idx: taskRef()}
+			}
+			return e
+		case *cir.Index:
+			idx := rewriteExpr(e.Idx)
+			if ln, ok := offsets[e.Arr]; ok {
+				idx = addTaskOffset(idx, ln, taskRef)
+			}
+			return &cir.Index{K: e.K, Arr: e.Arr, Idx: idx}
+		case *cir.Unary:
+			return &cir.Unary{Op: e.Op, X: rewriteExpr(e.X)}
+		case *cir.Binary:
+			return &cir.Binary{K: e.K, Op: e.Op, L: rewriteExpr(e.L), R: rewriteExpr(e.R)}
+		case *cir.Cast:
+			return &cir.Cast{To: e.To, X: rewriteExpr(e.X)}
+		case *cir.Cond:
+			return &cir.Cond{C: rewriteExpr(e.C), T: rewriteExpr(e.T), F: rewriteExpr(e.F)}
+		case *cir.Call:
+			args := make([]cir.Expr, len(e.Args))
+			for i, a := range e.Args {
+				args[i] = rewriteExpr(a)
+			}
+			return &cir.Call{K: e.K, Name: e.Name, Args: args}
+		}
+		return e
+	}
+	var rewrite func(b cir.Block) cir.Block
+	rewrite = func(b cir.Block) cir.Block {
+		out := make(cir.Block, 0, len(b))
+		for _, s := range b {
+			switch s := s.(type) {
+			case *cir.Decl:
+				out = append(out, &cir.Decl{Name: s.Name, K: s.K, Init: rewriteExpr(s.Init)})
+			case *cir.ArrDecl:
+				out = append(out, s)
+			case *cir.Assign:
+				out = append(out, &cir.Assign{LHS: rewriteExpr(s.LHS), RHS: rewriteExpr(s.RHS)})
+			case *cir.If:
+				out = append(out, &cir.If{Cond: rewriteExpr(s.Cond), Then: rewrite(s.Then), Else: rewrite(s.Else)})
+			case *cir.Loop:
+				out = append(out, &cir.Loop{
+					ID: s.ID, Var: s.Var,
+					Lo: rewriteExpr(s.Lo), Hi: rewriteExpr(s.Hi), Step: s.Step,
+					Body: rewrite(s.Body), Opt: s.Opt, Reduction: s.Reduction,
+				})
+			case *cir.While:
+				out = append(out, &cir.While{Cond: rewriteExpr(s.Cond), Body: rewrite(s.Body)})
+			default:
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return rewrite(b)
+}
+
+// addTaskOffset builds task*len + idx with trivial folds.
+func addTaskOffset(idx cir.Expr, ln int, taskRef func() cir.Expr) cir.Expr {
+	var off cir.Expr
+	if ln == 1 {
+		off = taskRef()
+	} else {
+		off = &cir.Binary{K: cir.Int, Op: cir.Mul, L: taskRef(), R: &cir.IntLit{K: cir.Int, Val: int64(ln)}}
+	}
+	if lit, ok := idx.(*cir.IntLit); ok && lit.Val == 0 {
+		return off
+	}
+	return &cir.Binary{K: cir.Int, Op: cir.Add, L: off, R: idx}
+}
+
+// Helpers over blocks.
+
+func isLocalArray(b cir.Block, name string) bool {
+	found := false
+	var walk func(b cir.Block)
+	walk = func(b cir.Block) {
+		for _, s := range b {
+			switch s := s.(type) {
+			case *cir.ArrDecl:
+				if s.Name == name {
+					found = true
+				}
+			case *cir.If:
+				walk(s.Then)
+				walk(s.Else)
+			case *cir.Loop:
+				walk(s.Body)
+			case *cir.While:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(b)
+	return found
+}
+
+// arrayLenIn finds the element count of an array: a local declaration or
+// an input buffer.
+func arrayLenIn(b cir.Block, name string, inLens map[string]int) (int, bool) {
+	if n, ok := inLens[name]; ok {
+		return n, true
+	}
+	n, found := 0, false
+	var walk func(b cir.Block)
+	walk = func(b cir.Block) {
+		for _, s := range b {
+			switch s := s.(type) {
+			case *cir.ArrDecl:
+				if s.Name == name {
+					n, found = s.Len, true
+				}
+			case *cir.If:
+				walk(s.Then)
+				walk(s.Else)
+			case *cir.Loop:
+				walk(s.Body)
+			case *cir.While:
+				walk(s.Body)
+			}
+		}
+	}
+	walk(b)
+	return n, found
+}
+
+func removeArrDecl(b cir.Block, name string) cir.Block {
+	out := make(cir.Block, 0, len(b))
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.ArrDecl:
+			if s.Name == name {
+				continue
+			}
+		case *cir.If:
+			s.Then = removeArrDecl(s.Then, name)
+			s.Else = removeArrDecl(s.Else, name)
+		case *cir.Loop:
+			s.Body = removeArrDecl(s.Body, name)
+		case *cir.While:
+			s.Body = removeArrDecl(s.Body, name)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// renameArray renames a buffer in declarations and accesses.
+func renameArray(b cir.Block, from, to string) cir.Block {
+	var rewriteExpr func(e cir.Expr) cir.Expr
+	rewriteExpr = func(e cir.Expr) cir.Expr {
+		switch e := e.(type) {
+		case nil:
+			return nil
+		case *cir.Index:
+			arr := e.Arr
+			if arr == from {
+				arr = to
+			}
+			return &cir.Index{K: e.K, Arr: arr, Idx: rewriteExpr(e.Idx)}
+		case *cir.Unary:
+			return &cir.Unary{Op: e.Op, X: rewriteExpr(e.X)}
+		case *cir.Binary:
+			return &cir.Binary{K: e.K, Op: e.Op, L: rewriteExpr(e.L), R: rewriteExpr(e.R)}
+		case *cir.Cast:
+			return &cir.Cast{To: e.To, X: rewriteExpr(e.X)}
+		case *cir.Cond:
+			return &cir.Cond{C: rewriteExpr(e.C), T: rewriteExpr(e.T), F: rewriteExpr(e.F)}
+		case *cir.Call:
+			args := make([]cir.Expr, len(e.Args))
+			for i, a := range e.Args {
+				args[i] = rewriteExpr(a)
+			}
+			return &cir.Call{K: e.K, Name: e.Name, Args: args}
+		default:
+			return e
+		}
+	}
+	var rewrite func(b cir.Block) cir.Block
+	rewrite = func(b cir.Block) cir.Block {
+		out := make(cir.Block, 0, len(b))
+		for _, s := range b {
+			switch s := s.(type) {
+			case *cir.Decl:
+				out = append(out, &cir.Decl{Name: s.Name, K: s.K, Init: rewriteExpr(s.Init)})
+			case *cir.ArrDecl:
+				name := s.Name
+				if name == from {
+					name = to
+				}
+				out = append(out, &cir.ArrDecl{Name: name, Elem: s.Elem, Len: s.Len})
+			case *cir.Assign:
+				out = append(out, &cir.Assign{LHS: rewriteExpr(s.LHS), RHS: rewriteExpr(s.RHS)})
+			case *cir.If:
+				out = append(out, &cir.If{Cond: rewriteExpr(s.Cond), Then: rewrite(s.Then), Else: rewrite(s.Else)})
+			case *cir.Loop:
+				out = append(out, &cir.Loop{
+					ID: s.ID, Var: s.Var, Lo: rewriteExpr(s.Lo), Hi: rewriteExpr(s.Hi),
+					Step: s.Step, Body: rewrite(s.Body), Opt: s.Opt, Reduction: s.Reduction,
+				})
+			case *cir.While:
+				out = append(out, &cir.While{Cond: rewriteExpr(s.Cond), Body: rewrite(s.Body)})
+			default:
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	return rewrite(b)
+}
+
+// copyLoop builds `for (v = 0; v < n; v++) dst[v] = src[v];`.
+func copyLoop(dst, src string, k cir.Kind, n int, v string) *cir.Loop {
+	return &cir.Loop{
+		Var:  v,
+		Lo:   &cir.IntLit{K: cir.Int, Val: 0},
+		Hi:   &cir.IntLit{K: cir.Int, Val: int64(n)},
+		Step: 1,
+		Body: cir.Block{&cir.Assign{
+			LHS: &cir.Index{K: k, Arr: dst, Idx: &cir.VarRef{K: cir.Int, Name: v}},
+			RHS: &cir.Index{K: k, Arr: src, Idx: &cir.VarRef{K: cir.Int, Name: v}},
+		}},
+	}
+}

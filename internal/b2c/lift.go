@@ -1,0 +1,406 @@
+package b2c
+
+import (
+	"fmt"
+
+	"s2fa/internal/bytecode"
+	"s2fa/internal/cir"
+)
+
+// Marker call names used for values that only exist transiently on the
+// abstract stack during lifting. They never survive into the final
+// kernel.
+const (
+	markNewArray = "__newarray"
+	markTuple    = "__tuple"
+)
+
+// terminator describes how a lifted block ends.
+type termKind uint8
+
+const (
+	termFall termKind = iota
+	termGoto
+	termCond
+	termRet
+)
+
+type terminator struct {
+	kind termKind
+	// cond is the branch condition; onTrue/onFalse are block ids.
+	cond            cir.Expr
+	onTrue, onFalse int
+	target          int // goto / fall target
+	ret             cir.Expr
+}
+
+// lifted is one block lifted to IR statements.
+type lifted struct {
+	stmts cir.Block
+	term  terminator
+}
+
+// lifter performs abstract stack interpretation over one method.
+type lifter struct {
+	cls *bytecode.Class
+	m   *bytecode.Method
+	g   *cfg
+	// arrayLens maps array handle name to its element count, used to
+	// constant-fold .length (fixed data layouts).
+	arrayLens map[string]int
+	// arrDecls maps local slot to the ArrDecl it produced, for output
+	// aliasing.
+	localArrays map[string]*cir.ArrDecl
+	// declared records scalar local slots in first-write order.
+	declared []int
+	declSeen map[int]bool
+	// tupleParams maps a local name to its tuple descriptor (method
+	// parameters of tuple type).
+	tupleParams map[string]bytecode.TypeDesc
+	// aliases maps array-typed locals to the buffer they are bound to
+	// (e.g. `val a = in._1` makes a an alias of in_1).
+	aliases map[string]string
+	blocks  []*lifted
+}
+
+func newLifter(cls *bytecode.Class, m *bytecode.Method, g *cfg) *lifter {
+	lf := &lifter{
+		cls:         cls,
+		m:           m,
+		g:           g,
+		arrayLens:   map[string]int{},
+		localArrays: map[string]*cir.ArrDecl{},
+		declSeen:    map[int]bool{},
+		tupleParams: map[string]bytecode.TypeDesc{},
+	}
+	for i, p := range m.Params {
+		if p.IsTuple() {
+			lf.tupleParams[lf.localName(i)] = p
+		}
+	}
+	for _, s := range cls.Statics {
+		if s.Type.Array {
+			lf.arrayLens[s.Name] = len(s.Data)
+		}
+	}
+	return lf
+}
+
+// localName returns the source-level name of a local slot.
+func (lf *lifter) localName(slot int) string {
+	if slot < len(lf.m.LocalNames) && lf.m.LocalNames[slot] != "" {
+		return lf.m.LocalNames[slot]
+	}
+	return fmt.Sprintf("loc%d", slot)
+}
+
+// paramFieldName names a flattened tuple field buffer: in._2 -> in_2.
+func paramFieldName(param string, field int) string {
+	return fmt.Sprintf("%s_%d", param, field+1)
+}
+
+// liftAll lifts every block.
+func (lf *lifter) liftAll() error {
+	lf.blocks = make([]*lifted, len(lf.g.blocks))
+	for _, b := range lf.g.blocks {
+		l, err := lf.liftBlock(b)
+		if err != nil {
+			return err
+		}
+		lf.blocks[b.id] = l
+	}
+	return nil
+}
+
+// liftBlock rebuilds expressions and statements for one basic block.
+func (lf *lifter) liftBlock(b *bblock) (*lifted, error) {
+	out := &lifted{term: terminator{kind: termFall}}
+	if len(b.succs) == 1 {
+		out.term = terminator{kind: termGoto, target: b.succs[0]}
+	}
+	var stack []cir.Expr
+	push := func(e cir.Expr) { stack = append(stack, e) }
+	pop := func() (cir.Expr, error) {
+		if len(stack) == 0 {
+			return nil, fmt.Errorf("b2c: %s: stack underflow during lifting", lf.m.Name)
+		}
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return e, nil
+	}
+
+	for pc := b.start; pc < b.end; pc++ {
+		in := lf.m.Code[pc]
+		switch in.Op {
+		case bytecode.OpConst:
+			if in.Kind.IsFloat() {
+				push(&cir.FloatLit{K: in.Kind, Val: in.Val.F})
+			} else {
+				push(&cir.IntLit{K: in.Kind, Val: in.Val.I})
+			}
+		case bytecode.OpLoad:
+			t := lf.m.LocalTypes[in.A]
+			name := lf.localName(in.A)
+			switch {
+			case t.IsTuple():
+				push(&cir.VarRef{K: cir.Void, Name: name})
+			case t.Array:
+				push(&cir.VarRef{K: t.Kind, Name: name})
+			default:
+				push(&cir.VarRef{K: t.Kind, Name: name})
+			}
+		case bytecode.OpStore:
+			v, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			if err := lf.store(out, in.A, v); err != nil {
+				return nil, err
+			}
+		case bytecode.OpALoad:
+			idx, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			arr, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			name, err := lf.arrayName(arr)
+			if err != nil {
+				return nil, err
+			}
+			push(&cir.Index{K: in.Kind, Arr: name, Idx: idx})
+		case bytecode.OpAStore:
+			val, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			idx, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			arr, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			name, err := lf.arrayName(arr)
+			if err != nil {
+				return nil, err
+			}
+			elemK := in.Kind
+			out.stmts = append(out.stmts, &cir.Assign{
+				LHS: &cir.Index{K: elemK, Arr: name, Idx: idx},
+				RHS: val,
+			})
+		case bytecode.OpArrayLen:
+			arr, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			name, err := lf.arrayName(arr)
+			if err != nil {
+				return nil, err
+			}
+			n, ok := lf.arrayLens[name]
+			if !ok {
+				return nil, fmt.Errorf("b2c: %s: length of array %q unknown at compile time", lf.m.Name, name)
+			}
+			push(&cir.IntLit{K: cir.Int, Val: int64(n)})
+		case bytecode.OpNewArray:
+			ln, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			lit, ok := ln.(*cir.IntLit)
+			if !ok {
+				return nil, fmt.Errorf("b2c: %s: new array with non-constant size (paper §3.3)", lf.m.Name)
+			}
+			push(&cir.Call{K: in.Kind, Name: markNewArray, Args: []cir.Expr{lit}})
+		case bytecode.OpGetField:
+			tup, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			vr, ok := tup.(*cir.VarRef)
+			if !ok {
+				return nil, fmt.Errorf("b2c: %s: getfield on non-parameter tuple expression", lf.m.Name)
+			}
+			desc, isTupleParam := lf.tupleParams[vr.Name]
+			if !isTupleParam {
+				return nil, fmt.Errorf("b2c: %s: getfield on %q, which is not a tuple parameter", lf.m.Name, vr.Name)
+			}
+			ft := desc.Tuple[in.A]
+			name := paramFieldName(vr.Name, in.A)
+			push(&cir.VarRef{K: ft.Kind, Name: name})
+		case bytecode.OpNewTuple:
+			fields := make([]cir.Expr, in.A)
+			for i := in.A - 1; i >= 0; i-- {
+				f, err := pop()
+				if err != nil {
+					return nil, err
+				}
+				fields[i] = f
+			}
+			push(&cir.Call{K: cir.Void, Name: markTuple, Args: fields})
+		case bytecode.OpGetStatic:
+			push(&cir.VarRef{K: in.Kind, Name: in.Sym})
+		case bytecode.OpBin:
+			r, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			l, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			k := in.Kind
+			if in.Bin.IsCompare() {
+				push(&cir.Binary{K: cir.Bool, Op: in.Bin, L: l, R: r})
+			} else if in.Bin.IsLogical() {
+				// Eager logical forms become bitwise on bools.
+				op := cir.And
+				if in.Bin == cir.LOr {
+					op = cir.Or
+				}
+				push(&cir.Binary{K: cir.Bool, Op: op, L: l, R: r})
+			} else {
+				push(&cir.Binary{K: k, Op: in.Bin, L: l, R: r})
+			}
+		case bytecode.OpUn:
+			x, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			push(&cir.Unary{Op: in.Un, X: x})
+		case bytecode.OpCast:
+			x, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			push(&cir.Cast{To: in.Kind, X: x})
+		case bytecode.OpIntrin:
+			args := make([]cir.Expr, in.A)
+			for i := in.A - 1; i >= 0; i-- {
+				a, err := pop()
+				if err != nil {
+					return nil, err
+				}
+				args[i] = a
+			}
+			push(&cir.Call{K: in.Kind, Name: in.Sym, Args: args})
+		case bytecode.OpGoto:
+			out.term = terminator{kind: termGoto, target: lf.g.blockAt[in.Target]}
+		case bytecode.OpBrFalse, bytecode.OpBrTrue:
+			c, err := pop()
+			if err != nil {
+				return nil, err
+			}
+			taken := lf.g.blockAt[in.Target]
+			fall := lf.g.blockAt[pc+1]
+			t := terminator{kind: termCond, cond: c}
+			if in.Op == bytecode.OpBrFalse {
+				t.onFalse, t.onTrue = taken, fall
+			} else {
+				t.onTrue, t.onFalse = taken, fall
+			}
+			out.term = t
+		case bytecode.OpReturn:
+			t := terminator{kind: termRet}
+			if lf.m.Ret.Kind != cir.Void || lf.m.Ret.Array || lf.m.Ret.IsTuple() {
+				v, err := pop()
+				if err != nil {
+					return nil, err
+				}
+				t.ret = v
+			}
+			out.term = t
+		default:
+			return nil, fmt.Errorf("b2c: %s: unsupported opcode %s", lf.m.Name, in.Op)
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("b2c: %s: %d values left on stack at block boundary", lf.m.Name, len(stack))
+	}
+	return out, nil
+}
+
+// store handles OpStore: scalar assignment, array allocation binding, or
+// array aliasing.
+func (lf *lifter) store(out *lifted, slot int, v cir.Expr) error {
+	t := lf.m.LocalTypes[slot]
+	name := lf.localName(slot)
+	if t.IsTuple() {
+		return fmt.Errorf("b2c: %s: tuple-typed local %q is unsupported", lf.m.Name, name)
+	}
+	if t.Array {
+		switch v := v.(type) {
+		case *cir.Call:
+			if v.Name == markNewArray {
+				ln := int(v.Args[0].(*cir.IntLit).Val)
+				if prev, seen := lf.localArrays[name]; seen {
+					if prev.Len != ln || prev.Elem != v.K {
+						return fmt.Errorf("b2c: %s: array local %q reallocated with a different shape", lf.m.Name, name)
+					}
+					return nil
+				}
+				d := &cir.ArrDecl{Name: name, Elem: v.K, Len: ln}
+				lf.localArrays[name] = d
+				lf.arrayLens[name] = ln
+				out.stmts = append(out.stmts, d)
+				return nil
+			}
+		case *cir.VarRef:
+			// Array aliasing: `val a = in._1`. Record the alias by
+			// making future loads of this slot resolve to the source.
+			src := v.Name
+			if prev, seen := lf.aliasOf(name); seen && prev != src {
+				return fmt.Errorf("b2c: %s: array local %q rebound from %q to %q (conditional array rebinding is unsupported)", lf.m.Name, name, prev, src)
+			}
+			lf.setAlias(name, src)
+			if n, ok := lf.arrayLens[src]; ok {
+				lf.arrayLens[name] = n
+			}
+			return nil
+		}
+		return fmt.Errorf("b2c: %s: unsupported array binding for %q", lf.m.Name, name)
+	}
+	if !lf.declSeen[slot] && slot >= len(lf.m.Params) {
+		lf.declSeen[slot] = true
+		lf.declared = append(lf.declared, slot)
+	}
+	out.stmts = append(out.stmts, &cir.Assign{
+		LHS: &cir.VarRef{K: t.Kind, Name: name},
+		RHS: v,
+	})
+	return nil
+}
+
+func (lf *lifter) setAlias(name, src string) {
+	if lf.aliases == nil {
+		lf.aliases = map[string]string{}
+	}
+	// Resolve transitively at set time.
+	if root, ok := lf.aliases[src]; ok {
+		src = root
+	}
+	lf.aliases[name] = src
+}
+
+func (lf *lifter) aliasOf(name string) (string, bool) {
+	s, ok := lf.aliases[name]
+	return s, ok
+}
+
+// arrayName resolves an abstract-stack array handle to its buffer name,
+// following aliases.
+func (lf *lifter) arrayName(e cir.Expr) (string, error) {
+	vr, ok := e.(*cir.VarRef)
+	if !ok {
+		return "", fmt.Errorf("b2c: %s: array reference is not a named buffer", lf.m.Name)
+	}
+	if root, ok := lf.aliases[vr.Name]; ok {
+		return root, nil
+	}
+	return vr.Name, nil
+}

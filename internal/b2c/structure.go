@@ -1,0 +1,303 @@
+package b2c
+
+import (
+	"fmt"
+
+	"s2fa/internal/cir"
+)
+
+// structurer reconstructs structured control flow (loops, conditionals)
+// from the lifted CFG. Bytecode produced from structured source is always
+// reducible, so dominator-based natural-loop detection plus
+// immediate-postdominator join analysis suffices — the same strategy
+// APARAPI-class decompilers use.
+type structurer struct {
+	g      *cfg
+	blocks []*lifted
+	// emitting guards against revisiting an open loop header.
+	openLoops map[int]bool
+}
+
+// structureMethod produces the structured body of the lifted method.
+func structureMethod(g *cfg, blocks []*lifted) (cir.Block, error) {
+	st := &structurer{g: g, blocks: blocks, openLoops: map[int]bool{}}
+	return st.region(0, -1)
+}
+
+// region emits statements starting at block `cur` and stopping when
+// control reaches block `stop` (exclusive; -1 means method end).
+func (st *structurer) region(cur, stop int) (cir.Block, error) {
+	var out cir.Block
+	for cur != stop && cur != -1 {
+		if body, isHeader := st.g.loopHeaders[cur]; isHeader && !st.openLoops[cur] {
+			loopStmt, next, err := st.emitLoop(cur, body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, loopStmt)
+			cur = next
+			continue
+		}
+		b := st.blocks[cur]
+		out = append(out, b.stmts...)
+		switch b.term.kind {
+		case termRet:
+			out = append(out, &cir.Return{Val: b.term.ret})
+			return out, nil
+		case termGoto:
+			cur = b.term.target
+		case termCond:
+			join := st.g.ipdom[cur]
+			thenB, err := st.region(b.term.onTrue, join)
+			if err != nil {
+				return nil, err
+			}
+			elseB, err := st.region(b.term.onFalse, join)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &cir.If{Cond: b.term.cond, Then: thenB, Else: elseB})
+			cur = join
+		default:
+			return nil, fmt.Errorf("b2c: block %d has no terminator", cur)
+		}
+	}
+	return out, nil
+}
+
+// emitLoop structures the natural loop with the given header. The general
+// form is While(true){...} with Break on exit edges; the canonical
+// condition-top pattern is simplified afterwards.
+func (st *structurer) emitLoop(header int, body map[int]bool) (cir.Stmt, int, error) {
+	st.openLoops[header] = true
+	defer delete(st.openLoops, header)
+
+	exit := -1
+	findExit := func(target int) error {
+		if exit == -1 {
+			exit = target
+			return nil
+		}
+		if exit != target {
+			return fmt.Errorf("b2c: loop at block %d has multiple exit targets (%d and %d): unsupported control flow", header, exit, target)
+		}
+		return nil
+	}
+	for id := range body {
+		for _, s := range st.g.blocks[id].succs {
+			if !body[s] {
+				if err := findExit(s); err != nil {
+					return nil, -1, err
+				}
+			}
+		}
+	}
+
+	stmts, err := st.loopRegion(header, header, body, exit)
+	if err != nil {
+		return nil, -1, err
+	}
+	loop := &cir.While{Cond: &cir.IntLit{K: cir.Bool, Val: 1}, Body: stmts}
+	return simplifyWhile(loop), exit, nil
+}
+
+// loopRegion is like region but runs inside an open loop: an edge back to
+// the loop header ends the path (implicit continue at body end), and an
+// edge to the exit block emits Break.
+func (st *structurer) loopRegion(cur, header int, body map[int]bool, exit int) (cir.Block, error) {
+	var out cir.Block
+	first := true
+	for {
+		if cur == exit {
+			out = append(out, &cir.Break{})
+			return out, nil
+		}
+		if cur == header && !first {
+			return out, nil // back edge: end of iteration
+		}
+		if !body[cur] {
+			return nil, fmt.Errorf("b2c: loop at %d escapes to block %d without a recognized exit", header, cur)
+		}
+		if innerBody, isHeader := st.g.loopHeaders[cur]; isHeader && cur != header && !st.openLoops[cur] {
+			loopStmt, next, err := st.emitLoop(cur, innerBody)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, loopStmt)
+			cur = next
+			first = false
+			continue
+		}
+		b := st.blocks[cur]
+		out = append(out, b.stmts...)
+		switch b.term.kind {
+		case termRet:
+			out = append(out, &cir.Return{Val: b.term.ret})
+			return out, nil
+		case termGoto:
+			cur = b.term.target
+			first = false
+		case termCond:
+			t, f := b.term.onTrue, b.term.onFalse
+			// Exit tests: one side leaves the loop.
+			if f == exit || !body[f] {
+				thenRest, err := st.loopRegion(t, header, body, exit)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, &cir.If{Cond: notExpr(b.term.cond), Then: cir.Block{&cir.Break{}}})
+				out = append(out, thenRest...)
+				return out, nil
+			}
+			if t == exit || !body[t] {
+				elseRest, err := st.loopRegion(f, header, body, exit)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, &cir.If{Cond: b.term.cond, Then: cir.Block{&cir.Break{}}})
+				out = append(out, elseRest...)
+				return out, nil
+			}
+			// Interior conditional: join at the immediate postdominator.
+			join := st.g.ipdom[cur]
+			thenB, err := st.loopRegion(t, header, body, exit)
+			if err != nil {
+				return nil, err
+			}
+			elseB, err := st.loopRegion(f, header, body, exit)
+			if err != nil {
+				return nil, err
+			}
+			// When the join stays inside the loop, both branches were
+			// followed to the back edge/exit — acceptable but duplicates
+			// tails. Use the postdominator split when it is in the loop.
+			if join != -1 && body[join] && join != header {
+				thenB, err = st.regionWithin(t, join, body)
+				if err != nil {
+					return nil, err
+				}
+				elseB, err = st.regionWithin(f, join, body)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, &cir.If{Cond: b.term.cond, Then: thenB, Else: elseB})
+				cur = join
+				first = false
+				continue
+			}
+			out = append(out, &cir.If{Cond: b.term.cond, Then: thenB, Else: elseB})
+			return out, nil
+		default:
+			return nil, fmt.Errorf("b2c: block %d has no terminator", cur)
+		}
+	}
+}
+
+// regionWithin emits a straight-line sub-region of an open loop between
+// cur and the join block (both inside the loop, no exits crossed).
+func (st *structurer) regionWithin(cur, join int, body map[int]bool) (cir.Block, error) {
+	var out cir.Block
+	for cur != join {
+		if !body[cur] {
+			return nil, fmt.Errorf("b2c: conditional arm escapes the loop")
+		}
+		if innerBody, isHeader := st.g.loopHeaders[cur]; isHeader && !st.openLoops[cur] {
+			loopStmt, next, err := st.emitLoop(cur, innerBody)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, loopStmt)
+			cur = next
+			continue
+		}
+		b := st.blocks[cur]
+		out = append(out, b.stmts...)
+		switch b.term.kind {
+		case termGoto:
+			cur = b.term.target
+		case termCond:
+			j2 := st.g.ipdom[cur]
+			thenB, err := st.regionWithin(b.term.onTrue, j2, body)
+			if err != nil {
+				return nil, err
+			}
+			elseB, err := st.regionWithin(b.term.onFalse, j2, body)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &cir.If{Cond: b.term.cond, Then: thenB, Else: elseB})
+			cur = j2
+		default:
+			return nil, fmt.Errorf("b2c: unexpected terminator inside conditional arm")
+		}
+	}
+	return out, nil
+}
+
+// notExpr negates a condition, folding double negation and inverting
+// comparisons.
+func notExpr(e cir.Expr) cir.Expr {
+	switch e := e.(type) {
+	case *cir.Unary:
+		if e.Op == cir.Not {
+			return e.X
+		}
+	case *cir.Binary:
+		var inv cir.BinOp
+		switch e.Op {
+		case cir.Lt:
+			inv = cir.Ge
+		case cir.Le:
+			inv = cir.Gt
+		case cir.Gt:
+			inv = cir.Le
+		case cir.Ge:
+			inv = cir.Lt
+		case cir.Eq:
+			inv = cir.Ne
+		case cir.Ne:
+			inv = cir.Eq
+		default:
+			return &cir.Unary{Op: cir.Not, X: e}
+		}
+		return &cir.Binary{K: cir.Bool, Op: inv, L: e.L, R: e.R}
+	}
+	return &cir.Unary{Op: cir.Not, X: e}
+}
+
+// simplifyWhile rewrites While(true){ if(!c) break; rest... } into the
+// canonical While(c){ rest... } when the loop has exactly that shape and
+// no other breaks.
+func simplifyWhile(w *cir.While) cir.Stmt {
+	if len(w.Body) == 0 {
+		return w
+	}
+	first, ok := w.Body[0].(*cir.If)
+	if !ok || len(first.Else) != 0 || len(first.Then) != 1 {
+		return w
+	}
+	if _, isBreak := first.Then[0].(*cir.Break); !isBreak {
+		return w
+	}
+	rest := w.Body[1:]
+	if containsBreak(rest) {
+		return w
+	}
+	return &cir.While{Cond: notExpr(first.Cond), Body: rest}
+}
+
+func containsBreak(b cir.Block) bool {
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.Break:
+			return true
+		case *cir.If:
+			if containsBreak(s.Then) || containsBreak(s.Else) {
+				return true
+			}
+		// Breaks inside nested loops bind to those loops.
+		case *cir.While, *cir.Loop:
+		}
+	}
+	return false
+}

@@ -1,0 +1,191 @@
+package blaze
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"s2fa/internal/cir"
+	"s2fa/internal/fpga"
+	"s2fa/internal/jvmsim"
+	"s2fa/internal/spark"
+)
+
+// Accelerator is a synthesized FPGA design registered with the manager:
+// the kernel (for functional emulation), its layout, and the performance
+// design parameters from HLS + DSE.
+type Accelerator struct {
+	ID     string
+	Layout Layout
+	Design *fpga.Design
+}
+
+// Manager is the Blaze node accelerator manager: a registry from
+// accelerator ID (the `val id` of the kernel class, Code 1) to deployed
+// designs.
+type Manager struct {
+	mu     sync.RWMutex
+	device *fpga.Device
+	accs   map[string]*Accelerator
+}
+
+// NewManager creates a manager for one FPGA device.
+func NewManager(dev *fpga.Device) *Manager {
+	return &Manager{device: dev, accs: map[string]*Accelerator{}}
+}
+
+// Device returns the managed FPGA.
+func (m *Manager) Device() *fpga.Device { return m.device }
+
+// Register deploys an accelerator (the paper's bit-stream broadcast step:
+// after DSE and bit-stream generation, designs are distributed to worker
+// nodes and registered).
+func (m *Manager) Register(acc *Accelerator) error {
+	if acc.ID == "" {
+		return fmt.Errorf("blaze: accelerator has no ID")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.accs[acc.ID]; dup {
+		return fmt.Errorf("blaze: accelerator %q already registered", acc.ID)
+	}
+	m.accs[acc.ID] = acc
+	return nil
+}
+
+// Lookup returns the accelerator registered under id, or nil.
+func (m *Manager) Lookup(id string) *Accelerator {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.accs[id]
+}
+
+// Stats reports how a wrapped transformation executed.
+type Stats struct {
+	UsedFPGA bool
+	// Fallback explains why the JVM path ran instead.
+	Fallback string
+	// SimTime is the modeled execution time of the chosen path:
+	// accelerator invocation (PCIe + kernel) or the single-threaded JVM
+	// executor.
+	SimTime time.Duration
+	Tasks   int
+}
+
+// AccRDD wraps an RDD of JVM values for accelerated transformations
+// (blaze.wrap in Code 1).
+type AccRDD struct {
+	base *spark.RDD[jvmsim.Val]
+	mgr  *Manager
+}
+
+// Wrap marks an RDD for accelerator offloading.
+func Wrap(r *spark.RDD[jvmsim.Val], mgr *Manager) *AccRDD {
+	return &AccRDD{base: r, mgr: mgr}
+}
+
+// MapAcc applies the kernel class as an RDD map transformation. If an
+// accelerator with the class's ID is registered, tasks are serialized,
+// offloaded, and deserialized; otherwise (or on accelerator failure) the
+// computation transparently falls back to the JVM, exactly as the Blaze
+// runtime behaves.
+func (a *AccRDD) MapAcc(vm *jvmsim.VM) ([]jvmsim.Val, Stats, error) {
+	tasks := a.base.Collect()
+	acc := a.mgr.Lookup(vm.Class.ID)
+	if acc == nil {
+		return a.fallbackMap(vm, tasks, "no accelerator registered for "+vm.Class.ID)
+	}
+	results, stats, err := a.offload(acc, tasks)
+	if err != nil {
+		return a.fallbackMap(vm, tasks, "accelerator error: "+err.Error())
+	}
+	return results, stats, nil
+}
+
+// ReduceAcc applies a map+reduce kernel class, returning the single
+// accumulated value.
+func (a *AccRDD) ReduceAcc(vm *jvmsim.VM) (jvmsim.Val, Stats, error) {
+	tasks := a.base.Collect()
+	acc := a.mgr.Lookup(vm.Class.ID)
+	if acc == nil {
+		return a.fallbackReduce(vm, tasks, "no accelerator registered for "+vm.Class.ID)
+	}
+	bufs, stats, err := a.execKernel(acc, tasks)
+	if err != nil {
+		return a.fallbackReduce(vm, tasks, "accelerator error: "+err.Error())
+	}
+	v, err := acc.Layout.DeserializeReduced(bufs)
+	if err != nil {
+		return a.fallbackReduce(vm, tasks, "deserialize error: "+err.Error())
+	}
+	return v, stats, nil
+}
+
+func (a *AccRDD) offload(acc *Accelerator, tasks []jvmsim.Val) ([]jvmsim.Val, Stats, error) {
+	bufs, stats, err := a.execKernel(acc, tasks)
+	if err != nil {
+		return nil, stats, err
+	}
+	results, err := acc.Layout.Deserialize(bufs, len(tasks))
+	if err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
+}
+
+// execKernel runs serialization, functional kernel emulation, and the
+// platform timing model.
+func (a *AccRDD) execKernel(acc *Accelerator, tasks []jvmsim.Val) (map[string][]cir.Value, Stats, error) {
+	n := len(tasks)
+	bufs, err := acc.Layout.Serialize(tasks)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	for name, out := range acc.Layout.AllocOutputs(n) {
+		bufs[name] = out
+	}
+	ev := cir.NewEvaluator(acc.Layout.Kernel)
+	ev.MaxSteps = 2_000_000_000
+	if err := ev.Execute(n, bufs); err != nil {
+		return nil, Stats{}, fmt.Errorf("kernel execution: %w", err)
+	}
+	st := Stats{
+		UsedFPGA: true,
+		Tasks:    n,
+		SimTime:  a.mgr.device.Execute(acc.Design, n),
+	}
+	return bufs, st, nil
+}
+
+func (a *AccRDD) fallbackMap(vm *jvmsim.VM, tasks []jvmsim.Val, why string) ([]jvmsim.Val, Stats, error) {
+	out := make([]jvmsim.Val, len(tasks))
+	for i, t := range tasks {
+		v, err := vm.Call(t)
+		if err != nil {
+			return nil, Stats{}, fmt.Errorf("blaze: JVM fallback failed: %w", err)
+		}
+		out[i] = v
+	}
+	cm := jvmsim.DefaultCostModel()
+	return out, Stats{Fallback: why, Tasks: len(tasks), SimTime: cm.Duration(vm.Counts)}, nil
+}
+
+func (a *AccRDD) fallbackReduce(vm *jvmsim.VM, tasks []jvmsim.Val, why string) (jvmsim.Val, Stats, error) {
+	if len(tasks) == 0 {
+		return jvmsim.Val{}, Stats{}, fmt.Errorf("blaze: reduce over empty RDD")
+	}
+	mapped, stats, err := a.fallbackMap(vm, tasks, why)
+	if err != nil {
+		return jvmsim.Val{}, Stats{}, err
+	}
+	acc := mapped[0]
+	for _, v := range mapped[1:] {
+		acc, err = vm.Reduce(acc, v)
+		if err != nil {
+			return jvmsim.Val{}, Stats{}, fmt.Errorf("blaze: JVM reduce failed: %w", err)
+		}
+	}
+	cm := jvmsim.DefaultCostModel()
+	stats.SimTime = cm.Duration(vm.Counts)
+	return acc, stats, nil
+}

@@ -1,0 +1,186 @@
+// Package blaze reproduces the Blaze runtime system (paper §2): FPGA
+// accelerators are registered as a service under string IDs; Spark
+// applications wrap their RDDs and invoke accelerators transparently,
+// falling back to the JVM when no accelerator (or a failing one) is
+// available. It also contains the S2FA data processing method generator
+// (paper §3.2 "data processing method generator"): the routines that
+// reorganize JVM objects into the flat buffer layout of the generated
+// kernel interface and back. The paper generates Scala methods that use
+// Java reflection; here the same role is played by runtime inspection of
+// jvmsim values against the kernel's layout.
+package blaze
+
+import (
+	"fmt"
+
+	"s2fa/internal/bytecode"
+	"s2fa/internal/cir"
+	"s2fa/internal/jvmsim"
+)
+
+// Layout describes the flat buffer interface of a generated kernel, as
+// produced by the bytecode-to-C compiler.
+type Layout struct {
+	Class  *bytecode.Class
+	Kernel *cir.Kernel
+}
+
+// inputParams returns the kernel's input buffers in field order.
+func (l *Layout) inputParams() []cir.Param {
+	var in []cir.Param
+	for _, p := range l.Kernel.Params {
+		if !p.IsOutput {
+			in = append(in, p)
+		}
+	}
+	return in
+}
+
+// outputParams returns the kernel's output buffers in field order.
+func (l *Layout) outputParams() []cir.Param {
+	var out []cir.Param
+	for _, p := range l.Kernel.Params {
+		if p.IsOutput {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Serialize reorganizes per-task JVM input objects into the kernel's flat
+// input buffers (the generated Scala method of paper §3.2, Challenge 3).
+func (l *Layout) Serialize(tasks []jvmsim.Val) (map[string][]cir.Value, error) {
+	ins := l.inputParams()
+	bufs := make(map[string][]cir.Value, len(ins))
+	for _, p := range ins {
+		bufs[p.Name] = make([]cir.Value, len(tasks)*p.Length)
+	}
+	for t, task := range tasks {
+		fields := []jvmsim.Val{task}
+		if task.IsTup {
+			fields = task.Tup
+		}
+		if len(fields) != len(ins) {
+			return nil, fmt.Errorf("blaze: task %d has %d fields, kernel expects %d", t, len(fields), len(ins))
+		}
+		for k, p := range ins {
+			dst := bufs[p.Name][t*p.Length : (t+1)*p.Length]
+			fv := fields[k]
+			switch {
+			case fv.IsArr:
+				if len(fv.Arr) != p.Length {
+					return nil, fmt.Errorf("blaze: task %d field %s has %d elements, layout expects %d (fixed data layout template)", t, p.Name, len(fv.Arr), p.Length)
+				}
+				for i, v := range fv.Arr {
+					dst[i] = v.Convert(p.Elem)
+				}
+			case fv.IsTup:
+				return nil, fmt.Errorf("blaze: nested tuple in task %d field %s", t, p.Name)
+			default:
+				if p.Length != 1 {
+					return nil, fmt.Errorf("blaze: scalar value for array field %s", p.Name)
+				}
+				dst[0] = fv.S.Convert(p.Elem)
+			}
+		}
+	}
+	return bufs, nil
+}
+
+// AllocOutputs allocates zeroed output buffers for n tasks (zero is the
+// additive identity required by the reduce template).
+func (l *Layout) AllocOutputs(n int) map[string][]cir.Value {
+	outs := map[string][]cir.Value{}
+	for _, p := range l.outputParams() {
+		ln := p.Length
+		if l.Kernel.Pattern == cir.PatternReduce {
+			// Accumulators are task-invariant but the evaluator sizes
+			// buffers as n*Length; the kernel only touches [0, Length).
+			buf := make([]cir.Value, n*ln)
+			for i := range buf {
+				buf[i].K = p.Elem
+			}
+			outs[p.Name] = buf
+			continue
+		}
+		buf := make([]cir.Value, n*ln)
+		for i := range buf {
+			buf[i].K = p.Elem
+		}
+		outs[p.Name] = buf
+	}
+	return outs
+}
+
+// Deserialize reorganizes kernel output buffers back into per-task JVM
+// values (map pattern) — the inverse generated data processing method.
+func (l *Layout) Deserialize(bufs map[string][]cir.Value, n int) ([]jvmsim.Val, error) {
+	outs := l.outputParams()
+	ret := l.Class.Call.Ret
+	results := make([]jvmsim.Val, n)
+	for t := 0; t < n; t++ {
+		fields := make([]jvmsim.Val, len(outs))
+		for k, p := range outs {
+			buf, ok := bufs[p.Name]
+			if !ok {
+				return nil, fmt.Errorf("blaze: missing output buffer %s", p.Name)
+			}
+			seg := buf[t*p.Length : (t+1)*p.Length]
+			if fieldIsArray(ret, k) {
+				arr := make([]cir.Value, p.Length)
+				copy(arr, seg)
+				fields[k] = jvmsim.Array(arr)
+			} else {
+				fields[k] = jvmsim.Scalar(seg[0])
+			}
+		}
+		if ret.IsTuple() {
+			results[t] = jvmsim.Tuple(fields...)
+		} else {
+			results[t] = fields[0]
+		}
+	}
+	return results, nil
+}
+
+// DeserializeReduced extracts the single accumulated result of a reduce
+// kernel.
+func (l *Layout) DeserializeReduced(bufs map[string][]cir.Value) (jvmsim.Val, error) {
+	outs := l.outputParams()
+	ret := l.Class.Call.Ret
+	fields := make([]jvmsim.Val, len(outs))
+	for k, p := range outs {
+		buf, ok := bufs[p.Name]
+		if !ok {
+			return jvmsim.Val{}, fmt.Errorf("blaze: missing output buffer %s", p.Name)
+		}
+		seg := buf[:p.Length]
+		if fieldIsArray(ret, k) {
+			arr := make([]cir.Value, p.Length)
+			copy(arr, seg)
+			fields[k] = jvmsim.Array(arr)
+		} else {
+			fields[k] = jvmsim.Scalar(seg[0])
+		}
+	}
+	if ret.IsTuple() {
+		return jvmsim.Tuple(fields...), nil
+	}
+	return fields[0], nil
+}
+
+func fieldIsArray(ret bytecode.TypeDesc, k int) bool {
+	if ret.IsTuple() {
+		return ret.Tuple[k].Array
+	}
+	return ret.Array
+}
+
+// BytesPerTask returns total host<->card traffic per task for the layout.
+func (l *Layout) BytesPerTask() int {
+	total := 0
+	for _, p := range l.Kernel.Params {
+		total += p.Length * p.Elem.Bits() / 8
+	}
+	return total
+}

@@ -1,0 +1,231 @@
+// Package bytecode defines the JVM-style typed stack bytecode that S2FA
+// consumes. In the paper, the input to the bytecode-to-C compiler is Java
+// bytecode produced by scalac from the user's Spark kernel; here the
+// internal/kdsl front-end compiles a Scala-subset kernel language to this
+// instruction set, which preserves the properties that matter for the
+// decompilation problem: an operand stack, numbered locals, object-typed
+// tuples accessed through field getters, arrays with bounds semantics,
+// constant-size `new` allocations, and reducible branch-based control
+// flow.
+package bytecode
+
+import (
+	"fmt"
+
+	"s2fa/internal/cir"
+)
+
+// TypeDesc describes a value type in method descriptors and field
+// signatures: a primitive, an array of a primitive, or a tuple of
+// primitives/arrays (the composite types S2FA supports, paper §3.3).
+type TypeDesc struct {
+	Kind  cir.Kind
+	Array bool
+	// Tuple lists field types when this is a TupleN; nil otherwise.
+	// Tuples do not nest (template restriction).
+	Tuple []TypeDesc
+}
+
+// IsTuple reports whether the descriptor is a tuple type.
+func (t TypeDesc) IsTuple() bool { return len(t.Tuple) > 0 }
+
+// Prim builds a primitive descriptor.
+func Prim(k cir.Kind) TypeDesc { return TypeDesc{Kind: k} }
+
+// ArrayOf builds an array-of-primitive descriptor.
+func ArrayOf(k cir.Kind) TypeDesc { return TypeDesc{Kind: k, Array: true} }
+
+// TupleOf builds a tuple descriptor.
+func TupleOf(fields ...TypeDesc) TypeDesc { return TypeDesc{Tuple: fields} }
+
+func (t TypeDesc) String() string {
+	if t.IsTuple() {
+		s := "("
+		for i, f := range t.Tuple {
+			if i > 0 {
+				s += ", "
+			}
+			s += f.String()
+		}
+		return s + ")"
+	}
+	if t.Array {
+		return fmt.Sprintf("Array[%s]", t.Kind)
+	}
+	return t.Kind.String()
+}
+
+// Equal reports structural descriptor equality.
+func (t TypeDesc) Equal(o TypeDesc) bool {
+	if t.Kind != o.Kind || t.Array != o.Array || len(t.Tuple) != len(o.Tuple) {
+		return false
+	}
+	for i := range t.Tuple {
+		if !t.Tuple[i].Equal(o.Tuple[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// Opcodes. Comparable to the JVM subset APARAPI handles, with fused
+// compare-and-branch forms as in real class files.
+const (
+	// OpConst pushes Instr.Val (kind Instr.Kind).
+	OpConst Op = iota
+	// OpLoad pushes local slot Instr.A.
+	OpLoad
+	// OpStore pops into local slot Instr.A.
+	OpStore
+	// OpALoad pops index, array ref; pushes element (kind Instr.Kind).
+	OpALoad
+	// OpAStore pops value, index, array ref; stores element.
+	OpAStore
+	// OpArrayLen pops array ref, pushes its length.
+	OpArrayLen
+	// OpNewArray pops length; pushes new array of Instr.Kind. The
+	// verifier enforces that the length is a compile-time constant
+	// (paper §3.3: no dynamic allocation on the FPGA).
+	OpNewArray
+	// OpGetField pops tuple ref; pushes field Instr.A (the Tuple2._1/._2
+	// accessors of the motivating example).
+	OpGetField
+	// OpNewTuple pops Instr.A values; pushes a tuple (the Tuple2
+	// constructor call of Code 2 line 10).
+	OpNewTuple
+	// OpGetStatic pushes the class constant field named Instr.Sym.
+	OpGetStatic
+	// OpBin pops two operands, applies Instr.Bin (kind Instr.Kind),
+	// pushes result. Comparison operators push Bool.
+	OpBin
+	// OpUn pops one operand, applies Instr.Un, pushes result.
+	OpUn
+	// OpCast pops a value, converts to Instr.Kind, pushes.
+	OpCast
+	// OpIntrin pops Instr.A args, applies math intrinsic Instr.Sym,
+	// pushes result of kind Instr.Kind.
+	OpIntrin
+	// OpGoto jumps to instruction index Instr.Target.
+	OpGoto
+	// OpBrFalse pops a Bool; jumps to Instr.Target when zero.
+	OpBrFalse
+	// OpBrTrue pops a Bool; jumps to Instr.Target when non-zero.
+	OpBrTrue
+	// OpReturn pops the return value (if the method is non-void) and
+	// exits.
+	OpReturn
+)
+
+func (o Op) String() string {
+	names := [...]string{
+		"const", "load", "store", "aload", "astore", "arraylen", "newarray",
+		"getfield", "newtuple", "getstatic", "bin", "un", "cast", "intrin",
+		"goto", "brfalse", "brtrue", "return",
+	}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one bytecode instruction.
+type Instr struct {
+	Op     Op
+	Kind   cir.Kind // operand kind for typed ops
+	A      int      // slot / field index / arg count
+	Target int      // branch target (instruction index)
+	Val    cir.Value
+	Bin    cir.BinOp
+	Un     cir.UnOp
+	Sym    string // intrinsic or static field name
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("const.%s %s", in.Kind, in.Val)
+	case OpLoad, OpStore:
+		return fmt.Sprintf("%s %d", in.Op, in.A)
+	case OpALoad, OpAStore, OpNewArray, OpCast:
+		return fmt.Sprintf("%s.%s", in.Op, in.Kind)
+	case OpGetField:
+		return fmt.Sprintf("getfield _%d", in.A+1)
+	case OpNewTuple:
+		return fmt.Sprintf("newtuple %d", in.A)
+	case OpGetStatic:
+		return fmt.Sprintf("getstatic %s", in.Sym)
+	case OpBin:
+		return fmt.Sprintf("bin.%s %s", in.Kind, in.Bin)
+	case OpUn:
+		return fmt.Sprintf("un.%s %s", in.Kind, in.Un)
+	case OpIntrin:
+		return fmt.Sprintf("intrin %s/%d", in.Sym, in.A)
+	case OpGoto, OpBrFalse, OpBrTrue:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	default:
+		return in.Op.String()
+	}
+}
+
+// Method is one compiled method body.
+type Method struct {
+	Name   string
+	Params []TypeDesc
+	Ret    TypeDesc
+	// LocalTypes gives the declared type of every local slot (params
+	// occupy the first slots), mirroring the LocalVariableTable.
+	LocalTypes []TypeDesc
+	// LocalNames preserves source names for decompilation; compiler
+	// temporaries get synthesized names.
+	LocalNames []string
+	Code       []Instr
+}
+
+// StaticField is a class-level constant (e.g. an AES S-box), compiled
+// from `final val` fields of the kernel class.
+type StaticField struct {
+	Name string
+	Type TypeDesc
+	// Data holds the constant elements (length 1 for scalars).
+	Data []cir.Value
+}
+
+// Class is the compiled kernel class: the unit Blaze registers under an
+// accelerator ID.
+type Class struct {
+	Name string
+	// ID is the accelerator identifier (`val id: String` in the Blaze
+	// programming model, Code 1 line 6).
+	ID      string
+	Statics []StaticField
+	// Call is the RDD transformation lambda.
+	Call *Method
+	// Reduce, when present, is the combiner method making this a
+	// map+reduce kernel; nil for pure map.
+	Reduce *Method
+	// InSizes gives per-task element counts for array-typed inputs (the
+	// data layout configuration of the S2FA class template); scalar
+	// fields use 1.
+	InSizes []int
+}
+
+// Pattern returns the RDD parallel pattern of the kernel.
+func (c *Class) Pattern() cir.Pattern {
+	if c.Reduce != nil {
+		return cir.PatternReduce
+	}
+	return cir.PatternMap
+}
+
+// Static returns the named static field, or nil.
+func (c *Class) Static(name string) *StaticField {
+	for i := range c.Statics {
+		if c.Statics[i].Name == name {
+			return &c.Statics[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,45 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a method as a javap-style listing, useful in tests
+// and the CLI's -dump-bytecode mode.
+func Disassemble(m *Method) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "method %s(", m.Name)
+	for i, p := range m.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+	fmt.Fprintf(&b, "): %s\n", m.Ret)
+	for i, t := range m.LocalTypes {
+		name := fmt.Sprintf("slot%d", i)
+		if i < len(m.LocalNames) && m.LocalNames[i] != "" {
+			name = m.LocalNames[i]
+		}
+		fmt.Fprintf(&b, "  local %2d  %-12s %s\n", i, name, t)
+	}
+	for i, in := range m.Code {
+		fmt.Fprintf(&b, "  %4d: %s\n", i, in)
+	}
+	return b.String()
+}
+
+// DisassembleClass renders the whole class.
+func DisassembleClass(c *Class) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "class %s (accelerator id %q, pattern %s)\n", c.Name, c.ID, c.Pattern())
+	for _, s := range c.Statics {
+		fmt.Fprintf(&b, "static %s: %s [%d elems]\n", s.Name, s.Type, len(s.Data))
+	}
+	b.WriteString(Disassemble(c.Call))
+	if c.Reduce != nil {
+		b.WriteString(Disassemble(c.Reduce))
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package bytecode
+
+import (
+	"strings"
+	"testing"
+
+	"s2fa/internal/cir"
+)
+
+// method builds a minimal verifiable method around the given code.
+func method(code []Instr, locals ...TypeDesc) *Method {
+	return &Method{
+		Name:       "m",
+		Params:     nil,
+		Ret:        Prim(cir.Int),
+		LocalTypes: locals,
+		LocalNames: make([]string, len(locals)),
+		Code:       code,
+	}
+}
+
+func c(v int64) Instr {
+	return Instr{Op: OpConst, Kind: cir.Int, Val: cir.IntVal(cir.Int, v)}
+}
+
+func TestVerifyAcceptsStraightLine(t *testing.T) {
+	m := method([]Instr{
+		c(1), c(2),
+		{Op: OpBin, Bin: cir.Add, Kind: cir.Int},
+		{Op: OpReturn},
+	})
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyRejects(t *testing.T) {
+	cases := map[string]struct {
+		m    *Method
+		want string
+	}{
+		"stack underflow": {
+			method([]Instr{{Op: OpBin, Bin: cir.Add, Kind: cir.Int}, c(0), {Op: OpReturn}}),
+			"underflow",
+		},
+		"branch target out of range": {
+			method([]Instr{c(1), {Op: OpBrTrue, Target: 99}, c(0), {Op: OpReturn}}),
+			"out of range",
+		},
+		"falls off the end": {
+			method([]Instr{c(1), {Op: OpStore, A: 0, Kind: cir.Int}}, Prim(cir.Int)),
+			"falls off",
+		},
+		"non-empty stack at branch": {
+			method([]Instr{c(1), c(1), {Op: OpBrTrue, Target: 0}, c(0), {Op: OpReturn}}),
+			"non-empty stack",
+		},
+		"dynamic newarray": {
+			method([]Instr{
+				c(4),
+				{Op: OpStore, A: 0, Kind: cir.Int},
+				{Op: OpLoad, A: 0, Kind: cir.Int},
+				{Op: OpNewArray, Kind: cir.Int},
+				{Op: OpStore, A: 1, Kind: cir.Int},
+				c(0),
+				{Op: OpReturn},
+			}, Prim(cir.Int), ArrayOf(cir.Int)),
+			"compile-time constant",
+		},
+		"invalid slot": {
+			method([]Instr{{Op: OpLoad, A: 3, Kind: cir.Int}, {Op: OpReturn}}),
+			"invalid slot",
+		},
+		"aload on non-array": {
+			method([]Instr{c(1), c(0), {Op: OpALoad, Kind: cir.Int}, {Op: OpReturn}}),
+			"non-array",
+		},
+		"getfield on non-tuple": {
+			method([]Instr{c(1), {Op: OpGetField, A: 0}, {Op: OpReturn}}),
+			"non-tuple",
+		},
+		"unknown intrinsic": {
+			method([]Instr{c(1), {Op: OpIntrin, Sym: "sin", A: 1, Kind: cir.Double}, {Op: OpReturn}}),
+			"library calls",
+		},
+		"return with extra stack": {
+			method([]Instr{c(1), c(2), {Op: OpReturn}}),
+			"return with non-empty stack",
+		},
+		"empty code": {
+			method(nil),
+			"empty",
+		},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := Verify(tc.m)
+			if err == nil {
+				t.Fatal("verifier accepted invalid code")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestVerifyTupleOps(t *testing.T) {
+	m := &Method{
+		Name:       "m",
+		Params:     []TypeDesc{TupleOf(Prim(cir.Int), Prim(cir.Int))},
+		Ret:        Prim(cir.Int),
+		LocalTypes: []TypeDesc{TupleOf(Prim(cir.Int), Prim(cir.Int))},
+		LocalNames: []string{"in"},
+		Code: []Instr{
+			{Op: OpLoad, A: 0},
+			{Op: OpGetField, A: 1, Kind: cir.Int},
+			{Op: OpReturn},
+		},
+	}
+	if err := Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	// Field index out of range.
+	m.Code[1].A = 5
+	if err := Verify(m); err == nil {
+		t.Error("field _6 on a pair accepted")
+	}
+}
+
+func TestVerifyClassChecks(t *testing.T) {
+	cls := &Class{Name: "X", ID: "x"}
+	if err := VerifyClass(cls); err == nil {
+		t.Error("class without call accepted")
+	}
+	cls.Call = method([]Instr{c(0), {Op: OpReturn}})
+	cls.Call.Params = []TypeDesc{Prim(cir.Int)}
+	cls.Call.LocalTypes = []TypeDesc{Prim(cir.Int)}
+	cls.Call.LocalNames = []string{"in"}
+	cls.InSizes = []int{1, 1} // wrong arity for scalar input
+	if err := VerifyClass(cls); err == nil {
+		t.Error("wrong InSizes arity accepted")
+	}
+	cls.InSizes = []int{1}
+	if err := VerifyClass(cls); err != nil {
+		t.Errorf("valid class rejected: %v", err)
+	}
+}
+
+func TestTypeDescEqualAndString(t *testing.T) {
+	a := TupleOf(ArrayOf(cir.Char), Prim(cir.Double))
+	b := TupleOf(ArrayOf(cir.Char), Prim(cir.Double))
+	if !a.Equal(b) {
+		t.Error("equal descriptors differ")
+	}
+	if a.Equal(TupleOf(ArrayOf(cir.Char), Prim(cir.Float))) {
+		t.Error("different descriptors equal")
+	}
+	if s := a.String(); s != "(Array[char], double)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestPatternFromMethods(t *testing.T) {
+	cls := &Class{Name: "X", ID: "x"}
+	if cls.Pattern() != cir.PatternMap {
+		t.Error("default pattern should be map")
+	}
+	cls.Reduce = &Method{}
+	if cls.Pattern() != cir.PatternReduce {
+		t.Error("reduce method should flip the pattern")
+	}
+}
+
+func TestDisassembleOutput(t *testing.T) {
+	m := method([]Instr{
+		c(7),
+		{Op: OpStore, A: 0, Kind: cir.Int},
+		{Op: OpLoad, A: 0, Kind: cir.Int},
+		{Op: OpReturn},
+	}, Prim(cir.Int))
+	m.LocalNames = []string{"x"}
+	out := Disassemble(m)
+	for _, want := range []string{"method m", "const.int 7", "store 0", "load 0", "return", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

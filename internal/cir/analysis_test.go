@@ -1,0 +1,282 @@
+package cir
+
+import "testing"
+
+// nestKernel builds: task loop > i loop (trip 16) > j loop (trip 8) with
+// a scalar fp accumulation carried by the j loop.
+func nestKernel() *Kernel {
+	j := &Loop{
+		ID: "L2", Var: "j",
+		Lo: &IntLit{K: Int, Val: 0}, Hi: &IntLit{K: Int, Val: 8}, Step: 1,
+		Body: Block{&Assign{
+			LHS: &VarRef{K: Double, Name: "acc"},
+			RHS: &Binary{K: Double, Op: Add,
+				L: &VarRef{K: Double, Name: "acc"},
+				R: &Index{K: Double, Arr: "in", Idx: &VarRef{K: Int, Name: "j"}}},
+		}},
+	}
+	i := &Loop{
+		ID: "L1", Var: "i",
+		Lo: &IntLit{K: Int, Val: 0}, Hi: &IntLit{K: Int, Val: 16}, Step: 1,
+		Body: Block{j},
+	}
+	task := &Loop{
+		ID: "L0", Var: "_task",
+		Lo: &IntLit{K: Int, Val: 0}, Hi: &VarRef{K: Int, Name: "N"}, Step: 1,
+		Body: Block{
+			&Decl{Name: "acc", K: Double},
+			i,
+			&Assign{
+				LHS: &Index{K: Double, Arr: "out", Idx: &VarRef{K: Int, Name: "_task"}},
+				RHS: &VarRef{K: Double, Name: "acc"},
+			},
+		},
+	}
+	return &Kernel{
+		Name: "nest", Pattern: PatternMap, TaskLoopID: "L0",
+		Params: []Param{
+			{Name: "in", Elem: Double, IsArray: true, Length: 8},
+			{Name: "out", Elem: Double, IsArray: true, Length: 1, IsOutput: true},
+		},
+		Body: Block{task},
+	}
+}
+
+func TestAnalyzeLoopTree(t *testing.T) {
+	info := Analyze(nestKernel())
+	if len(info.All) != 3 {
+		t.Fatalf("loops = %d, want 3", len(info.All))
+	}
+	if len(info.Roots) != 1 || info.Roots[0].Loop.ID != "L0" {
+		t.Fatal("root is not the task loop")
+	}
+	l0, l1, l2 := info.ByID["L0"], info.ByID["L1"], info.ByID["L2"]
+	if l0.Depth != 0 || l1.Depth != 1 || l2.Depth != 2 {
+		t.Errorf("depths = %d %d %d", l0.Depth, l1.Depth, l2.Depth)
+	}
+	if l0.Trip != 0 { // runtime bound
+		t.Errorf("task trip = %d, want 0 (unknown)", l0.Trip)
+	}
+	if l1.Trip != 16 || l2.Trip != 8 {
+		t.Errorf("trips = %d, %d", l1.Trip, l2.Trip)
+	}
+	if info.MaxDepth != 2 {
+		t.Errorf("max depth = %d", info.MaxDepth)
+	}
+	if shape := info.LoopShape(); shape != "1(2(3))" {
+		t.Errorf("shape = %q", shape)
+	}
+}
+
+func TestAnalyzeScalarRecurrence(t *testing.T) {
+	info := Analyze(nestKernel())
+	l2 := info.ByID["L2"]
+	if len(l2.ScalarRec) != 1 || l2.ScalarRec[0] != "acc" {
+		t.Fatalf("L2 recurrences = %v", l2.ScalarRec)
+	}
+	if !l2.Carried() {
+		t.Error("L2 should be carried")
+	}
+	// acc is declared inside the task loop body, so the task loop does
+	// NOT carry it: each task re-initializes its accumulator.
+	l0 := info.ByID["L0"]
+	if len(l0.ScalarRec) != 0 {
+		t.Errorf("task loop recurrences = %v, want none", l0.ScalarRec)
+	}
+	// Recurrence ops include the fp add.
+	if l2.RecOps.FpAdd == 0 {
+		t.Error("recurrence chain has no fp add")
+	}
+}
+
+func TestAnalyzeOpCounts(t *testing.T) {
+	info := Analyze(nestKernel())
+	l2 := info.ByID["L2"]
+	if l2.BodyOps.FpAdd < 1 || l2.BodyOps.Loads < 1 {
+		t.Errorf("L2 body ops = %+v", l2.BodyOps)
+	}
+	l0 := info.ByID["L0"]
+	if l0.SubtreeOps.FpAdd < l2.BodyOps.FpAdd {
+		t.Error("subtree ops should include descendants")
+	}
+	if l0.BodyOps.Stores < 1 {
+		t.Errorf("task body stores = %d", l0.BodyOps.Stores)
+	}
+}
+
+// stencil kernel: H written at [i] and read at [i-1] within the loop ->
+// loop-carried array dependence.
+func stencilLoop(readOffset int64) *Loop {
+	return &Loop{
+		ID: "L1", Var: "i",
+		Lo: &IntLit{K: Int, Val: 1}, Hi: &IntLit{K: Int, Val: 64}, Step: 1,
+		Body: Block{&Assign{
+			LHS: &Index{K: Int, Arr: "H", Idx: &VarRef{K: Int, Name: "i"}},
+			RHS: &Index{K: Int, Arr: "H", Idx: &Binary{K: Int, Op: Add,
+				L: &VarRef{K: Int, Name: "i"}, R: &IntLit{K: Int, Val: readOffset}}},
+		}},
+	}
+}
+
+func TestArrayCarriedDetection(t *testing.T) {
+	t.Run("distance one is carried", func(t *testing.T) {
+		k := &Kernel{Name: "s", TaskLoopID: "L0", Body: Block{
+			&ArrDecl{Name: "H", Elem: Int, Len: 64},
+			stencilLoop(-1),
+		}}
+		info := Analyze(k)
+		li := info.ByID["L1"]
+		if !li.ArrayCarried || len(li.CarriedArrays) != 1 || li.CarriedArrays[0] != "H" {
+			t.Errorf("carried = %v %v", li.ArrayCarried, li.CarriedArrays)
+		}
+	})
+	t.Run("distance zero is not carried", func(t *testing.T) {
+		k := &Kernel{Name: "s", TaskLoopID: "L0", Body: Block{
+			&ArrDecl{Name: "H", Elem: Int, Len: 64},
+			stencilLoop(0),
+		}}
+		info := Analyze(k)
+		if info.ByID["L1"].ArrayCarried {
+			t.Error("read-modify-write of the same element flagged as carried")
+		}
+	})
+	t.Run("iteration-local arrays exempt", func(t *testing.T) {
+		// The array is declared INSIDE the loop body: fresh per
+		// iteration, no dependence can cross iterations.
+		inner := stencilLoop(-1)
+		outer := &Loop{
+			ID: "L9", Var: "t",
+			Lo: &IntLit{K: Int, Val: 0}, Hi: &IntLit{K: Int, Val: 4}, Step: 1,
+			Body: Block{&ArrDecl{Name: "H", Elem: Int, Len: 64}, inner},
+		}
+		k := &Kernel{Name: "s", TaskLoopID: "L9", Body: Block{outer}}
+		info := Analyze(k)
+		if info.ByID["L9"].ArrayCarried {
+			t.Error("outer loop flagged carried through its own iteration-local array")
+		}
+		if !info.ByID["L1"].ArrayCarried {
+			t.Error("inner loop should still be carried")
+		}
+	})
+	t.Run("fixed-location accumulator is carried", func(t *testing.T) {
+		l := &Loop{
+			ID: "L1", Var: "i",
+			Lo: &IntLit{K: Int, Val: 0}, Hi: &IntLit{K: Int, Val: 8}, Step: 1,
+			Body: Block{&Assign{
+				LHS: &Index{K: Int, Arr: "H", Idx: &IntLit{K: Int, Val: 0}},
+				RHS: &Binary{K: Int, Op: Add,
+					L: &Index{K: Int, Arr: "H", Idx: &IntLit{K: Int, Val: 0}},
+					R: &VarRef{K: Int, Name: "i"}},
+			}},
+		}
+		k := &Kernel{Name: "s", TaskLoopID: "x", Body: Block{&ArrDecl{Name: "H", Elem: Int, Len: 4}, l}}
+		info := Analyze(k)
+		if !info.ByID["L1"].ArrayCarried {
+			t.Error("H[0] accumulation not flagged as carried")
+		}
+	})
+}
+
+func TestAffineDecomposition(t *testing.T) {
+	// i*129 + (j-1): linear in i with coeff 129; linear in j with coeff 1.
+	e := &Binary{K: Int, Op: Add,
+		L: &Binary{K: Int, Op: Mul, L: &VarRef{K: Int, Name: "i"}, R: &IntLit{K: Int, Val: 129}},
+		R: &Binary{K: Int, Op: Sub, L: &VarRef{K: Int, Name: "j"}, R: &IntLit{K: Int, Val: 1}},
+	}
+	c, cst, _, ok := affine(e, "i")
+	if !ok || c != 129 || cst != -1 {
+		t.Errorf("i: coeff=%d cst=%d ok=%v", c, cst, ok)
+	}
+	c, cst, _, ok = affine(e, "j")
+	if !ok || c != 1 || cst != -1 {
+		t.Errorf("j: coeff=%d cst=%d ok=%v", c, cst, ok)
+	}
+	c, _, sym, ok := affine(e, "k")
+	if !ok || c != 0 || sym == "" {
+		t.Errorf("k: coeff=%d sym=%q ok=%v", c, sym, ok)
+	}
+	// Nonlinear index: i*i.
+	nl := &Binary{K: Int, Op: Mul, L: &VarRef{K: Int, Name: "i"}, R: &VarRef{K: Int, Name: "i"}}
+	if _, _, _, ok := affine(nl, "i"); ok {
+		t.Error("i*i reported linear")
+	}
+}
+
+func TestConstMulCountsAsShiftAdd(t *testing.T) {
+	// Multiplication by a literal must not consume DSP-class IntMul.
+	body := Block{&Assign{
+		LHS: &VarRef{K: Int, Name: "x"},
+		RHS: &Binary{K: Int, Op: Mul, L: &VarRef{K: Int, Name: "i"}, R: &IntLit{K: Int, Val: 129}},
+	}}
+	l := &Loop{ID: "L1", Var: "i", Lo: &IntLit{K: Int, Val: 0}, Hi: &IntLit{K: Int, Val: 4}, Step: 1,
+		Body: append(Block{&Decl{Name: "x", K: Int}}, body...)}
+	k := &Kernel{Name: "m", TaskLoopID: "L1", Body: Block{l}}
+	info := Analyze(k)
+	li := info.ByID["L1"]
+	if li.BodyOps.IntMul != 0 {
+		t.Errorf("const mul counted as IntMul: %+v", li.BodyOps)
+	}
+	// Variable-by-variable multiply does count.
+	body2 := Block{
+		&Decl{Name: "x", K: Int},
+		&Assign{
+			LHS: &VarRef{K: Int, Name: "x"},
+			RHS: &Binary{K: Int, Op: Mul, L: &VarRef{K: Int, Name: "i"}, R: &VarRef{K: Int, Name: "x"}},
+		}}
+	l2 := &Loop{ID: "L1", Var: "i", Lo: &IntLit{K: Int, Val: 0}, Hi: &IntLit{K: Int, Val: 4}, Step: 1, Body: body2}
+	info2 := Analyze(&Kernel{Name: "m", TaskLoopID: "L1", Body: Block{l2}})
+	if info2.ByID["L1"].BodyOps.IntMul != 1 {
+		t.Errorf("var mul not counted: %+v", info2.ByID["L1"].BodyOps)
+	}
+}
+
+func TestTranscendentalFlag(t *testing.T) {
+	l := &Loop{ID: "L1", Var: "i", Lo: &IntLit{K: Int, Val: 0}, Hi: &IntLit{K: Int, Val: 4}, Step: 1,
+		Body: Block{
+			&Decl{Name: "x", K: Double,
+				Init: &Call{K: Double, Name: "exp", Args: []Expr{&FloatLit{K: Double, Val: 1}}}},
+		}}
+	outer := &Loop{ID: "L0", Var: "t", Lo: &IntLit{K: Int, Val: 0}, Hi: &IntLit{K: Int, Val: 2}, Step: 1,
+		Body: Block{l}}
+	info := Analyze(&Kernel{Name: "e", TaskLoopID: "L0", Body: Block{outer}})
+	if !info.ByID["L1"].HasTranscendental {
+		t.Error("inner loop transcendental not flagged")
+	}
+	if !info.ByID["L0"].HasTranscendental {
+		t.Error("transcendental flag did not propagate to the outer loop")
+	}
+}
+
+func TestLocalArraysInventory(t *testing.T) {
+	k := &Kernel{Name: "a", TaskLoopID: "x", Body: Block{
+		&ArrDecl{Name: "buf", Elem: Double, Len: 100},
+	}}
+	info := Analyze(k)
+	if info.LocalArrays["buf"] != 800 {
+		t.Errorf("buf bytes = %d, want 800", info.LocalArrays["buf"])
+	}
+}
+
+func TestTripCount(t *testing.T) {
+	cases := []struct {
+		lo, hi int64
+		step   int64
+		want   int64
+	}{
+		{0, 16, 1, 16},
+		{1, 129, 1, 128},
+		{0, 10, 3, 4},
+		{5, 5, 1, 0},
+		{10, 5, 1, 0},
+	}
+	for _, c := range cases {
+		l := &Loop{Lo: &IntLit{K: Int, Val: c.lo}, Hi: &IntLit{K: Int, Val: c.hi}, Step: c.step}
+		if got := l.TripCount(); got != c.want {
+			t.Errorf("trip(%d,%d,%d) = %d, want %d", c.lo, c.hi, c.step, got, c.want)
+		}
+	}
+	dyn := &Loop{Lo: &IntLit{K: Int, Val: 0}, Hi: &VarRef{K: Int, Name: "N"}, Step: 1}
+	if dyn.TripCount() != 0 {
+		t.Error("dynamic bound should have trip 0")
+	}
+}

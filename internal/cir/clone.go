@@ -1,0 +1,186 @@
+package cir
+
+// CloneKernel returns a deep copy of k. Merlin transformations operate on
+// clones so that the pristine kernel produced by the bytecode-to-C
+// compiler can be re-specialized for every design point.
+func CloneKernel(k *Kernel) *Kernel {
+	out := &Kernel{
+		Name:       k.Name,
+		Pattern:    k.Pattern,
+		TaskLoopID: k.TaskLoopID,
+		Globals:    make([]Global, len(k.Globals)),
+		Params:     make([]Param, len(k.Params)),
+		Body:       CloneBlock(k.Body),
+	}
+	copy(out.Params, k.Params)
+	for i, g := range k.Globals {
+		data := make([]Value, len(g.Data))
+		copy(data, g.Data)
+		out.Globals[i] = Global{Name: g.Name, Elem: g.Elem, Data: data}
+	}
+	return out
+}
+
+// CloneBlock deep-copies a statement block.
+func CloneBlock(b Block) Block {
+	if b == nil {
+		return nil
+	}
+	out := make(Block, len(b))
+	for i, s := range b {
+		out[i] = CloneStmt(s)
+	}
+	return out
+}
+
+// CloneStmt deep-copies a statement.
+func CloneStmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case *Decl:
+		return &Decl{Name: s.Name, K: s.K, Init: CloneExpr(s.Init)}
+	case *ArrDecl:
+		return &ArrDecl{Name: s.Name, Elem: s.Elem, Len: s.Len}
+	case *Assign:
+		return &Assign{LHS: CloneExpr(s.LHS), RHS: CloneExpr(s.RHS)}
+	case *If:
+		return &If{Cond: CloneExpr(s.Cond), Then: CloneBlock(s.Then), Else: CloneBlock(s.Else)}
+	case *Loop:
+		return &Loop{
+			ID:        s.ID,
+			Var:       s.Var,
+			Lo:        CloneExpr(s.Lo),
+			Hi:        CloneExpr(s.Hi),
+			Step:      s.Step,
+			Body:      CloneBlock(s.Body),
+			Opt:       s.Opt,
+			Reduction: s.Reduction,
+		}
+	case *While:
+		return &While{Cond: CloneExpr(s.Cond), Body: CloneBlock(s.Body)}
+	case *Break:
+		return &Break{}
+	case *Continue:
+		return &Continue{}
+	case *Return:
+		return &Return{Val: CloneExpr(s.Val)}
+	}
+	return nil
+}
+
+// CloneExpr deep-copies an expression; nil in, nil out.
+func CloneExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *IntLit:
+		return &IntLit{K: e.K, Val: e.Val}
+	case *FloatLit:
+		return &FloatLit{K: e.K, Val: e.Val}
+	case *VarRef:
+		return &VarRef{K: e.K, Name: e.Name}
+	case *Index:
+		return &Index{K: e.K, Arr: e.Arr, Idx: CloneExpr(e.Idx)}
+	case *Unary:
+		return &Unary{Op: e.Op, X: CloneExpr(e.X)}
+	case *Binary:
+		return &Binary{K: e.K, Op: e.Op, L: CloneExpr(e.L), R: CloneExpr(e.R)}
+	case *Cast:
+		return &Cast{To: e.To, X: CloneExpr(e.X)}
+	case *Cond:
+		return &Cond{C: CloneExpr(e.C), T: CloneExpr(e.T), F: CloneExpr(e.F)}
+	case *Call:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = CloneExpr(a)
+		}
+		return &Call{K: e.K, Name: e.Name, Args: args}
+	}
+	return nil
+}
+
+// SubstVar returns e with every VarRef named from replaced by a clone of
+// to. It is used by loop transformations to rewrite induction variables.
+func SubstVar(e Expr, from string, to Expr) Expr {
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *IntLit, *FloatLit:
+		return CloneExpr(e)
+	case *VarRef:
+		if e.Name == from {
+			return CloneExpr(to)
+		}
+		return CloneExpr(e)
+	case *Index:
+		return &Index{K: e.K, Arr: e.Arr, Idx: SubstVar(e.Idx, from, to)}
+	case *Unary:
+		return &Unary{Op: e.Op, X: SubstVar(e.X, from, to)}
+	case *Binary:
+		return &Binary{K: e.K, Op: e.Op, L: SubstVar(e.L, from, to), R: SubstVar(e.R, from, to)}
+	case *Cast:
+		return &Cast{To: e.To, X: SubstVar(e.X, from, to)}
+	case *Cond:
+		return &Cond{C: SubstVar(e.C, from, to), T: SubstVar(e.T, from, to), F: SubstVar(e.F, from, to)}
+	case *Call:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = SubstVar(a, from, to)
+		}
+		return &Call{K: e.K, Name: e.Name, Args: args}
+	}
+	return nil
+}
+
+// SubstVarBlock applies SubstVar across a whole block, also renaming
+// matching assignment targets and declaration names are left untouched
+// (transformations are responsible for alpha-renaming declarations first).
+func SubstVarBlock(b Block, from string, to Expr) Block {
+	out := make(Block, len(b))
+	for i, s := range b {
+		out[i] = substVarStmt(s, from, to)
+	}
+	return out
+}
+
+func substVarStmt(s Stmt, from string, to Expr) Stmt {
+	switch s := s.(type) {
+	case *Decl:
+		return &Decl{Name: s.Name, K: s.K, Init: SubstVar(s.Init, from, to)}
+	case *ArrDecl:
+		return &ArrDecl{Name: s.Name, Elem: s.Elem, Len: s.Len}
+	case *Assign:
+		return &Assign{LHS: SubstVar(s.LHS, from, to), RHS: SubstVar(s.RHS, from, to)}
+	case *If:
+		return &If{
+			Cond: SubstVar(s.Cond, from, to),
+			Then: SubstVarBlock(s.Then, from, to),
+			Else: SubstVarBlock(s.Else, from, to),
+		}
+	case *Loop:
+		l := &Loop{
+			ID:        s.ID,
+			Var:       s.Var,
+			Lo:        SubstVar(s.Lo, from, to),
+			Hi:        SubstVar(s.Hi, from, to),
+			Step:      s.Step,
+			Opt:       s.Opt,
+			Reduction: s.Reduction,
+		}
+		if s.Var == from {
+			// Inner loop shadows the variable; body is untouched.
+			l.Body = CloneBlock(s.Body)
+		} else {
+			l.Body = SubstVarBlock(s.Body, from, to)
+		}
+		return l
+	case *While:
+		return &While{Cond: SubstVar(s.Cond, from, to), Body: SubstVarBlock(s.Body, from, to)}
+	case *Break:
+		return &Break{}
+	case *Continue:
+		return &Continue{}
+	case *Return:
+		return &Return{Val: SubstVar(s.Val, from, to)}
+	}
+	return nil
+}

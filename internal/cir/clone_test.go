@@ -1,0 +1,157 @@
+package cir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCloneKernelIndependence(t *testing.T) {
+	k := nestKernel()
+	cp := CloneKernel(k)
+
+	// Mutate the clone's loop options and bounds.
+	cp.FindLoop("L1").Opt.Parallel = 8
+	cp.FindLoop("L2").Hi = &IntLit{K: Int, Val: 999}
+	cp.Params[0].BitWidth = 512
+
+	if k.FindLoop("L1").Opt.Parallel != 0 {
+		t.Error("clone option mutation leaked into the original")
+	}
+	if hi := k.FindLoop("L2").Hi.(*IntLit); hi.Val != 8 {
+		t.Error("clone bound mutation leaked into the original")
+	}
+	if k.Params[0].BitWidth != 0 {
+		t.Error("clone param mutation leaked into the original")
+	}
+}
+
+func TestCloneGlobalsDeepCopied(t *testing.T) {
+	k := &Kernel{
+		Name:    "g",
+		Globals: []Global{{Name: "tab", Elem: Int, Data: intBuf(1, 2, 3)}},
+	}
+	cp := CloneKernel(k)
+	cp.Globals[0].Data[0] = IntVal(Int, 99)
+	if k.Globals[0].Data[0].I != 1 {
+		t.Error("global data shared between clone and original")
+	}
+}
+
+func TestSubstVar(t *testing.T) {
+	// i + a[i]  with i -> (i + 4)
+	e := &Binary{K: Int, Op: Add,
+		L: &VarRef{K: Int, Name: "i"},
+		R: &Index{K: Int, Arr: "a", Idx: &VarRef{K: Int, Name: "i"}},
+	}
+	repl := &Binary{K: Int, Op: Add, L: &VarRef{K: Int, Name: "i"}, R: &IntLit{K: Int, Val: 4}}
+	out := SubstVar(e, "i", repl)
+	s := ExprString(out)
+	if s != "((i + 4) + a[(i + 4)])" {
+		t.Errorf("subst = %s", s)
+	}
+	// Original untouched.
+	if ExprString(e) != "(i + a[i])" {
+		t.Errorf("original mutated: %s", ExprString(e))
+	}
+}
+
+func TestSubstVarBlockShadowing(t *testing.T) {
+	// An inner loop that redeclares the variable shields its body.
+	inner := &Loop{
+		ID: "L1", Var: "i",
+		Lo: &IntLit{K: Int, Val: 0}, Hi: &IntLit{K: Int, Val: 4}, Step: 1,
+		Body: Block{&Assign{
+			LHS: &VarRef{K: Int, Name: "x"},
+			RHS: &VarRef{K: Int, Name: "i"},
+		}},
+	}
+	b := Block{
+		&Assign{LHS: &VarRef{K: Int, Name: "y"}, RHS: &VarRef{K: Int, Name: "i"}},
+		inner,
+	}
+	out := SubstVarBlock(b, "i", &IntLit{K: Int, Val: 7})
+	first := out[0].(*Assign)
+	if ExprString(first.RHS) != "7" {
+		t.Errorf("outer use not substituted: %s", ExprString(first.RHS))
+	}
+	innerOut := out[1].(*Loop)
+	body := innerOut.Body[0].(*Assign)
+	if ExprString(body.RHS) != "i" {
+		t.Errorf("shadowed use substituted: %s", ExprString(body.RHS))
+	}
+}
+
+func TestRenameLocals(t *testing.T) {
+	b := Block{
+		&Decl{Name: "x", K: Int, Init: &IntLit{K: Int, Val: 1}},
+		&ArrDecl{Name: "buf", Elem: Int, Len: 4},
+		&Loop{
+			ID: "L5", Var: "k",
+			Lo: &IntLit{K: Int, Val: 0}, Hi: &IntLit{K: Int, Val: 4}, Step: 1,
+			Body: Block{&Assign{
+				LHS: &Index{K: Int, Arr: "buf", Idx: &VarRef{K: Int, Name: "k"}},
+				RHS: &Binary{K: Int, Op: Add, L: &VarRef{K: Int, Name: "x"}, R: &VarRef{K: Int, Name: "outside"}},
+			}},
+		},
+	}
+	out := RenameLocals(b, "_u1")
+	decl := out[0].(*Decl)
+	if decl.Name != "x_u1" {
+		t.Errorf("decl name = %s", decl.Name)
+	}
+	arr := out[1].(*ArrDecl)
+	if arr.Name != "buf_u1" {
+		t.Errorf("array name = %s", arr.Name)
+	}
+	loop := out[2].(*Loop)
+	if loop.Var != "k_u1" || loop.ID != "L5_u1" {
+		t.Errorf("loop var/id = %s/%s", loop.Var, loop.ID)
+	}
+	asn := loop.Body[0].(*Assign)
+	if got := ExprString(asn.LHS); got != "buf_u1[k_u1]" {
+		t.Errorf("lhs = %s", got)
+	}
+	if got := ExprString(asn.RHS); !strings.Contains(got, "x_u1") || !strings.Contains(got, "outside") {
+		t.Errorf("rhs = %s (external names must survive, locals renamed)", got)
+	}
+}
+
+func TestPrintContainsPragmas(t *testing.T) {
+	k := nestKernel()
+	k.FindLoop("L1").Opt = LoopOpt{Parallel: 8, Pipeline: PipeOn, Tile: 4}
+	k.FindLoop("L2").Opt = LoopOpt{Pipeline: PipeFlatten}
+	k.Params[0].BitWidth = 256
+	src := Print(k)
+	for _, want := range []string{
+		"#pragma ACCEL parallel factor=8",
+		"#pragma ACCEL pipeline\n",
+		"#pragma ACCEL pipeline flatten",
+		"#pragma ACCEL tile factor=4",
+		"bitwidth=256",
+		"void nest(int N",
+		"for (int _task = 0; _task < N; _task += 1)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("printed kernel missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&IntLit{K: Long, Val: 5}, "5L"},
+		{&FloatLit{K: Float, Val: 1.5}, "1.5f"},
+		{&Unary{Op: Not, X: &VarRef{K: Bool, Name: "b"}}, "!(b)"},
+		{&Cast{To: Double, X: &VarRef{K: Int, Name: "x"}}, "(double)(x)"},
+		{&Call{K: Double, Name: "exp", Args: []Expr{&VarRef{K: Double, Name: "d"}}}, "exp(d)"},
+		{&Cond{C: &VarRef{K: Bool, Name: "c"}, T: &IntLit{K: Int, Val: 1}, F: &IntLit{K: Int, Val: 0}}, "(c ? 1 : 0)"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}

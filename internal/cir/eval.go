@@ -1,0 +1,483 @@
+package cir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Evaluator executes a Kernel on concrete buffers. It exists so that every
+// stage of the S2FA pipeline can be validated by differential testing: the
+// C kernel produced by the bytecode-to-C compiler — and every Merlin
+// transformation of it — must compute exactly what the JVM computes.
+type Evaluator struct {
+	kernel  *Kernel
+	scalars map[string]Value
+	arrays  map[string][]Value
+	// Steps counts executed statements, as a cheap sanity metric and an
+	// infinite-loop guard for property tests.
+	Steps    int64
+	MaxSteps int64
+}
+
+type ctrl uint8
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+)
+
+// NewEvaluator prepares an evaluator for kernel k. MaxSteps defaults to
+// 100M statements.
+func NewEvaluator(k *Kernel) *Evaluator {
+	return &Evaluator{kernel: k, MaxSteps: 100_000_000}
+}
+
+// Execute runs the kernel over n tasks. bufs maps each array parameter
+// name to its backing storage (length >= n * Param.Length) and each scalar
+// parameter to a single-element slice. Output buffers are written in
+// place.
+func (ev *Evaluator) Execute(n int, bufs map[string][]Value) error {
+	ev.scalars = map[string]Value{"N": IntVal(Int, int64(n))}
+	ev.arrays = map[string][]Value{}
+	for i := range ev.kernel.Globals {
+		g := &ev.kernel.Globals[i]
+		ev.arrays[g.Name] = g.Data
+	}
+	for _, p := range ev.kernel.Params {
+		buf, ok := bufs[p.Name]
+		if !ok {
+			return fmt.Errorf("cir: missing buffer for parameter %q", p.Name)
+		}
+		if p.IsArray {
+			if want := n * p.Length; len(buf) < want {
+				return fmt.Errorf("cir: buffer %q has %d elements, kernel needs %d", p.Name, len(buf), want)
+			}
+			ev.arrays[p.Name] = buf
+		} else {
+			if len(buf) != 1 {
+				return fmt.Errorf("cir: scalar parameter %q needs a 1-element buffer", p.Name)
+			}
+			ev.scalars[p.Name] = buf[0].Convert(p.Elem)
+		}
+	}
+	ev.Steps = 0
+	_, err := ev.block(ev.kernel.Body)
+	return err
+}
+
+func (ev *Evaluator) block(b Block) (ctrl, error) {
+	for _, s := range b {
+		c, err := ev.stmt(s)
+		if err != nil || c != ctrlNone {
+			return c, err
+		}
+	}
+	return ctrlNone, nil
+}
+
+func (ev *Evaluator) stmt(s Stmt) (ctrl, error) {
+	ev.Steps++
+	if ev.Steps > ev.MaxSteps {
+		return ctrlNone, fmt.Errorf("cir: step budget exceeded (%d)", ev.MaxSteps)
+	}
+	switch s := s.(type) {
+	case *Decl:
+		v := Value{K: s.K}
+		if s.Init != nil {
+			x, err := ev.expr(s.Init)
+			if err != nil {
+				return ctrlNone, err
+			}
+			v = x.Convert(s.K)
+		}
+		ev.scalars[s.Name] = v
+		return ctrlNone, nil
+	case *ArrDecl:
+		arr := make([]Value, s.Len)
+		for i := range arr {
+			arr[i].K = s.Elem
+		}
+		ev.arrays[s.Name] = arr
+		return ctrlNone, nil
+	case *Assign:
+		v, err := ev.expr(s.RHS)
+		if err != nil {
+			return ctrlNone, err
+		}
+		return ctrlNone, ev.store(s.LHS, v)
+	case *If:
+		c, err := ev.expr(s.Cond)
+		if err != nil {
+			return ctrlNone, err
+		}
+		if c.IsTrue() {
+			return ev.block(s.Then)
+		}
+		return ev.block(s.Else)
+	case *Loop:
+		lo, err := ev.expr(s.Lo)
+		if err != nil {
+			return ctrlNone, err
+		}
+		for i := lo.AsInt(); ; i += s.Step {
+			hi, err := ev.expr(s.Hi)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if i >= hi.AsInt() {
+				break
+			}
+			ev.scalars[s.Var] = IntVal(Int, i)
+			c, err := ev.block(s.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if c == ctrlBreak {
+				break
+			}
+			if c == ctrlReturn {
+				return ctrlReturn, nil
+			}
+		}
+		return ctrlNone, nil
+	case *While:
+		for {
+			c, err := ev.expr(s.Cond)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if !c.IsTrue() {
+				return ctrlNone, nil
+			}
+			cc, err := ev.block(s.Body)
+			if err != nil {
+				return ctrlNone, err
+			}
+			if cc == ctrlBreak {
+				return ctrlNone, nil
+			}
+			if cc == ctrlReturn {
+				return ctrlReturn, nil
+			}
+			ev.Steps++
+			if ev.Steps > ev.MaxSteps {
+				return ctrlNone, fmt.Errorf("cir: step budget exceeded in while loop")
+			}
+		}
+	case *Break:
+		return ctrlBreak, nil
+	case *Continue:
+		return ctrlContinue, nil
+	case *Return:
+		return ctrlReturn, nil
+	}
+	return ctrlNone, fmt.Errorf("cir: unknown statement %T", s)
+}
+
+func (ev *Evaluator) store(lhs Expr, v Value) error {
+	switch lhs := lhs.(type) {
+	case *VarRef:
+		ev.scalars[lhs.Name] = v.Convert(lhs.K)
+		return nil
+	case *Index:
+		arr, ok := ev.arrays[lhs.Arr]
+		if !ok {
+			return fmt.Errorf("cir: store to unknown array %q", lhs.Arr)
+		}
+		idx, err := ev.expr(lhs.Idx)
+		if err != nil {
+			return err
+		}
+		i := idx.AsInt()
+		if i < 0 || i >= int64(len(arr)) {
+			return fmt.Errorf("cir: index %d out of bounds for array %q (len %d)", i, lhs.Arr, len(arr))
+		}
+		arr[i] = v.Convert(lhs.K)
+		return nil
+	}
+	return fmt.Errorf("cir: invalid assignment target %T", lhs)
+}
+
+func (ev *Evaluator) expr(e Expr) (Value, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return IntVal(e.K, e.Val), nil
+	case *FloatLit:
+		return FloatVal(e.K, e.Val), nil
+	case *VarRef:
+		v, ok := ev.scalars[e.Name]
+		if !ok {
+			return Value{}, fmt.Errorf("cir: read of undefined variable %q", e.Name)
+		}
+		return v, nil
+	case *Index:
+		arr, ok := ev.arrays[e.Arr]
+		if !ok {
+			return Value{}, fmt.Errorf("cir: read of unknown array %q", e.Arr)
+		}
+		idx, err := ev.expr(e.Idx)
+		if err != nil {
+			return Value{}, err
+		}
+		i := idx.AsInt()
+		if i < 0 || i >= int64(len(arr)) {
+			return Value{}, fmt.Errorf("cir: index %d out of bounds for array %q (len %d)", i, e.Arr, len(arr))
+		}
+		return arr[i], nil
+	case *Unary:
+		x, err := ev.expr(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		switch e.Op {
+		case Neg:
+			if x.K.IsFloat() {
+				return FloatVal(x.K, -x.F), nil
+			}
+			return IntVal(x.K, -x.I), nil
+		case Not:
+			return BoolVal(!x.IsTrue()), nil
+		case BitNot:
+			return IntVal(x.K, ^x.I), nil
+		}
+	case *Binary:
+		if e.Op.IsLogical() {
+			l, err := ev.expr(e.L)
+			if err != nil {
+				return Value{}, err
+			}
+			if e.Op == LAnd && !l.IsTrue() {
+				return BoolVal(false), nil
+			}
+			if e.Op == LOr && l.IsTrue() {
+				return BoolVal(true), nil
+			}
+			r, err := ev.expr(e.R)
+			if err != nil {
+				return Value{}, err
+			}
+			return BoolVal(r.IsTrue()), nil
+		}
+		l, err := ev.expr(e.L)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := ev.expr(e.R)
+		if err != nil {
+			return Value{}, err
+		}
+		return EvalBinary(e.Op, e.K, l, r)
+	case *Cast:
+		x, err := ev.expr(e.X)
+		if err != nil {
+			return Value{}, err
+		}
+		return x.Convert(e.To), nil
+	case *Cond:
+		c, err := ev.expr(e.C)
+		if err != nil {
+			return Value{}, err
+		}
+		if c.IsTrue() {
+			return ev.expr(e.T)
+		}
+		return ev.expr(e.F)
+	case *Call:
+		return ev.call(e)
+	}
+	return Value{}, fmt.Errorf("cir: unknown expression %T", e)
+}
+
+// EvalBinary applies a non-logical binary operator to two scalar values
+// with C semantics: comparisons yield Bool, arithmetic is performed at
+// kind k. Shared by the IR evaluator and the JVM simulator so both sides
+// of every differential test use identical scalar semantics.
+func EvalBinary(op BinOp, k Kind, l, r Value) (Value, error) {
+	if op.IsCompare() {
+		var res bool
+		if l.K.IsFloat() || r.K.IsFloat() {
+			a, b := l.AsFloat(), r.AsFloat()
+			res = compareFloat(op, a, b)
+		} else {
+			a, b := l.I, r.I
+			res = compareInt(op, a, b)
+		}
+		return BoolVal(res), nil
+	}
+	if k.IsFloat() {
+		a, b := l.AsFloat(), r.AsFloat()
+		switch op {
+		case Add:
+			return FloatVal(k, a+b), nil
+		case Sub:
+			return FloatVal(k, a-b), nil
+		case Mul:
+			return FloatVal(k, a*b), nil
+		case Div:
+			return FloatVal(k, a/b), nil
+		case Rem:
+			return FloatVal(k, math.Mod(a, b)), nil
+		}
+		return Value{}, fmt.Errorf("cir: operator %s invalid for %s", op, k)
+	}
+	a, b := l.AsInt(), r.AsInt()
+	switch op {
+	case Add:
+		return IntVal(k, a+b), nil
+	case Sub:
+		return IntVal(k, a-b), nil
+	case Mul:
+		return IntVal(k, a*b), nil
+	case Div:
+		if b == 0 {
+			return Value{}, fmt.Errorf("cir: integer division by zero")
+		}
+		return IntVal(k, a/b), nil
+	case Rem:
+		if b == 0 {
+			return Value{}, fmt.Errorf("cir: integer remainder by zero")
+		}
+		return IntVal(k, a%b), nil
+	case And:
+		return IntVal(k, a&b), nil
+	case Or:
+		return IntVal(k, a|b), nil
+	case Xor:
+		return IntVal(k, a^b), nil
+	case Shl:
+		return IntVal(k, a<<uint64(b&63)), nil
+	case Shr:
+		return IntVal(k, a>>uint64(b&63)), nil
+	}
+	return Value{}, fmt.Errorf("cir: unknown operator %s", op)
+}
+
+func compareInt(op BinOp, a, b int64) bool {
+	switch op {
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	}
+	return false
+}
+
+func compareFloat(op BinOp, a, b float64) bool {
+	switch op {
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	}
+	return false
+}
+
+// Intrinsics supported by Call nodes, matching the math methods the kdsl
+// front-end accepts (java.lang.Math subset baked into S2FA's templates).
+var Intrinsics = map[string]bool{
+	"exp": true, "log": true, "sqrt": true, "fabs": true,
+	"min": true, "max": true, "pow": true, "floor": true, "abs": true,
+}
+
+func (ev *Evaluator) call(e *Call) (Value, error) {
+	args := make([]Value, len(e.Args))
+	for i, a := range e.Args {
+		v, err := ev.expr(a)
+		if err != nil {
+			return Value{}, err
+		}
+		args[i] = v
+	}
+	return EvalIntrinsic(e.Name, e.K, args)
+}
+
+// EvalIntrinsic applies a math intrinsic to already-evaluated arguments.
+// Shared by the IR evaluator and the JVM simulator so differential tests
+// compare identical math semantics.
+func EvalIntrinsic(name string, k Kind, args []Value) (Value, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("cir: intrinsic %s expects %d args, got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "exp":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		return FloatVal(k, math.Exp(args[0].AsFloat())), nil
+	case "log":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		return FloatVal(k, math.Log(args[0].AsFloat())), nil
+	case "sqrt":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		return FloatVal(k, math.Sqrt(args[0].AsFloat())), nil
+	case "fabs":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		return FloatVal(k, math.Abs(args[0].AsFloat())), nil
+	case "abs":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		if k.IsFloat() {
+			return FloatVal(k, math.Abs(args[0].AsFloat())), nil
+		}
+		v := args[0].AsInt()
+		if v < 0 {
+			v = -v
+		}
+		return IntVal(k, v), nil
+	case "floor":
+		if err := need(1); err != nil {
+			return Value{}, err
+		}
+		return FloatVal(k, math.Floor(args[0].AsFloat())), nil
+	case "pow":
+		if err := need(2); err != nil {
+			return Value{}, err
+		}
+		return FloatVal(k, math.Pow(args[0].AsFloat(), args[1].AsFloat())), nil
+	case "min":
+		if err := need(2); err != nil {
+			return Value{}, err
+		}
+		if k.IsFloat() {
+			return FloatVal(k, math.Min(args[0].AsFloat(), args[1].AsFloat())), nil
+		}
+		return IntVal(k, min(args[0].AsInt(), args[1].AsInt())), nil
+	case "max":
+		if err := need(2); err != nil {
+			return Value{}, err
+		}
+		if k.IsFloat() {
+			return FloatVal(k, math.Max(args[0].AsFloat(), args[1].AsFloat())), nil
+		}
+		return IntVal(k, max(args[0].AsInt(), args[1].AsInt())), nil
+	}
+	return Value{}, fmt.Errorf("cir: unknown intrinsic %q", name)
+}

@@ -1,0 +1,240 @@
+package cir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildKernel assembles a one-parameter-in, one-out map kernel whose task
+// body is given, for evaluator tests.
+func buildKernel(body Block, inLen, outLen int) *Kernel {
+	task := &Loop{
+		ID:   "L0",
+		Var:  "_task",
+		Lo:   &IntLit{K: Int, Val: 0},
+		Hi:   &VarRef{K: Int, Name: "N"},
+		Step: 1,
+		Body: body,
+	}
+	return &Kernel{
+		Name:       "t",
+		Pattern:    PatternMap,
+		TaskLoopID: "L0",
+		Params: []Param{
+			{Name: "in", Elem: Int, IsArray: true, Length: inLen},
+			{Name: "out", Elem: Int, IsArray: true, Length: outLen, IsOutput: true},
+		},
+		Body: Block{task},
+	}
+}
+
+func intBuf(vals ...int64) []Value {
+	out := make([]Value, len(vals))
+	for i, v := range vals {
+		out[i] = IntVal(Int, v)
+	}
+	return out
+}
+
+func run(t *testing.T, k *Kernel, n int, in []Value, outLen int) []Value {
+	t.Helper()
+	out := make([]Value, n*outLen)
+	for i := range out {
+		out[i].K = Int
+	}
+	ev := NewEvaluator(k)
+	if err := ev.Execute(n, map[string][]Value{"in": in, "out": out}); err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	return out
+}
+
+// taskIdx builds in[_task] / out[_task] expressions.
+func taskIdx(arr string) *Index {
+	return &Index{K: Int, Arr: arr, Idx: &VarRef{K: Int, Name: "_task"}}
+}
+
+func TestEvaluatorCopyKernel(t *testing.T) {
+	k := buildKernel(Block{&Assign{LHS: taskIdx("out"), RHS: taskIdx("in")}}, 1, 1)
+	out := run(t, k, 3, intBuf(10, 20, 30), 1)
+	for i, want := range []int64{10, 20, 30} {
+		if out[i].I != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i].I, want)
+		}
+	}
+}
+
+func TestEvaluatorIfElse(t *testing.T) {
+	// out = in > 0 ? 1 : -1
+	body := Block{&If{
+		Cond: &Binary{K: Bool, Op: Gt, L: taskIdx("in"), R: &IntLit{K: Int, Val: 0}},
+		Then: Block{&Assign{LHS: taskIdx("out"), RHS: &IntLit{K: Int, Val: 1}}},
+		Else: Block{&Assign{LHS: taskIdx("out"), RHS: &IntLit{K: Int, Val: -1}}},
+	}}
+	out := run(t, buildKernel(body, 1, 1), 3, intBuf(5, -5, 0), 1)
+	for i, want := range []int64{1, -1, -1} {
+		if out[i].I != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i].I, want)
+		}
+	}
+}
+
+func TestEvaluatorNestedLoopsAndLocals(t *testing.T) {
+	// acc = sum of 0..in-1 via inner loop with local array staging.
+	inner := &Loop{
+		ID: "L1", Var: "i",
+		Lo: &IntLit{K: Int, Val: 0}, Hi: taskIdx("in"), Step: 1,
+		Body: Block{&Assign{
+			LHS: &VarRef{K: Int, Name: "acc"},
+			RHS: &Binary{K: Int, Op: Add, L: &VarRef{K: Int, Name: "acc"}, R: &VarRef{K: Int, Name: "i"}},
+		}},
+	}
+	body := Block{
+		&Decl{Name: "acc", K: Int},
+		inner,
+		&Assign{LHS: taskIdx("out"), RHS: &VarRef{K: Int, Name: "acc"}},
+	}
+	out := run(t, buildKernel(body, 1, 1), 2, intBuf(5, 3), 1)
+	if out[0].I != 10 || out[1].I != 3 {
+		t.Errorf("sums = %d, %d; want 10, 3", out[0].I, out[1].I)
+	}
+}
+
+func TestEvaluatorWhileBreak(t *testing.T) {
+	// Count doublings until >= in, with a break guard.
+	body := Block{
+		&Decl{Name: "v", K: Int, Init: &IntLit{K: Int, Val: 1}},
+		&Decl{Name: "c", K: Int},
+		&While{
+			Cond: &IntLit{K: Bool, Val: 1},
+			Body: Block{
+				&If{
+					Cond: &Binary{K: Bool, Op: Ge, L: &VarRef{K: Int, Name: "v"}, R: taskIdx("in")},
+					Then: Block{&Break{}},
+				},
+				&Assign{LHS: &VarRef{K: Int, Name: "v"},
+					RHS: &Binary{K: Int, Op: Mul, L: &VarRef{K: Int, Name: "v"}, R: &IntLit{K: Int, Val: 2}}},
+				&Assign{LHS: &VarRef{K: Int, Name: "c"},
+					RHS: &Binary{K: Int, Op: Add, L: &VarRef{K: Int, Name: "c"}, R: &IntLit{K: Int, Val: 1}}},
+			},
+		},
+		&Assign{LHS: taskIdx("out"), RHS: &VarRef{K: Int, Name: "c"}},
+	}
+	out := run(t, buildKernel(body, 1, 1), 3, intBuf(1, 8, 9), 1)
+	for i, want := range []int64{0, 3, 4} {
+		if out[i].I != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i].I, want)
+		}
+	}
+}
+
+func TestEvaluatorLocalArrayZeroed(t *testing.T) {
+	// Local arrays are zero-initialized per declaration (JVM semantics).
+	body := Block{
+		&ArrDecl{Name: "tmp", Elem: Int, Len: 4},
+		&Assign{LHS: taskIdx("out"), RHS: &Index{K: Int, Arr: "tmp", Idx: &IntLit{K: Int, Val: 2}}},
+	}
+	out := run(t, buildKernel(body, 1, 1), 1, intBuf(0), 1)
+	if out[0].I != 0 {
+		t.Errorf("local array not zeroed: %d", out[0].I)
+	}
+}
+
+func TestEvaluatorErrors(t *testing.T) {
+	t.Run("out of bounds", func(t *testing.T) {
+		body := Block{&Assign{
+			LHS: &Index{K: Int, Arr: "out", Idx: &IntLit{K: Int, Val: 99}},
+			RHS: &IntLit{K: Int, Val: 1},
+		}}
+		k := buildKernel(body, 1, 1)
+		ev := NewEvaluator(k)
+		err := ev.Execute(1, map[string][]Value{"in": intBuf(0), "out": intBuf(0)})
+		if err == nil || !strings.Contains(err.Error(), "out of bounds") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("missing buffer", func(t *testing.T) {
+		k := buildKernel(Block{}, 1, 1)
+		ev := NewEvaluator(k)
+		if err := ev.Execute(1, map[string][]Value{"in": intBuf(0)}); err == nil {
+			t.Error("missing out buffer accepted")
+		}
+	})
+	t.Run("short buffer", func(t *testing.T) {
+		k := buildKernel(Block{}, 4, 1)
+		ev := NewEvaluator(k)
+		err := ev.Execute(2, map[string][]Value{"in": intBuf(0, 0), "out": intBuf(0, 0)})
+		if err == nil {
+			t.Error("short in buffer accepted")
+		}
+	})
+	t.Run("infinite loop guarded", func(t *testing.T) {
+		body := Block{&While{Cond: &IntLit{K: Bool, Val: 1}, Body: Block{
+			&Assign{LHS: &VarRef{K: Int, Name: "x"}, RHS: &IntLit{K: Int, Val: 1}},
+		}}}
+		k := buildKernel(append(Block{&Decl{Name: "x", K: Int}}, body...), 1, 1)
+		ev := NewEvaluator(k)
+		ev.MaxSteps = 10_000
+		err := ev.Execute(1, map[string][]Value{"in": intBuf(0), "out": intBuf(0)})
+		if err == nil || !strings.Contains(err.Error(), "budget") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("undefined variable", func(t *testing.T) {
+		body := Block{&Assign{LHS: taskIdx("out"), RHS: &VarRef{K: Int, Name: "ghost"}}}
+		k := buildKernel(body, 1, 1)
+		ev := NewEvaluator(k)
+		if err := ev.Execute(1, map[string][]Value{"in": intBuf(0), "out": intBuf(0)}); err == nil {
+			t.Error("undefined variable accepted")
+		}
+	})
+}
+
+func TestEvaluatorScalarParam(t *testing.T) {
+	k := buildKernel(Block{&Assign{LHS: taskIdx("out"), RHS: &VarRef{K: Int, Name: "bias"}}}, 1, 1)
+	k.Params = append(k.Params, Param{Name: "bias", Elem: Int})
+	out := make([]Value, 2)
+	ev := NewEvaluator(k)
+	err := ev.Execute(2, map[string][]Value{
+		"in": intBuf(0, 0), "out": out, "bias": intBuf(42),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].I != 42 || out[1].I != 42 {
+		t.Errorf("bias not applied: %v", out)
+	}
+}
+
+func TestEvaluatorShortCircuit(t *testing.T) {
+	// (in != 0) && (10/in > 1): short-circuit must avoid division by zero.
+	cond := &Binary{K: Bool, Op: LAnd,
+		L: &Binary{K: Bool, Op: Ne, L: taskIdx("in"), R: &IntLit{K: Int, Val: 0}},
+		R: &Binary{K: Bool, Op: Gt,
+			L: &Binary{K: Int, Op: Div, L: &IntLit{K: Int, Val: 10}, R: taskIdx("in")},
+			R: &IntLit{K: Int, Val: 1}},
+	}
+	body := Block{&If{
+		Cond: cond,
+		Then: Block{&Assign{LHS: taskIdx("out"), RHS: &IntLit{K: Int, Val: 1}}},
+	}}
+	out := run(t, buildKernel(body, 1, 1), 2, intBuf(0, 2), 1)
+	if out[0].I != 0 || out[1].I != 1 {
+		t.Errorf("short-circuit results: %v", out)
+	}
+}
+
+func TestEvaluatorTernaryAndCast(t *testing.T) {
+	body := Block{&Assign{
+		LHS: taskIdx("out"),
+		RHS: &Cond{
+			C: &Binary{K: Bool, Op: Lt, L: taskIdx("in"), R: &IntLit{K: Int, Val: 0}},
+			T: &Cast{To: Int, X: &FloatLit{K: Double, Val: 2.9}},
+			F: &IntLit{K: Int, Val: 7},
+		},
+	}}
+	out := run(t, buildKernel(body, 1, 1), 2, intBuf(-1, 1), 1)
+	if out[0].I != 2 || out[1].I != 7 {
+		t.Errorf("ternary/cast results: %v", out)
+	}
+}

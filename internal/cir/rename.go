@@ -1,0 +1,125 @@
+package cir
+
+// RenameLocals alpha-renames every name declared inside b (scalar decls,
+// local arrays, and loop induction variables) by appending suffix, and
+// rewrites all uses. Loop IDs are suffixed as well so duplicated bodies
+// keep unique IDs. Names declared outside b are untouched.
+func RenameLocals(b Block, suffix string) Block {
+	declared := map[string]bool{}
+	collectDeclared(b, declared)
+	return renameBlock(b, declared, suffix)
+}
+
+func collectDeclared(b Block, out map[string]bool) {
+	for _, s := range b {
+		switch s := s.(type) {
+		case *Decl:
+			out[s.Name] = true
+		case *ArrDecl:
+			out[s.Name] = true
+		case *Loop:
+			out[s.Var] = true
+			collectDeclared(s.Body, out)
+		case *If:
+			collectDeclared(s.Then, out)
+			collectDeclared(s.Else, out)
+		case *While:
+			collectDeclared(s.Body, out)
+		}
+	}
+}
+
+func renameBlock(b Block, names map[string]bool, suffix string) Block {
+	out := make(Block, len(b))
+	for i, s := range b {
+		out[i] = renameStmt(s, names, suffix)
+	}
+	return out
+}
+
+func renameStmt(s Stmt, names map[string]bool, suffix string) Stmt {
+	ren := func(n string) string {
+		if names[n] {
+			return n + suffix
+		}
+		return n
+	}
+	switch s := s.(type) {
+	case *Decl:
+		return &Decl{Name: ren(s.Name), K: s.K, Init: renameExpr(s.Init, names, suffix)}
+	case *ArrDecl:
+		return &ArrDecl{Name: ren(s.Name), Elem: s.Elem, Len: s.Len}
+	case *Assign:
+		return &Assign{
+			LHS: renameExpr(s.LHS, names, suffix),
+			RHS: renameExpr(s.RHS, names, suffix),
+		}
+	case *If:
+		return &If{
+			Cond: renameExpr(s.Cond, names, suffix),
+			Then: renameBlock(s.Then, names, suffix),
+			Else: renameBlock(s.Else, names, suffix),
+		}
+	case *Loop:
+		return &Loop{
+			ID:        s.ID + suffix,
+			Var:       ren(s.Var),
+			Lo:        renameExpr(s.Lo, names, suffix),
+			Hi:        renameExpr(s.Hi, names, suffix),
+			Step:      s.Step,
+			Body:      renameBlock(s.Body, names, suffix),
+			Opt:       s.Opt,
+			Reduction: ren(s.Reduction),
+		}
+	case *While:
+		return &While{
+			Cond: renameExpr(s.Cond, names, suffix),
+			Body: renameBlock(s.Body, names, suffix),
+		}
+	case *Break:
+		return &Break{}
+	case *Continue:
+		return &Continue{}
+	case *Return:
+		return &Return{Val: renameExpr(s.Val, names, suffix)}
+	}
+	return nil
+}
+
+func renameExpr(e Expr, names map[string]bool, suffix string) Expr {
+	ren := func(n string) string {
+		if names[n] {
+			return n + suffix
+		}
+		return n
+	}
+	switch e := e.(type) {
+	case nil:
+		return nil
+	case *IntLit, *FloatLit:
+		return CloneExpr(e)
+	case *VarRef:
+		return &VarRef{K: e.K, Name: ren(e.Name)}
+	case *Index:
+		return &Index{K: e.K, Arr: ren(e.Arr), Idx: renameExpr(e.Idx, names, suffix)}
+	case *Unary:
+		return &Unary{Op: e.Op, X: renameExpr(e.X, names, suffix)}
+	case *Binary:
+		return &Binary{K: e.K, Op: e.Op, L: renameExpr(e.L, names, suffix), R: renameExpr(e.R, names, suffix)}
+	case *Cast:
+		return &Cast{To: e.To, X: renameExpr(e.X, names, suffix)}
+	case *Cond:
+		return &Cond{
+			C: renameExpr(e.C, names, suffix),
+			T: renameExpr(e.T, names, suffix),
+			F: renameExpr(e.F, names, suffix),
+		}
+	case *Call:
+		args := make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = renameExpr(a, names, suffix)
+		}
+		return &Call{K: e.K, Name: e.Name, Args: args}
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+// Package cir defines the HLS-C intermediate representation used by S2FA.
+//
+// The bytecode-to-C compiler (internal/b2c) lowers JVM-style bytecode into
+// this IR, the Merlin transformation library (internal/merlin) rewrites it,
+// the HLS estimator (internal/hls) costs it, and the built-in evaluator
+// executes it so that every lowering and transformation can be checked by
+// differential testing against the JVM simulator.
+//
+// The IR deliberately mirrors the restricted C dialect that HLS tools
+// accept as a kernel top: scalar value types, statically sized arrays,
+// counted loops, and no dynamic allocation.
+package cir
+
+import "fmt"
+
+// Kind enumerates the scalar value types of the IR. They correspond to the
+// primitive JVM types that S2FA supports (paper §3.3) and to the native HLS
+// C types they lower to.
+type Kind uint8
+
+// Scalar kinds, ordered roughly by width.
+const (
+	Void Kind = iota
+	Bool
+	Char  // 8-bit signed (Java byte / C char)
+	Short // 16-bit signed
+	Int   // 32-bit signed
+	Long  // 64-bit signed
+	Float
+	Double
+)
+
+// Bits returns the storage width of the kind in bits.
+func (k Kind) Bits() int {
+	switch k {
+	case Bool, Char:
+		return 8
+	case Short:
+		return 16
+	case Int, Float:
+		return 32
+	case Long, Double:
+		return 64
+	default:
+		return 0
+	}
+}
+
+// IsFloat reports whether the kind is a floating-point type.
+func (k Kind) IsFloat() bool { return k == Float || k == Double }
+
+// IsInteger reports whether the kind is an integral (or boolean) type.
+func (k Kind) IsInteger() bool {
+	switch k {
+	case Bool, Char, Short, Int, Long:
+		return true
+	}
+	return false
+}
+
+// CName returns the HLS C spelling of the kind.
+func (k Kind) CName() string {
+	switch k {
+	case Void:
+		return "void"
+	case Bool:
+		return "char"
+	case Char:
+		return "char"
+	case Short:
+		return "short"
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	}
+	return "?"
+}
+
+func (k Kind) String() string {
+	switch k {
+	case Void:
+		return "void"
+	case Bool:
+		return "bool"
+	case Char:
+		return "char"
+	case Short:
+		return "short"
+	case Int:
+		return "int"
+	case Long:
+		return "long"
+	case Float:
+		return "float"
+	case Double:
+		return "double"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a dynamically typed scalar used by the IR evaluator. Integral
+// kinds live in I, floating kinds in F.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+}
+
+// IntVal builds an integer value of kind k, truncating to k's width.
+func IntVal(k Kind, v int64) Value {
+	return Value{K: k, I: truncInt(k, v)}
+}
+
+// FloatVal builds a floating value of kind k.
+func FloatVal(k Kind, v float64) Value {
+	if k == Float {
+		v = float64(float32(v))
+	}
+	return Value{K: k, F: v}
+}
+
+// BoolVal builds a Bool value.
+func BoolVal(b bool) Value {
+	if b {
+		return Value{K: Bool, I: 1}
+	}
+	return Value{K: Bool}
+}
+
+// AsFloat returns the value widened to float64.
+func (v Value) AsFloat() float64 {
+	if v.K.IsFloat() {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// AsInt returns the value narrowed/truncated to int64.
+func (v Value) AsInt() int64 {
+	if v.K.IsFloat() {
+		return int64(v.F)
+	}
+	return v.I
+}
+
+// IsTrue reports whether the value is non-zero.
+func (v Value) IsTrue() bool {
+	if v.K.IsFloat() {
+		return v.F != 0
+	}
+	return v.I != 0
+}
+
+// Convert coerces the value to kind k with C conversion semantics
+// (truncation for narrowing integer conversions, float32 rounding for
+// Float).
+func (v Value) Convert(k Kind) Value {
+	if k.IsFloat() {
+		return FloatVal(k, v.AsFloat())
+	}
+	return IntVal(k, v.AsInt())
+}
+
+func (v Value) String() string {
+	if v.K.IsFloat() {
+		return fmt.Sprintf("%g", v.F)
+	}
+	return fmt.Sprintf("%d", v.I)
+}
+
+// truncInt truncates v to the width of kind k, preserving C signed
+// wraparound semantics.
+func truncInt(k Kind, v int64) int64 {
+	switch k {
+	case Bool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case Char:
+		return int64(int8(v))
+	case Short:
+		return int64(int16(v))
+	case Int:
+		return int64(int32(v))
+	default:
+		return v
+	}
+}

@@ -1,0 +1,191 @@
+package cir
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindBits(t *testing.T) {
+	cases := map[Kind]int{
+		Bool: 8, Char: 8, Short: 16, Int: 32, Long: 64, Float: 32, Double: 64, Void: 0,
+	}
+	for k, want := range cases {
+		if got := k.Bits(); got != want {
+			t.Errorf("%s.Bits() = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestKindClasses(t *testing.T) {
+	for _, k := range []Kind{Bool, Char, Short, Int, Long} {
+		if !k.IsInteger() || k.IsFloat() {
+			t.Errorf("%s should be integer", k)
+		}
+	}
+	for _, k := range []Kind{Float, Double} {
+		if k.IsInteger() || !k.IsFloat() {
+			t.Errorf("%s should be float", k)
+		}
+	}
+	if Void.IsInteger() || Void.IsFloat() {
+		t.Error("Void is neither integer nor float")
+	}
+}
+
+func TestIntValTruncation(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		in   int64
+		want int64
+	}{
+		{Char, 255, -1},
+		{Char, 128, -128},
+		{Char, 127, 127},
+		{Short, 65535, -1},
+		{Short, 32768, -32768},
+		{Int, 1 << 40, 0},
+		{Int, math.MaxInt32 + 1, math.MinInt32},
+		{Long, math.MaxInt64, math.MaxInt64},
+		{Bool, 42, 1},
+		{Bool, 0, 0},
+	}
+	for _, c := range cases {
+		if got := IntVal(c.k, c.in).I; got != c.want {
+			t.Errorf("IntVal(%s, %d) = %d, want %d", c.k, c.in, got, c.want)
+		}
+	}
+}
+
+func TestFloatValSinglePrecision(t *testing.T) {
+	v := FloatVal(Float, 1.0000000001)
+	if v.F != float64(float32(1.0000000001)) {
+		t.Errorf("Float value not rounded to float32: %v", v.F)
+	}
+	d := FloatVal(Double, 1.0000000001)
+	if d.F != 1.0000000001 {
+		t.Errorf("Double value altered: %v", d.F)
+	}
+}
+
+func TestValueConvert(t *testing.T) {
+	v := FloatVal(Double, 300.7)
+	if got := v.Convert(Char).I; got != 44 { // 300 mod 256 = 44
+		t.Errorf("Double->Char = %d", got)
+	}
+	i := IntVal(Int, 3)
+	if got := i.Convert(Double).F; got != 3.0 {
+		t.Errorf("Int->Double = %v", got)
+	}
+	if !IntVal(Int, 2).IsTrue() || IntVal(Int, 0).IsTrue() {
+		t.Error("IsTrue on ints")
+	}
+	if !FloatVal(Double, -0.5).IsTrue() || FloatVal(Double, 0).IsTrue() {
+		t.Error("IsTrue on floats")
+	}
+}
+
+// Property: integer truncation is idempotent — converting twice equals
+// converting once.
+func TestTruncationIdempotent(t *testing.T) {
+	f := func(x int64) bool {
+		for _, k := range []Kind{Bool, Char, Short, Int, Long} {
+			once := IntVal(k, x)
+			twice := IntVal(k, once.I)
+			if once.I != twice.I {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Convert to a kind yields a value whose re-conversion to the
+// same kind is identity.
+func TestConvertIdempotent(t *testing.T) {
+	f := func(x float64) bool {
+		for _, k := range []Kind{Char, Short, Int, Long, Float, Double} {
+			v := FloatVal(Double, x).Convert(k)
+			if v.Convert(k) != v {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: EvalBinary add/sub round-trip for in-range int32 values.
+func TestEvalBinaryAddSubInverse(t *testing.T) {
+	f := func(a, b int32) bool {
+		sum, err := EvalBinary(Add, Int, IntVal(Int, int64(a)), IntVal(Int, int64(b)))
+		if err != nil {
+			return false
+		}
+		back, err := EvalBinary(Sub, Int, sum, IntVal(Int, int64(b)))
+		if err != nil {
+			return false
+		}
+		return back.I == IntVal(Int, int64(a)).I
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalBinaryComparisons(t *testing.T) {
+	lt, _ := EvalBinary(Lt, Int, IntVal(Int, 1), IntVal(Int, 2))
+	if !lt.IsTrue() {
+		t.Error("1 < 2 failed")
+	}
+	ge, _ := EvalBinary(Ge, Double, FloatVal(Double, 2.5), FloatVal(Double, 2.5))
+	if !ge.IsTrue() {
+		t.Error("2.5 >= 2.5 failed")
+	}
+	// Mixed int/float comparison promotes to float.
+	gt, _ := EvalBinary(Gt, Int, FloatVal(Double, 1.5), IntVal(Int, 1))
+	if !gt.IsTrue() {
+		t.Error("1.5 > 1 failed")
+	}
+}
+
+func TestEvalBinaryDivisionByZero(t *testing.T) {
+	if _, err := EvalBinary(Div, Int, IntVal(Int, 1), IntVal(Int, 0)); err == nil {
+		t.Error("integer division by zero accepted")
+	}
+	if _, err := EvalBinary(Rem, Int, IntVal(Int, 1), IntVal(Int, 0)); err == nil {
+		t.Error("integer remainder by zero accepted")
+	}
+	// Float division by zero is IEEE Inf, not an error.
+	v, err := EvalBinary(Div, Double, FloatVal(Double, 1), FloatVal(Double, 0))
+	if err != nil || !math.IsInf(v.F, 1) {
+		t.Errorf("float 1/0 = %v, %v", v, err)
+	}
+}
+
+func TestEvalIntrinsic(t *testing.T) {
+	v, err := EvalIntrinsic("exp", Double, []Value{FloatVal(Double, 0)})
+	if err != nil || v.F != 1 {
+		t.Errorf("exp(0) = %v, %v", v, err)
+	}
+	v, err = EvalIntrinsic("min", Int, []Value{IntVal(Int, 3), IntVal(Int, -5)})
+	if err != nil || v.I != -5 {
+		t.Errorf("min(3,-5) = %v, %v", v, err)
+	}
+	v, err = EvalIntrinsic("abs", Int, []Value{IntVal(Int, -7)})
+	if err != nil || v.I != 7 {
+		t.Errorf("abs(-7) = %v, %v", v, err)
+	}
+	if _, err = EvalIntrinsic("exp", Double, nil); err == nil {
+		t.Error("exp with no args accepted")
+	}
+	if _, err = EvalIntrinsic("nosuch", Double, nil); err == nil {
+		t.Error("unknown intrinsic accepted")
+	}
+}

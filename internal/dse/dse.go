@@ -1,0 +1,326 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+
+	"s2fa/internal/cir"
+	"s2fa/internal/space"
+	"s2fa/internal/tuner"
+)
+
+// TrajPoint is one point of the best-so-far trajectory: the virtual DSE
+// wall-clock (minutes) at which the incumbent objective (estimated kernel
+// seconds) was achieved. Fig. 3 of the paper plots exactly this curve.
+type TrajPoint struct {
+	Minutes   float64
+	Objective float64
+}
+
+// Outcome is the result of one DSE run.
+type Outcome struct {
+	KernelName string
+	Best       tuner.Result
+	// FirstFeasible is the objective of the first feasible point
+	// evaluated; Fig. 3 normalizes trajectories against the vanilla
+	// run's random first point.
+	FirstFeasible float64
+	// FirstFeasibleMinutes is the virtual time at which the first
+	// feasible point appeared (NaN if none did). Seed generation's
+	// headline effect: with the conservative seed this is the very first
+	// evaluation; without it the search can stay trapped in the
+	// infeasible region for hours (paper §4.3.2).
+	FirstFeasibleMinutes float64
+	Trajectory           []TrajPoint
+	TotalMinutes         float64
+	Evaluations          int
+	Partitions           []Partition
+}
+
+// BestAt returns the incumbent objective at virtual time t minutes
+// (+Inf before the first feasible point).
+func (o *Outcome) BestAt(t float64) float64 {
+	best := math.Inf(1)
+	for _, p := range o.Trajectory {
+		if p.Minutes > t {
+			break
+		}
+		best = p.Objective
+	}
+	return best
+}
+
+// Config selects the DSE operating mode.
+type Config struct {
+	// Workers is the number of simulated CPU cores (8 in the paper).
+	Workers int
+	// TimeLimitMinutes bounds each worker's virtual clock (vanilla
+	// OpenTuner's only systematic criterion: four hours).
+	TimeLimitMinutes float64
+	// Stopper is the per-partition early-stopping criterion.
+	Stopper Stopper
+	// Partition enables decision-tree design-space partitioning; nil
+	// runs a single partition over the whole space.
+	Partition *PartitionConfig
+	// Seeded injects the performance-driven and area-driven seeds at the
+	// start of each partition (paper §4.3.2); otherwise exploration
+	// starts from a random point, like vanilla OpenTuner.
+	Seeded bool
+	// BatchPerIter is the number of candidates evaluated concurrently per
+	// search iteration inside one partition. Vanilla OpenTuner spends its
+	// 8 cores evaluating the top-8 candidates of a single search; S2FA
+	// gives each partition one core (paper footnote 3).
+	BatchPerIter int
+	// Seed drives all pseudo-randomness.
+	Seed int64
+	// MaxEvaluations is a safety valve for tiny spaces.
+	MaxEvaluations int
+}
+
+// VanillaConfig reproduces the OpenTuner baseline of Fig. 3: no
+// partitioning, no seeds, no early stop, 8 cores evaluating 8 candidates
+// per iteration, 4-hour limit.
+func VanillaConfig(seed int64) Config {
+	return Config{
+		Workers:          8,
+		TimeLimitMinutes: 240,
+		Stopper:          NeverStopper{},
+		Seeded:           false,
+		BatchPerIter:     8,
+		Seed:             seed,
+		MaxEvaluations:   200_000,
+	}
+}
+
+// S2FAConfig reproduces the full S2FA DSE: decision-tree partitions
+// scheduled FCFS over 8 cores, two seeds per partition, Shannon-entropy
+// early stopping (4-hour safety limit).
+func S2FAConfig(seed int64) Config {
+	pc := DefaultPartitionConfig()
+	return Config{
+		Workers:          8,
+		TimeLimitMinutes: 240,
+		Stopper:          NewEntropyStopper(),
+		Partition:        &pc,
+		Seeded:           true,
+		BatchPerIter:     1,
+		Seed:             seed,
+		MaxEvaluations:   200_000,
+	}
+}
+
+// TrivialStopConfig is the S2FA flow with the naive
+// no-improvement-for-10-iterations criterion, used for the stopping
+// ablation in §5.2.
+func TrivialStopConfig(seed int64) Config {
+	c := S2FAConfig(seed)
+	c.Stopper = NewTrivialStopper()
+	return c
+}
+
+// Run executes the DSE for kernel k over space sp with the given
+// evaluator and configuration, on a virtual clock.
+func Run(k *cir.Kernel, sp *space.Space, eval tuner.Evaluator, cfg Config) *Outcome {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	if cfg.BatchPerIter <= 0 {
+		cfg.BatchPerIter = 1
+	}
+	if cfg.Stopper == nil {
+		cfg.Stopper = NeverStopper{}
+	}
+	if cfg.MaxEvaluations <= 0 {
+		cfg.MaxEvaluations = 200_000
+	}
+
+	out := &Outcome{KernelName: k.Name, FirstFeasible: math.NaN(), FirstFeasibleMinutes: math.NaN()}
+	var parts []Partition
+	if cfg.Partition != nil {
+		parts = BuildPartitions(sp, k, eval, *cfg.Partition, cfg.Seed)
+	} else {
+		parts = []Partition{{Sub: sp}}
+	}
+	out.Partitions = parts
+
+	sched := newScheduler(cfg, parts, eval, out)
+	sched.run()
+	out.TotalMinutes = sched.totalMinutes()
+	if !out.Best.Feasible {
+		out.Best = tuner.Result{Objective: math.Inf(1)}
+	}
+	return out
+}
+
+// worker is one simulated CPU core working through partitions.
+type worker struct {
+	id      int
+	clock   float64
+	driver  *tuner.Driver
+	stopper Stopper
+	part    int // index into partitions; -1 when idle/done
+	seeds   []space.Point
+	done    bool
+}
+
+type scheduler struct {
+	cfg      Config
+	parts    []Partition
+	eval     tuner.Evaluator
+	out      *Outcome
+	workers  []*worker
+	nextPart int
+	bestObj  float64
+	evals    int
+}
+
+func newScheduler(cfg Config, parts []Partition, eval tuner.Evaluator, out *Outcome) *scheduler {
+	s := &scheduler{cfg: cfg, parts: parts, eval: eval, out: out, bestObj: math.Inf(1)}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{id: i, part: -1}
+		s.workers = append(s.workers, w)
+		s.assign(w)
+	}
+	return s
+}
+
+// assign hands the next queued partition to w (first-come-first-serve,
+// paper §4.3.1) or marks it done.
+func (s *scheduler) assign(w *worker) {
+	if s.nextPart >= len(s.parts) {
+		w.done = true
+		w.part = -1
+		return
+	}
+	idx := s.nextPart
+	s.nextPart++
+	p := s.parts[idx]
+	w.part = idx
+	w.driver = tuner.NewDriver(p.Sub, s.eval, s.cfg.Seed*7919+int64(idx)*104729+1)
+	w.stopper = s.cfg.Stopper.Clone()
+	w.seeds = nil
+	if s.cfg.Seeded {
+		w.seeds = []space.Point{p.Sub.PerformanceSeed(), p.Sub.AreaSeed()}
+	} else {
+		w.seeds = []space.Point{p.Sub.RandomPoint(w.driver.Rng)}
+	}
+	w.done = false
+}
+
+// run advances the virtual clock: repeatedly pick the worker with the
+// earliest clock and execute its next evaluation batch.
+func (s *scheduler) run() {
+	for {
+		w := s.earliest()
+		if w == nil {
+			return
+		}
+		if s.evals >= s.cfg.MaxEvaluations {
+			return
+		}
+		s.step(w)
+	}
+}
+
+func (s *scheduler) earliest() *worker {
+	var best *worker
+	for _, w := range s.workers {
+		if w.done {
+			continue
+		}
+		if best == nil || w.clock < best.clock {
+			best = w
+		}
+	}
+	return best
+}
+
+func (s *scheduler) step(w *worker) {
+	if w.clock >= s.cfg.TimeLimitMinutes {
+		w.done = true
+		w.part = -1
+		return
+	}
+	var results []tuner.Result
+	var iterMinutes float64
+	if len(w.seeds) > 0 {
+		seedPt := w.seeds[0]
+		w.seeds = w.seeds[1:]
+		r := w.driver.InjectSeed(seedPt)
+		results = []tuner.Result{r}
+		iterMinutes = r.Minutes
+	} else {
+		results = w.driver.Step(s.cfg.BatchPerIter)
+		if len(results) == 0 {
+			// Partition exhausted (tiny sub-space).
+			s.finishPartition(w)
+			return
+		}
+		// Batched candidates run concurrently on the worker's cores
+		// (vanilla mode): the iteration costs the slowest evaluation.
+		for _, r := range results {
+			if r.Minutes > iterMinutes {
+				iterMinutes = r.Minutes
+			}
+		}
+	}
+	w.clock += iterMinutes
+	if w.clock > s.cfg.TimeLimitMinutes {
+		// The tool chain is killed at the wall-clock limit; the last
+		// result still counts but the clock pins to the limit.
+		w.clock = s.cfg.TimeLimitMinutes
+	}
+
+	stop := false
+	for _, r := range results {
+		s.evals++
+		s.out.Evaluations++
+		if r.Feasible && math.IsNaN(s.out.FirstFeasible) {
+			s.out.FirstFeasible = r.Objective
+			s.out.FirstFeasibleMinutes = w.clock
+		}
+		newGlobalBest := r.Feasible && r.Objective < s.bestObj
+		if newGlobalBest {
+			s.bestObj = r.Objective
+			s.out.Best = r
+			s.out.Trajectory = append(s.out.Trajectory, TrajPoint{Minutes: w.clock, Objective: r.Objective})
+		}
+		localBest := w.driver.DB.Best()
+		newLocalBest := localBest != nil && r.Feasible && r.Objective <= localBest.Objective
+		if w.stopper.Observe(r, newLocalBest) {
+			stop = true
+		}
+	}
+	if stop || w.clock >= s.cfg.TimeLimitMinutes {
+		s.finishPartition(w)
+	}
+}
+
+func (s *scheduler) finishPartition(w *worker) {
+	if w.clock >= s.cfg.TimeLimitMinutes {
+		w.done = true
+		w.part = -1
+		return
+	}
+	s.assign(w)
+}
+
+func (s *scheduler) totalMinutes() float64 {
+	var total float64
+	for _, w := range s.workers {
+		if w.clock > total {
+			total = w.clock
+		}
+	}
+	return total
+}
+
+// Summary renders a short human-readable report of the outcome.
+func (o *Outcome) Summary() string {
+	best := "none"
+	if o.Best.Feasible {
+		best = fmt.Sprintf("%.6fs", o.Best.Objective)
+	}
+	return fmt.Sprintf("%s: best=%s evals=%d time=%.1fmin partitions=%d",
+		o.KernelName, best, o.Evaluations, o.TotalMinutes, len(o.Partitions))
+}

@@ -1,0 +1,86 @@
+package dse
+
+import (
+	"s2fa/internal/cir"
+	"s2fa/internal/fpga"
+	"s2fa/internal/hls"
+	"s2fa/internal/merlin"
+	"s2fa/internal/space"
+	"s2fa/internal/tuner"
+)
+
+// NewEvaluator builds the design-point evaluator used throughout the DSE:
+// design point -> Merlin annotation -> HLS estimation. The objective is
+// estimated kernel execution seconds for a batch of n tasks (cycles over
+// achieved frequency). Results are memoized: re-evaluating a synthesized
+// configuration costs no additional synthesis time.
+func NewEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int64, opt hls.Options) tuner.Evaluator {
+	cache := map[string]tuner.Result{}
+	return func(pt space.Point) tuner.Result {
+		key := pt.Key()
+		if r, ok := cache[key]; ok {
+			r.Point = pt
+			r.Minutes = 0 // cached HLS report, no synthesis re-run
+			return r
+		}
+		d := sp.Directives(pt)
+		ann, err := merlin.Annotate(k, d)
+		var res tuner.Result
+		if err != nil {
+			res = tuner.Result{
+				Point:     pt,
+				Objective: rejectPenalty,
+				Feasible:  false,
+				Minutes:   1, // rejected before synthesis
+			}
+		} else {
+			rep := hls.Estimate(ann, dev, n, opt)
+			obj := rep.Seconds()
+			if !rep.Feasible {
+				// Graded penalty: infeasible points are never accepted
+				// as incumbents, but the learning techniques still see a
+				// gradient toward the feasible region (less overflow =
+				// smaller penalty), which is how real HLS autotuners
+				// escape all-infeasible starting populations.
+				obj = infeasiblePenalty * (1 + rep.MaxUtil())
+			}
+			res = tuner.Result{
+				Point:     pt,
+				Objective: obj,
+				Feasible:  rep.Feasible,
+				Minutes:   rep.SynthMinutes,
+				Meta:      rep,
+			}
+		}
+		cache[key] = res
+		return res
+	}
+}
+
+// Penalty objectives (seconds-scale but far above any real design).
+const (
+	infeasiblePenalty = 1e4
+	rejectPenalty     = 1e8
+)
+
+// FlatInfeasible wraps an evaluator so that every infeasible point
+// returns the same flat penalty, erasing the feasibility gradient. This
+// models stock OpenTuner, which learns nothing from failed syntheses —
+// the behavior that leaves the vanilla flow "trapped in the infeasible
+// design space region" (paper §4.3.2) and that S2FA's seed generation
+// exists to avoid.
+func FlatInfeasible(eval tuner.Evaluator) tuner.Evaluator {
+	return func(pt space.Point) tuner.Result {
+		r := eval(pt)
+		if !r.Feasible {
+			r.Objective = rejectPenalty
+		}
+		return r
+	}
+}
+
+// Report extracts the HLS report attached to a result, if any.
+func Report(r tuner.Result) (hls.Report, bool) {
+	rep, ok := r.Meta.(hls.Report)
+	return rep, ok
+}

@@ -1,0 +1,46 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§5): the DSE trajectory comparison of Fig. 3, the resource
+// utilization and frequency table (Table 2), the speedup-over-JVM
+// comparison of Fig. 4, the Table 1 design-space summary, and the
+// stopping-criteria ablation discussed in §5.2.
+package exp
+
+import (
+	"math/rand"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/jvmsim"
+)
+
+// Calibration constants: the few free parameters of the whole performance
+// model live here (DESIGN.md "Calibration"). Everything else is derived.
+const (
+	// JVMSampleTasks is the number of tasks actually interpreted to
+	// measure per-task JVM cost; totals scale linearly (workloads are
+	// data-independent in instruction count to first order).
+	JVMSampleTasks = 24
+)
+
+// JVMSecondsFor models the single-threaded Spark executor time for n
+// tasks of the app by interpreting a sample batch and scaling.
+func JVMSecondsFor(a *apps.App, n int) (float64, error) {
+	cls, err := a.Class()
+	if err != nil {
+		return 0, err
+	}
+	sample := JVMSampleTasks
+	if sample > n {
+		sample = n
+	}
+	rng := rand.New(rand.NewSource(2026))
+	tasks := a.Gen(rng, sample)
+	vm := jvmsim.New(cls)
+	for _, task := range tasks {
+		if _, err := vm.Call(task); err != nil {
+			return 0, err
+		}
+	}
+	cm := jvmsim.DefaultCostModel()
+	perTask := cm.Nanoseconds(vm.Counts) / float64(sample)
+	return perTask * float64(n) / 1e9, nil
+}

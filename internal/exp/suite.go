@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/cir"
+	"s2fa/internal/dse"
+	"s2fa/internal/fpga"
+	"s2fa/internal/hls"
+	"s2fa/internal/merlin"
+	"s2fa/internal/space"
+)
+
+// Suite runs and caches the per-workload artifacts every experiment
+// shares: the compiled kernel, its design space, the DSE outcomes for
+// each mode, the JVM baseline, and the manual-design estimate. All
+// randomness is derived from one seed, so every table and figure is
+// exactly reproducible.
+type Suite struct {
+	Seed   int64
+	Device *fpga.Device
+
+	mu    sync.Mutex
+	cache map[string]*AppResult
+}
+
+// AppResult bundles everything the experiments need for one workload.
+type AppResult struct {
+	App    *apps.App
+	Kernel *cir.Kernel
+	Space  *space.Space
+
+	JVMSeconds float64
+
+	S2FA    *dse.Outcome
+	Vanilla *dse.Outcome
+	Trivial *dse.Outcome
+
+	// BestReport is the HLS report of the S2FA DSE's best design.
+	BestReport hls.Report
+	// ManualReport is the HLS report of the expert manual design.
+	ManualReport hls.Report
+}
+
+// S2FASpeedup is the Fig. 4 speedup of the S2FA-generated design over the
+// single-threaded JVM.
+func (r *AppResult) S2FASpeedup() float64 {
+	if !r.S2FA.Best.Feasible {
+		return 0
+	}
+	return r.JVMSeconds / r.S2FA.Best.Objective
+}
+
+// ManualSpeedup is the Fig. 4 speedup of the manual design.
+func (r *AppResult) ManualSpeedup() float64 {
+	if !r.ManualReport.Feasible {
+		return 0
+	}
+	return r.JVMSeconds / r.ManualReport.Seconds()
+}
+
+// NewSuite builds a suite on the VU9P device.
+func NewSuite(seed int64) *Suite {
+	return &Suite{Seed: seed, Device: fpga.VU9P(), cache: map[string]*AppResult{}}
+}
+
+// Modes selects which DSE runs Result performs.
+type Modes struct {
+	Vanilla bool
+	Trivial bool
+}
+
+// Result computes (or returns cached) artifacts for the named app.
+func (s *Suite) Result(name string, modes Modes) (*AppResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.cache[name]
+	if r == nil {
+		a := apps.Get(name)
+		if a == nil {
+			return nil, fmt.Errorf("exp: unknown app %q", name)
+		}
+		k, err := a.Kernel()
+		if err != nil {
+			return nil, err
+		}
+		jvm, err := JVMSecondsFor(a, a.Tasks)
+		if err != nil {
+			return nil, err
+		}
+		r = &AppResult{App: a, Kernel: k, Space: space.Identify(k), JVMSeconds: jvm}
+		s.cache[name] = r
+	}
+
+	if r.S2FA == nil {
+		eval := dse.NewEvaluator(r.Kernel, r.Space, s.Device, int64(r.App.Tasks), hls.Options{})
+		r.S2FA = dse.Run(r.Kernel, r.Space, eval, dse.S2FAConfig(s.Seed))
+		if rep, ok := dse.Report(r.S2FA.Best); ok {
+			r.BestReport = rep
+		}
+		loops, bw := r.App.Manual.Directives(r.Kernel)
+		ann, err := merlin.Annotate(r.Kernel, merlin.Directives{Loops: loops, BitWidths: bw})
+		if err != nil {
+			return nil, fmt.Errorf("exp: manual design for %s: %w", name, err)
+		}
+		r.ManualReport = hls.Estimate(ann, s.Device, int64(r.App.Tasks), hls.Options{StageSplit: r.App.Manual.StageSplit})
+	}
+	if modes.Vanilla && r.Vanilla == nil {
+		// Stock OpenTuner sees no gradient in the infeasible region.
+		eval := dse.FlatInfeasible(dse.NewEvaluator(r.Kernel, r.Space, s.Device, int64(r.App.Tasks), hls.Options{}))
+		r.Vanilla = dse.Run(r.Kernel, r.Space, eval, dse.VanillaConfig(s.Seed))
+	}
+	if modes.Trivial && r.Trivial == nil {
+		eval := dse.NewEvaluator(r.Kernel, r.Space, s.Device, int64(r.App.Tasks), hls.Options{})
+		r.Trivial = dse.Run(r.Kernel, r.Space, eval, dse.TrivialStopConfig(s.Seed))
+	}
+	return r, nil
+}
+
+// AppNames returns the workloads in Table 2 order.
+func AppNames() []string {
+	var out []string
+	for _, a := range apps.All() {
+		out = append(out, a.Name)
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package hadoop demonstrates the paper's §2 claim that S2FA-generated
+// kernels are not tied to Spark: "the S2FA framework is able to compile
+// any Java/Scala method that satisfies the constraints ... so we can
+// easily integrate S2FA with other JVM-based runtime systems such as
+// Hadoop". This is a miniature Hadoop-style MapReduce driver whose map
+// phase offloads to Blaze accelerators (with transparent JVM fallback)
+// and whose shuffle/reduce phase runs on the host.
+package hadoop
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"s2fa/internal/blaze"
+	"s2fa/internal/jvmsim"
+	"s2fa/internal/spark"
+)
+
+// KeyFunc assigns a shuffle key to one mapper output record.
+type KeyFunc func(v jvmsim.Val) int64
+
+// ReduceFunc folds the values of one key.
+type ReduceFunc func(key int64, values []jvmsim.Val) jvmsim.Val
+
+// Job is a two-phase MapReduce job: the map phase applies an S2FA kernel
+// class to every input record (offloaded per input split), then records
+// are shuffled by key and reduced host-side.
+type Job struct {
+	Name string
+	// Mapper is the kernel class (its `call` is the map function).
+	Mapper *jvmsim.VM
+	// Manager provides accelerators; nil forces the JVM path.
+	Manager *blaze.Manager
+	Key     KeyFunc
+	Reduce  ReduceFunc
+	// Splits is the number of input splits processed concurrently
+	// (Hadoop's map tasks). Defaults to 4.
+	Splits int
+}
+
+// Result is the reduced output plus execution accounting.
+type Result struct {
+	// Output maps key to reduced value, with Keys in sorted order.
+	Output map[int64]jvmsim.Val
+	Keys   []int64
+	// SplitStats records how each split executed (FPGA vs fallback).
+	SplitStats []blaze.Stats
+}
+
+// Run executes the job over the input records.
+func (j *Job) Run(input []jvmsim.Val) (*Result, error) {
+	if j.Mapper == nil || j.Key == nil || j.Reduce == nil {
+		return nil, fmt.Errorf("hadoop: job %q needs Mapper, Key, and Reduce", j.Name)
+	}
+	splits := j.Splits
+	if splits <= 0 {
+		splits = 4
+	}
+	if splits > len(input) && len(input) > 0 {
+		splits = len(input)
+	}
+	if len(input) == 0 {
+		return &Result{Output: map[int64]jvmsim.Val{}}, nil
+	}
+	mgr := j.Manager
+	if mgr == nil {
+		mgr = blaze.NewManager(nil)
+	}
+
+	// Map phase: one Blaze offload per split (Hadoop map task).
+	chunk := (len(input) + splits - 1) / splits
+	type splitOut struct {
+		idx     int
+		records []jvmsim.Val
+		stats   blaze.Stats
+		err     error
+	}
+	outs := make([]splitOut, splits)
+	var wg sync.WaitGroup
+	for sIdx := 0; sIdx < splits; sIdx++ {
+		lo := sIdx * chunk
+		hi := lo + chunk
+		if hi > len(input) {
+			hi = len(input)
+		}
+		wg.Add(1)
+		go func(sIdx int, part []jvmsim.Val) {
+			defer wg.Done()
+			ctx := spark.NewContext()
+			rdd := spark.Parallelize(ctx, part, 1)
+			// Each split needs its own VM (interpreter state is not
+			// shared across goroutines).
+			vm := jvmsim.New(j.Mapper.Class)
+			recs, stats, err := blaze.Wrap(rdd, mgr).MapAcc(vm)
+			outs[sIdx] = splitOut{idx: sIdx, records: recs, stats: stats, err: err}
+		}(sIdx, input[lo:hi])
+	}
+	wg.Wait()
+
+	res := &Result{Output: map[int64]jvmsim.Val{}}
+	groups := map[int64][]jvmsim.Val{}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, fmt.Errorf("hadoop: split %d: %w", o.idx, o.err)
+		}
+		res.SplitStats = append(res.SplitStats, o.stats)
+		// Shuffle: group by key.
+		for _, r := range o.records {
+			k := j.Key(r)
+			groups[k] = append(groups[k], r)
+		}
+	}
+
+	// Reduce phase.
+	for k, vs := range groups {
+		res.Output[k] = j.Reduce(k, vs)
+		res.Keys = append(res.Keys, k)
+	}
+	sort.Slice(res.Keys, func(a, b int) bool { return res.Keys[a] < res.Keys[b] })
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package hadoop
+
+import (
+	"math/rand"
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/blaze"
+	"s2fa/internal/cir"
+	"s2fa/internal/fpga"
+	"s2fa/internal/hls"
+	"s2fa/internal/jvmsim"
+)
+
+// kmeansJob counts points per assigned cluster: map = KMeans assignment
+// kernel, key = cluster id, reduce = count.
+func kmeansJob(t *testing.T, mgr *blaze.Manager) (*Job, *apps.App) {
+	t.Helper()
+	a := apps.Get("KMeans")
+	cls, err := a.Class()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Job{
+		Name:    "cluster-histogram",
+		Mapper:  jvmsim.New(cls),
+		Manager: mgr,
+		Key:     func(v jvmsim.Val) int64 { return v.S.AsInt() },
+		Reduce: func(key int64, vs []jvmsim.Val) jvmsim.Val {
+			return jvmsim.Scalar(cir.IntVal(cir.Int, int64(len(vs))))
+		},
+		Splits: 4,
+	}, a
+}
+
+func deployKMeans(t *testing.T) *blaze.Manager {
+	t.Helper()
+	a := apps.Get("KMeans")
+	cls, _ := a.Class()
+	k, _ := a.Kernel()
+	dev := fpga.VU9P()
+	rep := hls.Estimate(k, dev, 64, hls.Options{})
+	mgr := blaze.NewManager(dev)
+	if err := mgr.Register(&blaze.Accelerator{
+		ID:     cls.ID,
+		Layout: blaze.Layout{Class: cls, Kernel: k},
+		Design: rep.Design("KMeans"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return mgr
+}
+
+func TestMapReduceOnAccelerator(t *testing.T) {
+	mgr := deployKMeans(t)
+	job, a := kmeansJob(t, mgr)
+	rng := rand.New(rand.NewSource(12))
+	input := a.Gen(rng, 256)
+
+	res, err := job.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SplitStats) != 4 {
+		t.Fatalf("splits = %d", len(res.SplitStats))
+	}
+	for i, st := range res.SplitStats {
+		if !st.UsedFPGA {
+			t.Errorf("split %d fell back: %q", i, st.Fallback)
+		}
+	}
+	// Histogram totals must equal the input count and match the
+	// reference assignment.
+	total := int64(0)
+	want := map[int64]int64{}
+	for _, task := range input {
+		want[int64(apps.KMeansRef(floats(task.Arr)))]++
+	}
+	for _, k := range res.Keys {
+		total += res.Output[k].S.AsInt()
+		if res.Output[k].S.AsInt() != want[k] {
+			t.Errorf("cluster %d count = %d, want %d", k, res.Output[k].S.AsInt(), want[k])
+		}
+	}
+	if total != 256 {
+		t.Errorf("histogram total = %d", total)
+	}
+}
+
+func TestMapReduceFallsBackWithoutAccelerator(t *testing.T) {
+	job, a := kmeansJob(t, blaze.NewManager(fpga.VU9P()))
+	rng := rand.New(rand.NewSource(12))
+	input := a.Gen(rng, 64)
+	res, err := job.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.SplitStats {
+		if st.UsedFPGA {
+			t.Error("no accelerator registered but FPGA reported used")
+		}
+	}
+	// Same answer either way.
+	accMgr := deployKMeans(t)
+	job2, _ := kmeansJob(t, accMgr)
+	res2, err := job2.Run(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Keys) != len(res2.Keys) {
+		t.Fatalf("key sets differ: %v vs %v", res.Keys, res2.Keys)
+	}
+	for _, k := range res.Keys {
+		if res.Output[k].S.AsInt() != res2.Output[k].S.AsInt() {
+			t.Errorf("key %d: jvm=%d fpga=%d", k, res.Output[k].S.AsInt(), res2.Output[k].S.AsInt())
+		}
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	if _, err := (&Job{Name: "x"}).Run(nil); err == nil {
+		t.Error("incomplete job accepted")
+	}
+	mgr := deployKMeans(t)
+	job, _ := kmeansJob(t, mgr)
+	res, err := job.Run(nil)
+	if err != nil || len(res.Output) != 0 {
+		t.Errorf("empty input: %v %v", res, err)
+	}
+}
+
+func floats(vs []cir.Value) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = v.AsFloat()
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+// Package hls is an analytic stand-in for the Xilinx SDx high-level
+// synthesis flow that S2FA uses to evaluate design points (paper §4,
+// Impediment 1). Given an annotated HLS-C kernel it reports estimated
+// cycles, resource utilization, achievable clock frequency, feasibility,
+// and — crucially for the DSE experiments — the synthesis wall-clock time
+// that one evaluation would cost, which the DSE charges against a virtual
+// clock ("HLS takes several minutes to evaluate one design point so only
+// tens of design points can be evaluated in one hour").
+//
+// The model is deliberately simple but captures the qualitative structure
+// that drives the paper's results: recurrence-limited initiation
+// intervals (fp accumulation, stencil-like array dependences as in
+// Smith-Waterman), the >=13-cycle II floor of transcendental chains that
+// caps S2FA's LR design (paper §5.2), memory-bandwidth-bound kernels
+// (AES, PageRank), resource-driven infeasibility, routing-driven
+// synthesis failure at extreme parallel factors, and frequency
+// degradation under congestion.
+package hls
+
+// opLat is the combinational/pipelined latency in cycles of each operation
+// class at the 250 MHz target clock. Values follow typical UltraScale+
+// floating-point core latencies.
+type opLat struct {
+	IntAdd, IntMul, IntDiv      int
+	FpAdd, FpMul, FpDiv, Transc int
+	Select, Load, Store         int
+}
+
+var defaultLat = opLat{
+	IntAdd: 1, IntMul: 3, IntDiv: 18,
+	FpAdd: 7, FpMul: 4, FpDiv: 14, Transc: 26,
+	Select: 1, Load: 2, Store: 1,
+}
+
+// transcMinII is the minimum initiation interval HLS achieves when a
+// pipelined body contains a transcendental chain without manual stage
+// splitting. The paper reports exactly this limit for LR: "the minimal
+// initial interval is still 13"; the manual LR design splits the
+// computation statement into multiple stages to reach a fully efficient
+// pipeline.
+const transcMinII = 13
+
+// Per-op resource costs (LUT, FF, DSP). Rough UltraScale+ single-precision
+// figures; integer ops assume 32-bit datapaths.
+type opRes struct {
+	lut, ff, dsp int
+}
+
+var resTable = map[string]opRes{
+	"intAdd": {32, 32, 0},
+	"intMul": {60, 80, 3},
+	"intDiv": {900, 1100, 0},
+	"fpAdd":  {220, 350, 2},
+	"fpMul":  {120, 200, 3},
+	"fpDiv":  {800, 1100, 0},
+	"transc": {2600, 3400, 8},
+	"select": {40, 32, 0},
+	"mem":    {45, 30, 0}, // address gen + port mux per access site
+}
+
+// bram18kBytes is the capacity of one BRAM18K block in bytes.
+const bram18kBytes = 2304
+
+// ilpWidth is the average instruction-level parallelism HLS extracts from
+// a straight-line body when scheduling (datapath width).
+const ilpWidth = 4

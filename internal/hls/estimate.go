@@ -1,0 +1,624 @@
+package hls
+
+import (
+	"fmt"
+	"math"
+
+	"s2fa/internal/cir"
+	"s2fa/internal/fpga"
+)
+
+// Options tunes one estimation run.
+type Options struct {
+	// StageSplit models an expert-written datapath whose long operation
+	// chains (e.g. the sigmoid of logistic regression) are manually split
+	// into pipeline stages, lifting the transcendental II floor. Only the
+	// manual reference designs use it (paper §5.2).
+	StageSplit bool
+}
+
+// Report is the outcome of one HLS evaluation of a design point.
+type Report struct {
+	Feasible bool
+	// Reason explains infeasibility (resource overflow, routing
+	// congestion, non-constant flatten bounds).
+	Reason string
+
+	Cycles int64 // total kernel cycles for the evaluated batch
+	TaskII float64
+
+	LUT, FF, DSP, BRAM18K              int
+	UtilLUT, UtilFF, UtilDSP, UtilBRAM float64
+	FreqMHz                            float64
+
+	// BytesPerTask is the host<->card traffic per task.
+	BytesPerTask int
+	// SynthMinutes is the simulated wall-clock cost of this HLS run,
+	// charged to the DSE virtual clock.
+	SynthMinutes float64
+
+	tasks int64
+}
+
+// Seconds returns the modeled kernel execution time for the evaluated
+// batch (excluding transfer).
+func (r Report) Seconds() float64 {
+	if r.FreqMHz <= 0 {
+		return math.Inf(1)
+	}
+	return float64(r.Cycles) / (r.FreqMHz * 1e6)
+}
+
+// MaxUtil returns the highest resource utilization fraction.
+func (r Report) MaxUtil() float64 {
+	return math.Max(math.Max(r.UtilLUT, r.UtilFF), math.Max(r.UtilDSP, r.UtilBRAM))
+}
+
+// Design converts the report into an executable accelerator design for
+// the platform model.
+func (r Report) Design(name string) *fpga.Design {
+	if r.tasks <= 0 {
+		return nil
+	}
+	return &fpga.Design{
+		KernelName:    name,
+		CyclesPerTask: float64(r.Cycles) / float64(r.tasks),
+		FreqMHz:       r.FreqMHz,
+		BytesPerTask:  r.BytesPerTask,
+	}
+}
+
+func (r Report) String() string {
+	if !r.Feasible {
+		return fmt.Sprintf("infeasible: %s", r.Reason)
+	}
+	return fmt.Sprintf("cycles=%d II=%.0f freq=%.0fMHz LUT=%.0f%% FF=%.0f%% DSP=%.0f%% BRAM=%.0f%% synth=%.1fmin",
+		r.Cycles, r.TaskII, r.FreqMHz, r.UtilLUT*100, r.UtilFF*100, r.UtilDSP*100, r.UtilBRAM*100, r.SynthMinutes)
+}
+
+// Estimate performs high-level synthesis estimation for the annotated
+// kernel over a batch of n tasks on the given device.
+func Estimate(k *cir.Kernel, dev *fpga.Device, n int64, opt Options) Report {
+	info := cir.Analyze(k)
+	m := &model{kernel: k, info: info, dev: dev, n: n, opt: opt}
+	return m.run()
+}
+
+type model struct {
+	kernel *cir.Kernel
+	info   *cir.KernelInfo
+	dev    *fpga.Device
+	n      int64
+	opt    Options
+
+	infeasible     string
+	maxRep         int
+	hasCarriedPipe bool
+}
+
+func (m *model) run() Report {
+	rep := Report{tasks: m.n}
+	rep.BytesPerTask = m.bytesPerTaskOf()
+
+	// Latency.
+	var cycles float64 = seqLat(m.info.TopOps)
+	for _, r := range m.info.Roots {
+		lat, ii := m.loopLat(r)
+		cycles += lat
+		if r.Loop.ID == m.kernel.TaskLoopID {
+			rep.TaskII = ii
+		}
+	}
+	// Global off-chip bandwidth floor: no design streams faster than the
+	// DDR channel, which is what leaves AES and PageRank memory-bound
+	// (paper §5.2).
+	memFloor := float64(m.n) * float64(rep.BytesPerTask) / float64(m.dev.DDRBytesPerCycle)
+	if cycles < memFloor {
+		cycles = memFloor
+	}
+	// Without manual stage splitting, HLS schedules the transcendental
+	// datapath (e.g. the LR sigmoid) as one long fused statement with a
+	// minimum initiation interval of 13, and tasks serialize through it
+	// (paper §5.2: "the minimal initial interval is still 13"; the manual
+	// LR design splits the computation statement into multiple stages).
+	if m.info.Roots[0].HasTranscendental && !m.opt.StageSplit {
+		if floor := float64(m.n) * transcMinII; cycles < floor {
+			cycles = floor
+		}
+	}
+	rep.Cycles = int64(cycles)
+
+	// Resources.
+	lut, ff, dsp, bram := m.resources()
+	rep.LUT, rep.FF, rep.DSP, rep.BRAM18K = lut, ff, dsp, bram
+	rep.UtilLUT = float64(lut) / float64(m.dev.LUT)
+	rep.UtilFF = float64(ff) / float64(m.dev.FF)
+	rep.UtilDSP = float64(dsp) / float64(m.dev.DSP)
+	rep.UtilBRAM = float64(bram) / float64(m.dev.BRAM18K)
+
+	// Synthesis wall-clock model: a few minutes for trivial designs up to
+	// about an hour for congested ones (paper Impediment 1).
+	rep.SynthMinutes = 1 + 3.5*rep.UtilLUT + 0.35*math.Log2(float64(m.maxRep)+1) +
+		float64(m.info.All[0].SubtreeOps.Total())/15000.0
+	if rep.SynthMinutes > 12 {
+		rep.SynthMinutes = 12
+	}
+
+	// Feasibility.
+	switch {
+	case m.infeasible != "":
+		rep.Feasible = false
+		rep.Reason = m.infeasible
+	case rep.MaxUtil() > m.dev.UsableFrac:
+		rep.Feasible = false
+		rep.Reason = fmt.Sprintf("resource overflow: %.0f%% > %.0f%% usable cap",
+			rep.MaxUtil()*100, m.dev.UsableFrac*100)
+	case m.maxRep > 64 && rep.UtilLUT > 0.55:
+		// High duplication with dense logic fails routing (paper §4.3.2:
+		// "parallelism with factor 256 ... infeasible for most designs
+		// due to high routing complexity" — unless the compute pattern is
+		// simple enough to keep congestion low).
+		rep.Feasible = false
+		rep.Reason = fmt.Sprintf("routing congestion: replication %d at %.0f%% LUT", m.maxRep, rep.UtilLUT*100)
+	default:
+		rep.Feasible = true
+	}
+	if !rep.Feasible {
+		// Overflowing designs abort during resource mapping, well before
+		// a full place-and-route.
+		rep.SynthMinutes *= 0.4
+	}
+
+	// Frequency model: the 250 MHz target degrades with congestion, and
+	// carried-dependence pipelines with long combinational feedback (the
+	// Smith-Waterman cell) close timing far lower (paper Table 2: 100 MHz).
+	freq := m.dev.BaseClockMHz
+	if u := rep.MaxUtil(); u > 0.55 {
+		freq -= (u - 0.55) * 150
+	}
+	if m.hasCarriedPipe {
+		if f := m.dev.BaseClockMHz * 0.4; freq > f {
+			freq = f
+		}
+	}
+	freq = math.Round(freq/10) * 10
+	if freq < 60 {
+		freq = 60
+	}
+	rep.FreqMHz = freq
+	return rep
+}
+
+// carriedArrays returns the arrays through which li carries an effective
+// dependence. Output accumulators of reduce-pattern kernels are exempt at
+// the task loop: Merlin materializes them as per-PE partial accumulators
+// combined by a final tree (the tree-reduction transform), so they do not
+// serialize task pipelining.
+func (m *model) carriedArrays(li *cir.LoopInfo) []string {
+	if li.Loop.ID != m.kernel.TaskLoopID || m.kernel.Pattern != cir.PatternReduce {
+		return li.CarriedArrays
+	}
+	isOutput := map[string]bool{}
+	for _, p := range m.kernel.Params {
+		if p.IsOutput {
+			isOutput[p.Name] = true
+		}
+	}
+	var out []string
+	for _, a := range li.CarriedArrays {
+		if !isOutput[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// stage describes one scheduled region: its total latency and its
+// occupancy — the number of cycles it is busy per outer-iteration start,
+// which is what bounds the initiation interval of an enclosing dataflow
+// pipeline.
+type stage struct {
+	lat float64
+	occ float64
+	ii  float64 // per-iteration initiation interval (reporting)
+}
+
+// loopLat schedules the subtree of li under its annotations, returning
+// total latency and the per-iteration initiation interval.
+func (m *model) loopLat(li *cir.LoopInfo) (float64, float64) {
+	st := m.schedule(li)
+	return st.lat, st.ii
+}
+
+func (m *model) schedule(li *cir.LoopInfo) stage {
+	l := li.Loop
+	trip := float64(li.Trip)
+	if l.ID == m.kernel.TaskLoopID {
+		trip = float64(m.n)
+	}
+	if trip <= 0 {
+		// Unknown trip count (e.g. a traceback while-loop recovered as a
+		// bounded loop): charge a nominal 16 iterations.
+		trip = 16
+	}
+	u := float64(maxInt(1, l.Opt.Parallel))
+	if u > trip {
+		u = trip
+	}
+
+	switch {
+	case l.Opt.Pipeline == cir.PipeFlatten:
+		return m.flattenStage(li, trip, u)
+	case l.Opt.Pipeline == cir.PipeOn && len(li.Children) == 0:
+		// The scheduler never produces a pipeline slower than the
+		// sequential schedule (it falls back when II offers no gain).
+		return betterStage(m.pipeLeafStage(li, trip, u), m.seqStage(li, trip, u))
+	case l.Opt.Pipeline == cir.PipeOn:
+		return betterStage(m.dataflowStage(li, trip, u), m.seqStage(li, trip, u))
+	default:
+		return m.seqStage(li, trip, u)
+	}
+}
+
+func betterStage(a, b stage) stage {
+	if a.lat <= b.lat {
+		return a
+	}
+	return b
+}
+
+// pipeLeafStage models a pipelined innermost loop.
+func (m *model) pipeLeafStage(li *cir.LoopInfo, trip, u float64) stage {
+	bodyDepth := depth(li.BodyOps)
+	ii := 1.0
+	effTrip := math.Ceil(trip / u)
+	if len(li.ScalarRec) > 0 {
+		// Recurrence-limited II; with unrolling Merlin applies tree
+		// reduction so u elements enter per II.
+		ii = math.Max(ii, seqLat(li.RecOps))
+	}
+	if len(m.carriedArrays(li)) > 0 {
+		// Stencil-style dependence (e.g. the Smith-Waterman cell): the
+		// feedback path bounds II, and unrolled lanes execute as a
+		// wavefront with register forwarding.
+		m.hasCarriedPipe = true
+		ii = math.Max(ii, seqLat(li.BodyOps)/6)
+	}
+	if li.HasTranscendental && !m.opt.StageSplit {
+		ii = math.Max(ii, transcMinII)
+	}
+	ii = math.Max(ii, m.memII(li, u))
+	lat := bodyDepth + ii*(effTrip-1)
+	return stage{lat: lat, occ: ii * effTrip, ii: ii}
+}
+
+// dataflowStage models coarse-grained pipelining of a loop with
+// sub-loops: Merlin converts the body into a dataflow of stages;
+// successive iterations overlap, limited by the busiest stage's
+// occupancy.
+func (m *model) dataflowStage(li *cir.LoopInfo, trip, u float64) stage {
+	var fillSum, maxOcc float64
+	for _, c := range li.Children {
+		cs := m.schedule(c)
+		fillSum += cs.lat
+		if cs.occ > maxOcc {
+			maxOcc = cs.occ
+		}
+	}
+	bodyDepth := depth(li.BodyOps) + fillSum
+	effTrip := math.Ceil(trip / u)
+	ii := math.Max(1, maxOcc)
+	if len(li.ScalarRec) > 0 {
+		ii = math.Max(ii, seqLat(li.RecOps))
+	}
+	if len(m.carriedArrays(li)) > 0 {
+		// Iterations cannot overlap through a carried array dependence.
+		m.hasCarriedPipe = true
+		ii = math.Max(ii, bodyDepth/2)
+	}
+	if li.HasTranscendental && !m.opt.StageSplit {
+		ii = math.Max(ii, transcMinII)
+	}
+	ii = math.Max(ii, m.memII(li, u))
+	lat := bodyDepth + ii*(effTrip-1)
+	return stage{lat: lat, occ: ii * effTrip, ii: ii}
+}
+
+// seqStage models an unpipelined loop (with optional unrolling).
+func (m *model) seqStage(li *cir.LoopInfo, trip, u float64) stage {
+	var childSum float64
+	for _, c := range li.Children {
+		cs := m.schedule(c)
+		childSum += cs.lat
+	}
+	iter := depth(li.BodyOps) + childSum + 2 // loop control overhead
+	effTrip := math.Ceil(trip / u)
+	if len(m.carriedArrays(li)) > 0 {
+		effTrip = trip // lanes serialize
+	}
+	lat := iter*effTrip + 3
+	if len(li.ScalarRec) > 0 && u > 1 {
+		lat += math.Log2(u) * float64(defaultLat.FpAdd) // tree combine
+	}
+	if li.Loop.ID == m.kernel.TaskLoopID {
+		// Unpipelined task loop pays a blocking burst per iteration at
+		// the configured interface width (capped by the DDR channel).
+		perCycle := m.interfaceBytesPerCycle()
+		lat += float64(m.bytesPerTaskOf()) / perCycle * effTrip * u
+	}
+	return stage{lat: lat, occ: lat, ii: iter}
+}
+
+// flattenStage models pipeline flatten: the whole sub-nest is fully
+// unrolled into one pipelined body. Independent per-iteration work (the
+// usual case: a fresh reduction per outer iteration) adds depth, not II.
+func (m *model) flattenStage(li *cir.LoopInfo, trip, u float64) stage {
+	ops, chain, ok := m.flattenOps(li)
+	if !ok {
+		m.infeasible = fmt.Sprintf("flatten of loop %s requires constant sub-loop bounds", li.Loop.ID)
+		return stage{lat: 1, occ: 1}
+	}
+	work := seqLat(ops)
+	bodyDepth := math.Max(8, 4*math.Log2(work+2)) + chain
+	ii := 1.0
+	if len(li.ScalarRec) > 0 {
+		ii = math.Max(ii, seqLat(li.RecOps))
+	}
+	if li.HasTranscendental && !m.opt.StageSplit {
+		ii = math.Max(ii, transcMinII)
+	}
+	effTrip := math.Ceil(trip / u)
+	if len(m.carriedArrays(li)) > 0 {
+		m.hasCarriedPipe = true
+		ii = math.Max(ii, bodyDepth/2)
+	}
+	ii = math.Max(ii, m.memII(li, u))
+	lat := bodyDepth + ii*(effTrip-1)
+	return stage{lat: lat, occ: ii * effTrip, ii: ii}
+}
+
+// flattenOps accumulates the fully unrolled operation count of li's
+// subtree and the serialized dependence-chain depth contributed by carried
+// sub-loops: stencil-carried sub-loops serialize (trip x chain) while
+// reduction sub-loops collapse to balanced trees (log depth). ok=false
+// when a sub-loop has an unknown trip count.
+func (m *model) flattenOps(li *cir.LoopInfo) (cir.OpCount, float64, bool) {
+	ops := li.BodyOps
+	var chain float64
+	for _, c := range li.Children {
+		if c.Trip <= 0 {
+			return ops, 0, false
+		}
+		sub, subChain, ok := m.flattenOps(c)
+		if !ok {
+			return ops, 0, false
+		}
+		sub.Scale(int(c.Trip))
+		ops.Add(sub)
+		switch {
+		case len(c.CarriedArrays) > 0:
+			chain += float64(c.Trip) * math.Max(1, seqLat(c.BodyOps)/4)
+		case len(c.ScalarRec) > 0:
+			chain += math.Log2(float64(c.Trip)+1) * seqLat(c.RecOps)
+		}
+		chain += subChain
+	}
+	return ops, chain, true
+}
+
+// interfaceBytesPerCycle returns the aggregate AXI interface throughput
+// implied by the buffer bit-width directives, capped by the DDR channel.
+func (m *model) interfaceBytesPerCycle() float64 {
+	total := 0.0
+	for _, p := range m.kernel.Params {
+		if !p.IsArray {
+			continue
+		}
+		bw := p.BitWidth
+		if bw == 0 {
+			bw = p.Elem.Bits()
+		}
+		total += float64(bw) / 8
+	}
+	if cap := float64(m.dev.DDRBytesPerCycle); total > cap || total == 0 {
+		total = cap
+	}
+	return total
+}
+
+// memII returns the initiation-interval floor imposed by off-chip
+// interface bandwidth when li is the task loop (inner loops stream from
+// on-chip buffers filled by Merlin-inserted bursts).
+func (m *model) memII(li *cir.LoopInfo, u float64) float64 {
+	if li.Loop.ID != m.kernel.TaskLoopID {
+		return 0
+	}
+	var worst float64
+	var totalBytes float64
+	for _, p := range m.kernel.Params {
+		if !p.IsArray {
+			continue
+		}
+		if p.IsOutput && m.kernel.Pattern == cir.PatternReduce {
+			continue
+		}
+		eb := float64(p.Elem.Bits()) / 8
+		bytes := float64(p.Length) * eb * u
+		totalBytes += bytes
+		bw := p.BitWidth
+		if bw == 0 {
+			bw = p.Elem.Bits()
+		}
+		perCycle := float64(bw) / 8
+		if c := bytes / perCycle; c > worst {
+			worst = c
+		}
+	}
+	if c := totalBytes / float64(m.dev.DDRBytesPerCycle); c > worst {
+		worst = c
+	}
+	return worst
+}
+
+// bytesPerTaskOf returns the streamed off-chip traffic per task. Reduce
+// outputs are task-invariant accumulators transferred once per batch and
+// do not stream.
+func (m *model) bytesPerTaskOf() int {
+	total := 0
+	for _, p := range m.kernel.Params {
+		if !p.IsArray {
+			continue
+		}
+		if p.IsOutput && m.kernel.Pattern == cir.PatternReduce {
+			continue
+		}
+		total += p.Length * p.Elem.Bits() / 8
+	}
+	return total
+}
+
+// resources walks the loop tree accumulating resource usage under the
+// current annotations.
+func (m *model) resources() (lut, ff, dsp, bram int) {
+	// Base platform/control overhead.
+	lut = m.dev.LUT / 50
+	ff = m.dev.FF / 50
+
+	addOps := func(ops cir.OpCount, rep int, pipelined bool) {
+		fr := 1.0
+		if pipelined {
+			fr = 1.6 // pipeline registers
+		}
+		add := func(n int, key string) {
+			r := resTable[key]
+			lut += n * rep * r.lut
+			ff += int(float64(n*rep*r.ff) * fr)
+			dsp += n * rep * r.dsp
+		}
+		add(ops.IntAdd, "intAdd")
+		add(ops.IntMul, "intMul")
+		add(ops.IntDiv, "intDiv")
+		add(ops.FpAdd, "fpAdd")
+		add(ops.FpMul, "fpMul")
+		add(ops.FpDiv, "fpDiv")
+		add(ops.Transc, "transc")
+		add(ops.Select, "select")
+		add(ops.Loads+ops.Stores, "mem")
+	}
+
+	var walk func(li *cir.LoopInfo, rep int)
+	walk = func(li *cir.LoopInfo, rep int) {
+		u := maxInt(1, li.Loop.Opt.Parallel)
+		if li.Trip > 0 && int64(u) > li.Trip {
+			u = int(li.Trip)
+		}
+		rep *= u
+		if rep > m.maxRep {
+			m.maxRep = rep
+		}
+		pipelined := li.Loop.Opt.Pipeline != cir.PipeOff
+		if li.Loop.Opt.Pipeline == cir.PipeFlatten {
+			ops, _, ok := m.flattenOps(li)
+			if ok {
+				addOps(ops, rep, true)
+			}
+			if r := rep * int(li.Trip); li.Trip > 0 && r > m.maxRep {
+				m.maxRep = r
+			}
+			return
+		}
+		addOps(li.BodyOps, rep, pipelined)
+		lut += 300 // loop control FSM
+		ff += 200
+		for _, c := range li.Children {
+			walk(c, rep)
+		}
+	}
+	addOps(m.info.TopOps, 1, false)
+	taskRep := 1
+	for _, r := range m.info.Roots {
+		walk(r, 1)
+		if r.Loop.ID == m.kernel.TaskLoopID {
+			taskRep = maxInt(1, r.Loop.Opt.Parallel)
+		}
+	}
+
+	// BRAM: local arrays are replicated per task-level processing element
+	// and banked for intra-PE parallelism. Banking spreads the same bits
+	// over more, shallower BRAMs, so the block count is the larger of the
+	// capacity need and the bank count.
+	innerBanks := m.maxRep / maxInt(1, taskRep)
+	if innerBanks > 64 {
+		innerBanks = 64
+	}
+	if innerBanks < 1 {
+		innerBanks = 1
+	}
+	for _, bytes := range m.info.LocalArrays {
+		blocks := (bytes + bram18kBytes - 1) / bram18kBytes
+		if blocks < innerBanks {
+			blocks = innerBanks
+		}
+		bram += blocks * taskRep
+	}
+	// Constant globals (lookup tables, model weights) are stored in BRAM
+	// ROMs, replicated per PE and banked like local arrays.
+	for _, g := range m.kernel.Globals {
+		bytes := len(g.Data) * g.Elem.Bits() / 8
+		blocks := (bytes + bram18kBytes - 1) / bram18kBytes
+		if blocks < innerBanks {
+			blocks = innerBanks
+		}
+		bram += blocks * taskRep
+	}
+	// Interface staging buffers: double-buffered bursts, wider interfaces
+	// use more parallel BRAM lanes, and each task-level PE keeps private
+	// copies. The task-loop tiling factor sets the burst depth (tasks
+	// staged per burst), which is the main effect of the Table 1 tiling
+	// factor on the generated designs.
+	burstTasks := 64
+	if tl := m.info.ByID[m.kernel.TaskLoopID]; tl != nil && tl.Loop.Opt.Tile > 1 {
+		burstTasks = tl.Loop.Opt.Tile
+		if burstTasks > 256 {
+			burstTasks = 256
+		}
+	}
+	for _, p := range m.kernel.Params {
+		if !p.IsArray {
+			continue
+		}
+		bw := p.BitWidth
+		if bw == 0 {
+			bw = p.Elem.Bits()
+		}
+		lanes := maxInt(1, bw/72)
+		burstBytes := p.Length * p.Elem.Bits() / 8 * burstTasks
+		blocks := (burstBytes + bram18kBytes - 1) / bram18kBytes
+		if blocks < 1 {
+			blocks = 1
+		}
+		bram += 2 * blocks * lanes * taskRep
+		lut += 500 * lanes // AXI datapath
+	}
+	return lut, ff, dsp, bram
+}
+
+// seqLat is the summed latency of an operation mix executed as a chain.
+func seqLat(o cir.OpCount) float64 {
+	l := defaultLat
+	return float64(o.IntAdd*l.IntAdd + o.IntMul*l.IntMul + o.IntDiv*l.IntDiv +
+		o.FpAdd*l.FpAdd + o.FpMul*l.FpMul + o.FpDiv*l.FpDiv +
+		o.Transc*l.Transc + o.Select*l.Select + o.Loads*l.Load + o.Stores*l.Store)
+}
+
+// depth estimates the scheduled depth of a body given average ILP.
+func depth(o cir.OpCount) float64 {
+	return math.Max(3, seqLat(o)/ilpWidth)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

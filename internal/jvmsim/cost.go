@@ -1,0 +1,59 @@
+package jvmsim
+
+import "time"
+
+// CostModel converts dynamic execution counts into modeled wall-clock
+// time for a single-threaded Spark executor on a JVM. The per-event costs
+// reflect the mix the paper's baseline pays: JIT-compiled arithmetic is
+// cheap, while bounds-checked array traffic, boxed Tuple2 field access,
+// allocation/GC pressure, and per-element closure dispatch through the
+// RDD iterator dominate — which is why string-processing kernels (byte
+// and table-lookup heavy) fall so much further behind the FPGA than
+// floating-point ML kernels (paper §5.2: 1225.2x vs 49.9x).
+type CostModel struct {
+	ALUNs         float64 // JIT-ed integer op
+	FpALUNs       float64 // JIT-ed floating op (SIMD-friendly)
+	ArrayOpNs     float64 // numeric array access (bounds check mostly hoisted)
+	ByteArrayOpNs float64 // char/byte access through String-like paths
+	FieldOpNs     float64 // boxed tuple field read (unbox + pointer chase)
+	AllocNs       float64 // allocation plus amortized GC
+	BranchNs      float64
+	IntrinNs      float64 // java.lang.Math native call
+	LoadStoreNs   float64
+	InvokeNs      float64 // per-element closure dispatch via RDD iterator
+}
+
+// DefaultCostModel returns the calibrated single-thread executor profile.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ALUNs:         0.5,
+		FpALUNs:       0.4,
+		ArrayOpNs:     1.0,
+		ByteArrayOpNs: 4.5,
+		FieldOpNs:     4.0,
+		AllocNs:       25.0,
+		BranchNs:      0.6,
+		IntrinNs:      15.0,
+		LoadStoreNs:   0.25,
+		InvokeNs:      70.0,
+	}
+}
+
+// Nanoseconds returns the modeled execution time of the counted events.
+func (c CostModel) Nanoseconds(n Counts) float64 {
+	return float64(n.ALU)*c.ALUNs +
+		float64(n.FpALU)*c.FpALUNs +
+		float64(n.ArrayOps)*c.ArrayOpNs +
+		float64(n.ByteArrayOps)*c.ByteArrayOpNs +
+		float64(n.FieldOps)*c.FieldOpNs +
+		float64(n.Allocs)*c.AllocNs +
+		float64(n.Branches)*c.BranchNs +
+		float64(n.Intrins)*c.IntrinNs +
+		float64(n.LoadStore)*c.LoadStoreNs +
+		float64(n.Invokes)*c.InvokeNs
+}
+
+// Duration converts counted events into a time.Duration.
+func (c CostModel) Duration(n Counts) time.Duration {
+	return time.Duration(c.Nanoseconds(n))
+}

@@ -1,0 +1,294 @@
+// Package jvmsim executes kernel bytecode the way the paper's baseline
+// does: a single-threaded Spark executor on a JVM (paper §5.2 uses one
+// executor thread as the comparison point, since offloading to the FPGA
+// occupies only one thread). It provides both ground-truth results for
+// differential testing of the whole S2FA pipeline and the modeled
+// execution times that Fig. 4 normalizes speedups against.
+package jvmsim
+
+import (
+	"fmt"
+
+	"s2fa/internal/bytecode"
+	"s2fa/internal/cir"
+)
+
+// Val is a JVM runtime value: a primitive scalar, an array reference, or
+// a tuple object.
+type Val struct {
+	S     cir.Value
+	Arr   []cir.Value
+	Tup   []Val
+	IsArr bool
+	IsTup bool
+}
+
+// Scalar wraps a primitive.
+func Scalar(v cir.Value) Val { return Val{S: v} }
+
+// Array wraps an array reference.
+func Array(a []cir.Value) Val { return Val{Arr: a, IsArr: true} }
+
+// Tuple wraps a tuple object.
+func Tuple(fields ...Val) Val { return Val{Tup: fields, IsTup: true} }
+
+func (v Val) String() string {
+	switch {
+	case v.IsArr:
+		return fmt.Sprintf("array[%d]", len(v.Arr))
+	case v.IsTup:
+		return fmt.Sprintf("tuple%d", len(v.Tup))
+	default:
+		return v.S.String()
+	}
+}
+
+// Counts tallies dynamic execution events for the cost model.
+type Counts struct {
+	ALU          int64 // arithmetic/logic/compare/cast on primitives
+	FpALU        int64 // floating-point arithmetic
+	ArrayOps     int64 // numeric array loads/stores (bounds-checked, JIT-friendly)
+	ByteArrayOps int64 // char/byte array and string-like accesses (charAt-style)
+	FieldOps     int64 // tuple field reads (boxed object access)
+	Allocs       int64 // array/tuple allocations (GC pressure)
+	Branches     int64
+	Intrins      int64 // java.lang.Math calls
+	LoadStore    int64 // local variable traffic
+	Invokes      int64 // method invocations (per-element closure dispatch)
+}
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.ALU += o.ALU
+	c.FpALU += o.FpALU
+	c.ArrayOps += o.ArrayOps
+	c.ByteArrayOps += o.ByteArrayOps
+	c.FieldOps += o.FieldOps
+	c.Allocs += o.Allocs
+	c.Branches += o.Branches
+	c.Intrins += o.Intrins
+	c.LoadStore += o.LoadStore
+	c.Invokes += o.Invokes
+}
+
+// VM executes methods of one class.
+type VM struct {
+	Class  *bytecode.Class
+	Counts Counts
+	// MaxSteps bounds one invocation (default 500M).
+	MaxSteps int64
+}
+
+// New returns a VM for the class.
+func New(c *bytecode.Class) *VM {
+	return &VM{Class: c, MaxSteps: 500_000_000}
+}
+
+// Call invokes the class's call method.
+func (vm *VM) Call(in Val) (Val, error) {
+	vm.Counts.Invokes++
+	return vm.Invoke(vm.Class.Call, []Val{in})
+}
+
+// Reduce invokes the class's reduce method.
+func (vm *VM) Reduce(a, b Val) (Val, error) {
+	if vm.Class.Reduce == nil {
+		return Val{}, fmt.Errorf("jvmsim: class %s has no reduce method", vm.Class.Name)
+	}
+	vm.Counts.Invokes++
+	return vm.Invoke(vm.Class.Reduce, []Val{a, b})
+}
+
+// Invoke executes a method with the given arguments.
+func (vm *VM) Invoke(m *bytecode.Method, args []Val) (Val, error) {
+	if len(args) != len(m.Params) {
+		return Val{}, fmt.Errorf("jvmsim: %s expects %d args, got %d", m.Name, len(m.Params), len(args))
+	}
+	locals := make([]Val, len(m.LocalTypes))
+	copy(locals, args)
+	var stack []Val
+	push := func(v Val) { stack = append(stack, v) }
+	pop := func() Val {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	pc := 0
+	var steps int64
+	for {
+		steps++
+		if steps > vm.MaxSteps {
+			return Val{}, fmt.Errorf("jvmsim: %s exceeded step budget", m.Name)
+		}
+		if pc < 0 || pc >= len(m.Code) {
+			return Val{}, fmt.Errorf("jvmsim: %s: pc %d out of range", m.Name, pc)
+		}
+		in := m.Code[pc]
+		switch in.Op {
+		case bytecode.OpConst:
+			vm.Counts.LoadStore++
+			push(Scalar(in.Val))
+		case bytecode.OpLoad:
+			vm.Counts.LoadStore++
+			push(locals[in.A])
+		case bytecode.OpStore:
+			vm.Counts.LoadStore++
+			locals[in.A] = pop()
+		case bytecode.OpALoad:
+			vm.countArrayOp(in.Kind)
+			idx := pop().S.AsInt()
+			arr := pop()
+			if !arr.IsArr {
+				return Val{}, fmt.Errorf("jvmsim: %s@%d: aload on non-array", m.Name, pc)
+			}
+			if idx < 0 || idx >= int64(len(arr.Arr)) {
+				return Val{}, fmt.Errorf("jvmsim: %s@%d: ArrayIndexOutOfBounds: %d (length %d)", m.Name, pc, idx, len(arr.Arr))
+			}
+			push(Scalar(arr.Arr[idx]))
+		case bytecode.OpAStore:
+			vm.countArrayOp(in.Kind)
+			val := pop()
+			idx := pop().S.AsInt()
+			arr := pop()
+			if !arr.IsArr {
+				return Val{}, fmt.Errorf("jvmsim: %s@%d: astore on non-array", m.Name, pc)
+			}
+			if idx < 0 || idx >= int64(len(arr.Arr)) {
+				return Val{}, fmt.Errorf("jvmsim: %s@%d: ArrayIndexOutOfBounds: %d (length %d)", m.Name, pc, idx, len(arr.Arr))
+			}
+			arr.Arr[idx] = val.S.Convert(arr.Arr[idx].K)
+		case bytecode.OpArrayLen:
+			vm.Counts.ALU++
+			arr := pop()
+			push(Scalar(cir.IntVal(cir.Int, int64(len(arr.Arr)))))
+		case bytecode.OpNewArray:
+			vm.Counts.Allocs++
+			n := pop().S.AsInt()
+			arr := make([]cir.Value, n)
+			for i := range arr {
+				arr[i].K = in.Kind
+			}
+			push(Array(arr))
+		case bytecode.OpGetField:
+			vm.Counts.FieldOps++
+			tup := pop()
+			if !tup.IsTup || in.A >= len(tup.Tup) {
+				return Val{}, fmt.Errorf("jvmsim: %s@%d: bad getfield _%d", m.Name, pc, in.A+1)
+			}
+			push(tup.Tup[in.A])
+		case bytecode.OpNewTuple:
+			vm.Counts.Allocs++
+			fields := make([]Val, in.A)
+			for i := in.A - 1; i >= 0; i-- {
+				fields[i] = pop()
+			}
+			push(Tuple(fields...))
+		case bytecode.OpGetStatic:
+			vm.Counts.LoadStore++
+			sf := vm.Class.Static(in.Sym)
+			if sf == nil {
+				return Val{}, fmt.Errorf("jvmsim: %s@%d: unknown static %q", m.Name, pc, in.Sym)
+			}
+			push(Array(sf.Data))
+		case bytecode.OpBin:
+			r := pop().S
+			l := pop().S
+			v, err := binOp(in, l, r)
+			if err != nil {
+				return Val{}, fmt.Errorf("jvmsim: %s@%d: %w", m.Name, pc, err)
+			}
+			if in.Kind.IsFloat() {
+				vm.Counts.FpALU++
+			} else {
+				vm.Counts.ALU++
+			}
+			push(Scalar(v))
+		case bytecode.OpUn:
+			x := pop().S
+			switch in.Un {
+			case cir.Neg:
+				if x.K.IsFloat() {
+					push(Scalar(cir.FloatVal(x.K, -x.F)))
+					vm.Counts.FpALU++
+				} else {
+					push(Scalar(cir.IntVal(x.K, -x.I)))
+					vm.Counts.ALU++
+				}
+			case cir.Not:
+				push(Scalar(cir.BoolVal(!x.IsTrue())))
+				vm.Counts.ALU++
+			case cir.BitNot:
+				push(Scalar(cir.IntVal(x.K, ^x.I)))
+				vm.Counts.ALU++
+			}
+		case bytecode.OpCast:
+			vm.Counts.ALU++
+			push(Scalar(pop().S.Convert(in.Kind)))
+		case bytecode.OpIntrin:
+			vm.Counts.Intrins++
+			v, err := intrin(in, &stack)
+			if err != nil {
+				return Val{}, fmt.Errorf("jvmsim: %s@%d: %w", m.Name, pc, err)
+			}
+			push(Scalar(v))
+		case bytecode.OpGoto:
+			vm.Counts.Branches++
+			pc = in.Target
+			continue
+		case bytecode.OpBrFalse:
+			vm.Counts.Branches++
+			if !pop().S.IsTrue() {
+				pc = in.Target
+				continue
+			}
+		case bytecode.OpBrTrue:
+			vm.Counts.Branches++
+			if pop().S.IsTrue() {
+				pc = in.Target
+				continue
+			}
+		case bytecode.OpReturn:
+			if m.Ret.Kind == cir.Void && !m.Ret.Array && !m.Ret.IsTuple() {
+				return Val{}, nil
+			}
+			return pop(), nil
+		default:
+			return Val{}, fmt.Errorf("jvmsim: %s@%d: unknown opcode", m.Name, pc)
+		}
+		pc++
+	}
+}
+
+// countArrayOp buckets an array access by element class: narrow
+// character-like elements model the String/char path of the paper's Scala
+// kernels (charAt, boxing) and cost more than JIT-vectorizable numeric
+// arrays.
+func (vm *VM) countArrayOp(k cir.Kind) {
+	switch k {
+	case cir.Char, cir.Bool, cir.Short:
+		vm.Counts.ByteArrayOps++
+	default:
+		vm.Counts.ArrayOps++
+	}
+}
+
+func binOp(in bytecode.Instr, l, r cir.Value) (cir.Value, error) {
+	switch in.Bin {
+	case cir.LAnd:
+		return cir.BoolVal(l.IsTrue() && r.IsTrue()), nil
+	case cir.LOr:
+		return cir.BoolVal(l.IsTrue() || r.IsTrue()), nil
+	}
+	return cir.EvalBinary(in.Bin, in.Kind, l, r)
+}
+
+func intrin(in bytecode.Instr, stack *[]Val) (cir.Value, error) {
+	args := make([]cir.Value, in.A)
+	for i := in.A - 1; i >= 0; i-- {
+		s := *stack
+		args[i] = s[len(s)-1].S
+		*stack = s[:len(s)-1]
+	}
+	return cir.EvalIntrinsic(in.Sym, in.Kind, args)
+}

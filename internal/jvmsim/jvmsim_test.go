@@ -1,0 +1,237 @@
+package jvmsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"s2fa/internal/cir"
+	"s2fa/internal/kdsl"
+)
+
+// compile builds a class from source, failing the test on error.
+func compile(t *testing.T, src string) *VM {
+	t.Helper()
+	cls, err := kdsl.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cls)
+}
+
+const arithSrc = `
+class A extends Accelerator[(Int, Int), Int] {
+  val id: String = "a"
+  def call(in: (Int, Int)): Int = {
+    val a: Int = in._1
+    val b: Int = in._2
+    (a + b) * (a - b) + a / (b + 1) + (a % (b + 1)) + (a << 2) + (b >> 1) + (a & b) + (a | b) + (a ^ b)
+  }
+}
+`
+
+func arithRef(a, b int32) int32 {
+	return (a+b)*(a-b) + a/(b+1) + a%(b+1) + a<<2 + b>>1 + a&b + a | b + a ^ b
+}
+
+// TestArithmeticAgainstGo compares the interpreter's Int semantics with
+// Go's int32 arithmetic (both are two's-complement 32-bit).
+func TestArithmeticAgainstGo(t *testing.T) {
+	vm := compile(t, arithSrc)
+	f := func(a, b int16) bool { // int16 inputs avoid 32-bit overflow UB concerns
+		if b+1 == 0 {
+			return true
+		}
+		got, err := vm.Call(Tuple(
+			Scalar(cir.IntVal(cir.Int, int64(a))),
+			Scalar(cir.IntVal(cir.Int, int64(b))),
+		))
+		if err != nil {
+			return false
+		}
+		// Go evaluates a&b+a|b differently due to precedence; mirror the
+		// kernel's explicit parentheses instead.
+		a32, b32 := int32(a), int32(b)
+		want := (a32+b32)*(a32-b32) + a32/(b32+1) + (a32 % (b32 + 1)) + (a32 << 2) + (b32 >> 1) + (a32 & b32) + (a32 | b32) + (a32 ^ b32)
+		return got.S.I == int64(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShortCircuitSemantics(t *testing.T) {
+	// Division by zero on the right of && must not execute when the left
+	// is false.
+	vm := compile(t, `
+class S extends Accelerator[Int, Int] {
+  val id: String = "s"
+  def call(in: Int): Int = {
+    var out: Int = 0
+    if (in != 0 && 10 / in > 1) {
+      out = 1
+    }
+    out
+  }
+}`)
+	res, err := vm.Call(Scalar(cir.IntVal(cir.Int, 0)))
+	if err != nil {
+		t.Fatalf("short-circuit failed: %v", err)
+	}
+	if res.S.I != 0 {
+		t.Errorf("result = %d", res.S.I)
+	}
+	res, err = vm.Call(Scalar(cir.IntVal(cir.Int, 2)))
+	if err != nil || res.S.I != 1 {
+		t.Errorf("10/2>1 path: %v %v", res, err)
+	}
+}
+
+func TestForToInclusive(t *testing.T) {
+	vm := compile(t, `
+class F extends Accelerator[Int, Int] {
+  val id: String = "f"
+  def call(in: Int): Int = {
+    var s: Int = 0
+    for (i <- 1 to 10) {
+      s = s + i
+    }
+    s
+  }
+}`)
+	res, err := vm.Call(Scalar(cir.IntVal(cir.Int, 0)))
+	if err != nil || res.S.I != 55 {
+		t.Errorf("sum 1..10 = %v (%v)", res, err)
+	}
+}
+
+func TestNameShadowing(t *testing.T) {
+	// Two loops reusing the same induction variable name must not
+	// interfere (slot-name uniquification in the compiler).
+	vm := compile(t, `
+class Sh extends Accelerator[Int, Int] {
+  val id: String = "sh"
+  def call(in: Int): Int = {
+    var s: Int = 0
+    for (i <- 0 until 3) {
+      s = s + i
+    }
+    for (i <- 0 until 4) {
+      s = s + i * 10
+    }
+    var i: Int = 100
+    s + i
+  }
+}`)
+	res, err := vm.Call(Scalar(cir.IntVal(cir.Int, 0)))
+	want := int64(0+1+2) + int64(0+10+20+30) + 100
+	if err != nil || res.S.I != want {
+		t.Errorf("result = %v (%v), want %d", res, err, want)
+	}
+}
+
+func TestArrayIndexOutOfBounds(t *testing.T) {
+	vm := compile(t, `
+class O extends Accelerator[Int, Int] {
+  val id: String = "o"
+  def call(in: Int): Int = {
+    var a: Array[Int] = new Array[Int](4)
+    a(in)
+  }
+}`)
+	_, err := vm.Call(Scalar(cir.IntVal(cir.Int, 9)))
+	if err == nil || !strings.Contains(err.Error(), "ArrayIndexOutOfBounds") {
+		t.Errorf("err = %v", err)
+	}
+	_, err = vm.Call(Scalar(cir.IntVal(cir.Int, -1)))
+	if err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestCountsAccumulate(t *testing.T) {
+	vm := compile(t, minimalLoop)
+	before := vm.Counts
+	if _, err := vm.Call(Scalar(cir.IntVal(cir.Int, 8))); err != nil {
+		t.Fatal(err)
+	}
+	after := vm.Counts
+	if after.ALU <= before.ALU || after.Branches <= before.Branches {
+		t.Errorf("counts did not grow: %+v", after)
+	}
+	if after.Allocs != 1 {
+		t.Errorf("allocs = %d, want 1 (one new array)", after.Allocs)
+	}
+}
+
+const minimalLoop = `
+class L extends Accelerator[Int, Int] {
+  val id: String = "l"
+  def call(in: Int): Int = {
+    var a: Array[Int] = new Array[Int](16)
+    for (i <- 0 until 16) {
+      a(i) = i * in
+    }
+    a(15)
+  }
+}
+`
+
+func TestCostModelMonotone(t *testing.T) {
+	cm := DefaultCostModel()
+	small := Counts{ALU: 10, ArrayOps: 5}
+	big := Counts{ALU: 100, ArrayOps: 50}
+	if cm.Nanoseconds(big) <= cm.Nanoseconds(small) {
+		t.Error("cost model not monotone in counts")
+	}
+	// Byte-array accesses (String-path) must cost more than numeric ones.
+	byteHeavy := Counts{ByteArrayOps: 100}
+	numHeavy := Counts{ArrayOps: 100}
+	if cm.Nanoseconds(byteHeavy) <= cm.Nanoseconds(numHeavy) {
+		t.Error("byte-array accesses should cost more than numeric array accesses")
+	}
+}
+
+func TestCountsAddAll(t *testing.T) {
+	a := Counts{ALU: 1, FpALU: 2, ArrayOps: 3, ByteArrayOps: 4, FieldOps: 5,
+		Allocs: 6, Branches: 7, Intrins: 8, LoadStore: 9, Invokes: 10}
+	var b Counts
+	b.Add(a)
+	b.Add(a)
+	if b.ALU != 2 || b.Invokes != 20 || b.ByteArrayOps != 8 {
+		t.Errorf("Add broken: %+v", b)
+	}
+}
+
+func TestFloatSemantics(t *testing.T) {
+	vm := compile(t, `
+class FP extends Accelerator[Double, Double] {
+  val id: String = "fp"
+  def call(in: Double): Double = {
+    Math.sqrt(in * in) + Math.exp(0.0) + Math.max(in, -in)
+  }
+}`)
+	res, err := vm.Call(Scalar(cir.FloatVal(cir.Double, -3.0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0 + 1.0 + 3.0
+	if math.Abs(res.S.F-want) > 1e-12 {
+		t.Errorf("result = %v, want %v", res.S.F, want)
+	}
+}
+
+func TestReduceRequiresMethod(t *testing.T) {
+	vm := compile(t, minimalLoop)
+	if _, err := vm.Reduce(Scalar(cir.IntVal(cir.Int, 1)), Scalar(cir.IntVal(cir.Int, 2))); err == nil {
+		t.Error("Reduce without a reduce method accepted")
+	}
+}
+
+func TestInvokeArityChecked(t *testing.T) {
+	vm := compile(t, minimalLoop)
+	if _, err := vm.Invoke(vm.Class.Call, nil); err == nil {
+		t.Error("missing arguments accepted")
+	}
+}

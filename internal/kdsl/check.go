@@ -1,0 +1,669 @@
+package kdsl
+
+import (
+	"s2fa/internal/cir"
+)
+
+// Check type-checks a parsed class in place: it resolves identifiers,
+// infers and records expression types, inserts implicit numeric widening
+// casts, folds constant array sizes, and enforces the S2FA programming
+// restrictions of paper §3.3. On success the AST is ready for bytecode
+// generation.
+func Check(cls *ClassDef) error {
+	c := &checker{cls: cls}
+	return c.checkClass()
+}
+
+type symKind uint8
+
+const (
+	symLocal symKind = iota
+	symParam
+	symFieldScalar
+	symFieldArray
+)
+
+type symbol struct {
+	kind    symKind
+	typ     Type
+	mutable bool
+}
+
+type checker struct {
+	cls    *ClassDef
+	scopes []map[string]symbol
+}
+
+func (c *checker) push()                        { c.scopes = append(c.scopes, map[string]symbol{}) }
+func (c *checker) pop()                         { c.scopes = c.scopes[:len(c.scopes)-1] }
+func (c *checker) define(name string, s symbol) { c.scopes[len(c.scopes)-1][name] = s }
+
+func (c *checker) lookup(name string) (symbol, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s, true
+		}
+	}
+	return symbol{}, false
+}
+
+func (c *checker) checkClass() error {
+	cls := c.cls
+	idField := cls.Field("id")
+	if idField == nil || !idField.T.String || idField.Str == "" {
+		return errf(cls.Pos, "class %s must declare `val id: String = %q`-style accelerator identifier", cls.Name, "...")
+	}
+	for i := range cls.Fields {
+		if err := c.checkField(&cls.Fields[i]); err != nil {
+			return err
+		}
+	}
+	call := cls.Method("call")
+	if call == nil {
+		return errf(cls.Pos, "class %s must define a call method", cls.Name)
+	}
+	if len(call.Params) != 1 || !call.Params[0].T.Equal(cls.InType) {
+		return errf(call.Pos, "call must take one parameter of the Accelerator input type %s", cls.InType.str())
+	}
+	if !call.Ret.Equal(cls.OutType) {
+		return errf(call.Pos, "call must return the Accelerator output type %s", cls.OutType.str())
+	}
+	if err := c.checkMethod(call); err != nil {
+		return err
+	}
+	if red := cls.Method("reduce"); red != nil {
+		if len(red.Params) != 2 || !red.Params[0].T.Equal(cls.OutType) || !red.Params[1].T.Equal(cls.OutType) {
+			return errf(red.Pos, "reduce must take two parameters of the output type %s", cls.OutType.str())
+		}
+		if !red.Ret.Equal(cls.OutType) {
+			return errf(red.Pos, "reduce must return the output type %s", cls.OutType.str())
+		}
+		if err := c.checkMethod(red); err != nil {
+			return err
+		}
+	}
+	for i := range cls.Methods {
+		m := &cls.Methods[i]
+		if m.Name != "call" && m.Name != "reduce" {
+			return errf(m.Pos, "unsupported method %q: S2FA kernels define call and optionally reduce", m.Name)
+		}
+	}
+	return c.checkInSizes()
+}
+
+func (c *checker) checkField(f *FieldDef) error {
+	if f.T.String {
+		if f.Name != "id" {
+			return errf(f.Pos, "String fields other than `id` are unsupported")
+		}
+		return nil
+	}
+	if f.T.IsTuple() {
+		return errf(f.Pos, "tuple-typed constant fields are unsupported")
+	}
+	if len(f.Elems) == 0 {
+		return errf(f.Pos, "field %s needs a literal initializer", f.Name)
+	}
+	if !f.T.Array && len(f.Elems) != 1 {
+		return errf(f.Pos, "scalar field %s initialized with %d values", f.Name, len(f.Elems))
+	}
+	for _, e := range f.Elems {
+		lt, err := c.literalType(e)
+		if err != nil {
+			return err
+		}
+		if !widens(lt.Kind, f.T.Kind) && lt.Kind != f.T.Kind {
+			return errf(e.Pos(), "field %s: literal of type %s does not fit declared %s", f.Name, lt.str(), f.T.str())
+		}
+		e.setType(Type{Kind: f.T.Kind})
+	}
+	return nil
+}
+
+func (c *checker) checkInSizes() error {
+	f := c.cls.Field("inSizes")
+	arity := 1
+	inT := c.cls.InType
+	if inT.IsTuple() {
+		arity = len(inT.Tuple)
+	}
+	needsSizes := false
+	fields := []Type{inT}
+	if inT.IsTuple() {
+		fields = inT.Tuple
+	}
+	for _, ft := range fields {
+		if ft.Array {
+			needsSizes = true
+		}
+	}
+	if !needsSizes {
+		return nil
+	}
+	if f == nil {
+		return errf(c.cls.Pos, "class %s has array inputs: declare the data layout template `val inSizes: Array[Int] = Array(...)` (S2FA class template, paper §3.3)", c.cls.Name)
+	}
+	if !f.T.Array || f.T.Kind != cir.Int {
+		return errf(f.Pos, "inSizes must be Array[Int]")
+	}
+	if len(f.Elems) != arity {
+		return errf(f.Pos, "inSizes has %d entries for %d input fields", len(f.Elems), arity)
+	}
+	return nil
+}
+
+func (c *checker) literalType(e Expr) (Type, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		if e.Long {
+			return Type{Kind: cir.Long}, nil
+		}
+		return Type{Kind: cir.Int}, nil
+	case *FloatLit:
+		if e.Single {
+			return Type{Kind: cir.Float}, nil
+		}
+		return Type{Kind: cir.Double}, nil
+	case *CharLit:
+		return Type{Kind: cir.Char}, nil
+	case *BoolLit:
+		return Type{Kind: cir.Bool}, nil
+	}
+	return Type{}, errf(e.Pos(), "expected literal")
+}
+
+func (c *checker) checkMethod(m *MethodDef) error {
+	c.scopes = nil
+	c.push()
+	// Class fields are visible inside methods.
+	for i := range c.cls.Fields {
+		f := &c.cls.Fields[i]
+		if f.T.String || f.Name == "inSizes" {
+			continue
+		}
+		k := symFieldScalar
+		if f.T.Array {
+			k = symFieldArray
+		}
+		c.define(f.Name, symbol{kind: k, typ: f.T})
+	}
+	c.push()
+	for _, p := range m.Params {
+		c.define(p.Name, symbol{kind: symParam, typ: p.T})
+	}
+	if len(m.Body) == 0 {
+		return errf(m.Pos, "method %s has an empty body", m.Name)
+	}
+	for i, s := range m.Body {
+		last := i == len(m.Body)-1
+		if err := c.checkStmt(s, m, last); err != nil {
+			return err
+		}
+	}
+	// The final statement must produce the return value.
+	switch last := m.Body[len(m.Body)-1].(type) {
+	case *ExprStmt:
+		if !assignable(last.E.Type(), m.Ret) {
+			return errf(last.Pos(), "method %s returns %s, body yields %s", m.Name, m.Ret.str(), last.E.Type().str())
+		}
+	case *ReturnStmt:
+		if !assignable(last.E.Type(), m.Ret) {
+			return errf(last.Pos(), "method %s returns %s, return yields %s", m.Name, m.Ret.str(), last.E.Type().str())
+		}
+	default:
+		return errf(last.Pos(), "method %s must end with its result expression", m.Name)
+	}
+	c.pop()
+	c.pop()
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt, m *MethodDef, last bool) error {
+	switch s := s.(type) {
+	case *DeclStmt:
+		if _, exists := c.scopes[len(c.scopes)-1][s.Name]; exists {
+			return errf(s.Pos(), "%s redeclared in this scope", s.Name)
+		}
+		if s.T.IsTuple() {
+			return errf(s.Pos(), "tuple-typed locals are unsupported; destructure with ._1/._2")
+		}
+		if err := c.checkExpr(s.Init); err != nil {
+			return err
+		}
+		if !assignable(s.Init.Type(), s.T) {
+			return errf(s.Pos(), "cannot initialize %s (%s) with %s", s.Name, s.T.str(), s.Init.Type().str())
+		}
+		s.Init = implicitCast(s.Init, s.T)
+		c.define(s.Name, symbol{kind: symLocal, typ: s.T, mutable: s.Mutable})
+		return nil
+	case *AssignStmt:
+		if err := c.checkExpr(s.Target); err != nil {
+			return err
+		}
+		if err := c.checkExpr(s.Value); err != nil {
+			return err
+		}
+		switch t := s.Target.(type) {
+		case *Ident:
+			sym, ok := c.lookup(t.Name)
+			if !ok {
+				return errf(t.Pos(), "undefined: %s", t.Name)
+			}
+			if sym.kind == symFieldScalar || sym.kind == symFieldArray {
+				return errf(t.Pos(), "class constant %s is immutable", t.Name)
+			}
+			if sym.kind == symLocal && !sym.mutable {
+				return errf(t.Pos(), "cannot assign to val %s", t.Name)
+			}
+			if sym.kind == symParam && !t.Type().Array {
+				return errf(t.Pos(), "cannot assign to parameter %s", t.Name)
+			}
+		case *IndexExpr:
+			if ix, ok := t.X.(*Ident); ok {
+				if sym, found := c.lookup(ix.Name); found && sym.kind == symFieldArray {
+					return errf(t.Pos(), "class constant %s is immutable", ix.Name)
+				}
+			}
+		default:
+			return errf(s.Pos(), "invalid assignment target")
+		}
+		if !assignable(s.Value.Type(), s.Target.Type()) {
+			return errf(s.Pos(), "cannot assign %s to %s", s.Value.Type().str(), s.Target.Type().str())
+		}
+		s.Value = implicitCast(s.Value, s.Target.Type())
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		if s.Cond.Type().Kind != cir.Bool || !s.Cond.Type().IsScalar() {
+			return errf(s.Cond.Pos(), "while condition must be Boolean")
+		}
+		c.push()
+		defer c.pop()
+		return c.checkStmts(s.Body, m)
+	case *ForStmt:
+		if err := c.checkExpr(s.Lo); err != nil {
+			return err
+		}
+		if err := c.checkExpr(s.Hi); err != nil {
+			return err
+		}
+		if !intLike(s.Lo.Type()) || !intLike(s.Hi.Type()) {
+			return errf(s.Pos(), "for bounds must be integers")
+		}
+		c.push()
+		defer c.pop()
+		c.define(s.Var, symbol{kind: symLocal, typ: Type{Kind: cir.Int}})
+		return c.checkStmts(s.Body, m)
+	case *IfStmt:
+		if err := c.checkExpr(s.Cond); err != nil {
+			return err
+		}
+		if s.Cond.Type().Kind != cir.Bool || !s.Cond.Type().IsScalar() {
+			return errf(s.Cond.Pos(), "if condition must be Boolean")
+		}
+		c.push()
+		if err := c.checkStmts(s.Then, m); err != nil {
+			c.pop()
+			return err
+		}
+		c.pop()
+		c.push()
+		defer c.pop()
+		return c.checkStmts(s.Else, m)
+	case *ExprStmt:
+		if !last {
+			return errf(s.Pos(), "expression statements are only allowed as the method result")
+		}
+		return c.checkExpr(s.E)
+	case *ReturnStmt:
+		if !last {
+			return errf(s.Pos(), "early return is unsupported; structure the kernel with if/else")
+		}
+		return c.checkExpr(s.E)
+	}
+	return errf(s.Pos(), "unsupported statement")
+}
+
+func (c *checker) checkStmts(stmts []Stmt, m *MethodDef) error {
+	for _, s := range stmts {
+		if err := c.checkStmt(s, m, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func intLike(t Type) bool {
+	return t.IsScalar() && (t.Kind == cir.Char || t.Kind == cir.Short || t.Kind == cir.Int || t.Kind == cir.Long)
+}
+
+// widens reports whether kind a implicitly widens to b (Scala numeric
+// conversion order).
+func widens(a, b cir.Kind) bool {
+	rank := func(k cir.Kind) int {
+		switch k {
+		case cir.Char, cir.Short:
+			return 1
+		case cir.Int:
+			return 2
+		case cir.Long:
+			return 3
+		case cir.Float:
+			return 4
+		case cir.Double:
+			return 5
+		}
+		return 0
+	}
+	ra, rb := rank(a), rank(b)
+	return ra > 0 && rb > 0 && ra < rb
+}
+
+func assignable(from, to Type) bool {
+	if from.Equal(to) {
+		return true
+	}
+	if from.IsScalar() && to.IsScalar() {
+		return widens(from.Kind, to.Kind)
+	}
+	if from.IsTuple() && to.IsTuple() && len(from.Tuple) == len(to.Tuple) {
+		for i := range from.Tuple {
+			if !assignable(from.Tuple[i], to.Tuple[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func implicitCast(e Expr, to Type) Expr {
+	if !to.IsScalar() || e.Type().Kind == to.Kind {
+		return e
+	}
+	cast := &CastExpr{X: e, To: to.Kind}
+	cast.pos = e.Pos()
+	cast.setType(Type{Kind: to.Kind})
+	return cast
+}
+
+func (c *checker) checkExpr(e Expr) error {
+	switch e := e.(type) {
+	case *IntLit:
+		if e.Long {
+			e.setType(Type{Kind: cir.Long})
+		} else {
+			e.setType(Type{Kind: cir.Int})
+		}
+	case *FloatLit:
+		if e.Single {
+			e.setType(Type{Kind: cir.Float})
+		} else {
+			e.setType(Type{Kind: cir.Double})
+		}
+	case *CharLit:
+		e.setType(Type{Kind: cir.Char})
+	case *BoolLit:
+		e.setType(Type{Kind: cir.Bool})
+	case *Ident:
+		sym, ok := c.lookup(e.Name)
+		if !ok {
+			return errf(e.Pos(), "undefined: %s", e.Name)
+		}
+		e.setType(sym.typ)
+	case *TupleField:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		xt := e.X.Type()
+		if !xt.IsTuple() {
+			return errf(e.Pos(), "._%d on non-tuple %s", e.Field+1, xt.str())
+		}
+		if e.Field >= len(xt.Tuple) {
+			return errf(e.Pos(), "tuple %s has no field _%d", xt.str(), e.Field+1)
+		}
+		e.setType(xt.Tuple[e.Field])
+	case *IndexExpr:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		if err := c.checkExpr(e.Idx); err != nil {
+			return err
+		}
+		if !e.X.Type().Array {
+			return errf(e.Pos(), "indexing non-array %s", e.X.Type().str())
+		}
+		if !intLike(e.Idx.Type()) {
+			return errf(e.Idx.Pos(), "array index must be an integer")
+		}
+		e.Idx = implicitCast(e.Idx, Type{Kind: cir.Int})
+		e.setType(Type{Kind: e.X.Type().Kind})
+	case *LenExpr:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		if !e.X.Type().Array {
+			return errf(e.Pos(), ".length on non-array %s", e.X.Type().str())
+		}
+		e.setType(Type{Kind: cir.Int})
+	case *BinExpr:
+		return c.checkBin(e)
+	case *UnExpr:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		xt := e.X.Type()
+		switch e.Op {
+		case cir.Not:
+			if xt.Kind != cir.Bool || !xt.IsScalar() {
+				return errf(e.Pos(), "! needs a Boolean operand")
+			}
+			e.setType(Type{Kind: cir.Bool})
+		case cir.Neg:
+			if !xt.IsNumeric() {
+				return errf(e.Pos(), "- needs a numeric operand")
+			}
+			k := xt.Kind
+			if k == cir.Char || k == cir.Short {
+				k = cir.Int
+				e.X = implicitCast(e.X, Type{Kind: k})
+			}
+			e.setType(Type{Kind: k})
+		case cir.BitNot:
+			if !intLike(xt) {
+				return errf(e.Pos(), "~ needs an integer operand")
+			}
+			k := xt.Kind
+			if k == cir.Char || k == cir.Short {
+				k = cir.Int
+				e.X = implicitCast(e.X, Type{Kind: k})
+			}
+			e.setType(Type{Kind: k})
+		}
+	case *CastExpr:
+		if err := c.checkExpr(e.X); err != nil {
+			return err
+		}
+		if !e.X.Type().IsScalar() {
+			return errf(e.Pos(), "cast of non-scalar %s", e.X.Type().str())
+		}
+		e.setType(Type{Kind: e.To})
+	case *MathCall:
+		return c.checkMath(e)
+	case *NewArrayExpr:
+		if err := c.checkExpr(e.Len); err != nil {
+			return err
+		}
+		n, ok := constInt(e.Len)
+		if !ok {
+			return errf(e.Pos(), "new Array size must be a compile-time constant (no dynamic allocation on the FPGA, paper §3.3)")
+		}
+		if n <= 0 || n > 1<<22 {
+			return errf(e.Pos(), "array size %d out of range", n)
+		}
+		e.ConstLen = int(n)
+		e.setType(Type{Kind: e.Elem, Array: true})
+	case *TupleExpr:
+		var fields []Type
+		for _, el := range e.Elems {
+			if err := c.checkExpr(el); err != nil {
+				return err
+			}
+			if el.Type().IsTuple() {
+				return errf(el.Pos(), "nested tuples are unsupported")
+			}
+			fields = append(fields, el.Type())
+		}
+		e.setType(Type{Tuple: fields})
+	default:
+		return errf(e.Pos(), "unsupported expression")
+	}
+	return nil
+}
+
+func (c *checker) checkBin(e *BinExpr) error {
+	if err := c.checkExpr(e.L); err != nil {
+		return err
+	}
+	if err := c.checkExpr(e.R); err != nil {
+		return err
+	}
+	lt, rt := e.L.Type(), e.R.Type()
+	if e.Op.IsLogical() {
+		if lt.Kind != cir.Bool || rt.Kind != cir.Bool || !lt.IsScalar() || !rt.IsScalar() {
+			return errf(e.Pos(), "%s needs Boolean operands", e.Op)
+		}
+		e.setType(Type{Kind: cir.Bool})
+		return nil
+	}
+	if !lt.IsNumeric() || !rt.IsNumeric() {
+		if e.Op == cir.Eq || e.Op == cir.Ne {
+			if lt.Kind == cir.Bool && rt.Kind == cir.Bool && lt.IsScalar() && rt.IsScalar() {
+				e.setType(Type{Kind: cir.Bool})
+				return nil
+			}
+		}
+		return errf(e.Pos(), "%s needs numeric operands, got %s and %s", e.Op, lt.str(), rt.str())
+	}
+	k := promote(lt.Kind, rt.Kind)
+	switch e.Op {
+	case cir.And, cir.Or, cir.Xor, cir.Shl, cir.Shr, cir.Rem:
+		if k.IsFloat() && e.Op != cir.Rem {
+			return errf(e.Pos(), "%s needs integer operands", e.Op)
+		}
+	}
+	if e.Op == cir.Shl || e.Op == cir.Shr {
+		// Shift amount keeps its own type; only promote the left side.
+		e.L = implicitCast(e.L, Type{Kind: k})
+		e.R = implicitCast(e.R, Type{Kind: cir.Int})
+	} else {
+		e.L = implicitCast(e.L, Type{Kind: k})
+		e.R = implicitCast(e.R, Type{Kind: k})
+	}
+	if e.Op.IsCompare() {
+		e.setType(Type{Kind: cir.Bool})
+	} else {
+		e.setType(Type{Kind: k})
+	}
+	return nil
+}
+
+// promote applies JVM binary numeric promotion (minimum Int).
+func promote(a, b cir.Kind) cir.Kind {
+	rank := map[cir.Kind]int{cir.Char: 1, cir.Short: 1, cir.Int: 2, cir.Long: 3, cir.Float: 4, cir.Double: 5}
+	order := []cir.Kind{cir.Int, cir.Long, cir.Float, cir.Double}
+	r := rank[a]
+	if rank[b] > r {
+		r = rank[b]
+	}
+	if r < 2 {
+		r = 2
+	}
+	return order[r-2]
+}
+
+var mathArity = map[string]int{
+	"exp": 1, "log": 1, "sqrt": 1, "abs": 1, "floor": 1,
+	"pow": 2, "min": 2, "max": 2,
+}
+
+func (c *checker) checkMath(e *MathCall) error {
+	arity, ok := mathArity[e.Name]
+	if !ok {
+		return errf(e.Pos(), "Math.%s is unsupported (S2FA does not support library calls, paper §3.3)", e.Name)
+	}
+	if len(e.Args) != arity {
+		return errf(e.Pos(), "Math.%s takes %d argument(s)", e.Name, arity)
+	}
+	for _, a := range e.Args {
+		if err := c.checkExpr(a); err != nil {
+			return err
+		}
+		if !a.Type().IsNumeric() {
+			return errf(a.Pos(), "Math.%s argument must be numeric", e.Name)
+		}
+	}
+	switch e.Name {
+	case "exp", "log", "sqrt", "pow", "floor":
+		for i := range e.Args {
+			e.Args[i] = implicitCast(e.Args[i], Type{Kind: cir.Double})
+		}
+		e.setType(Type{Kind: cir.Double})
+	case "abs":
+		k := e.Args[0].Type().Kind
+		if k == cir.Char || k == cir.Short {
+			k = cir.Int
+			e.Args[0] = implicitCast(e.Args[0], Type{Kind: k})
+		}
+		e.setType(Type{Kind: k})
+	case "min", "max":
+		k := promote(e.Args[0].Type().Kind, e.Args[1].Type().Kind)
+		e.Args[0] = implicitCast(e.Args[0], Type{Kind: k})
+		e.Args[1] = implicitCast(e.Args[1], Type{Kind: k})
+		e.setType(Type{Kind: k})
+	}
+	return nil
+}
+
+// constInt folds a compile-time-constant integer expression.
+func constInt(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *IntLit:
+		return e.Val, true
+	case *CharLit:
+		return int64(e.Val), true
+	case *UnExpr:
+		if e.Op == cir.Neg {
+			if v, ok := constInt(e.X); ok {
+				return -v, true
+			}
+		}
+	case *CastExpr:
+		return constInt(e.X)
+	case *BinExpr:
+		l, okL := constInt(e.L)
+		r, okR := constInt(e.R)
+		if !okL || !okR {
+			return 0, false
+		}
+		switch e.Op {
+		case cir.Add:
+			return l + r, true
+		case cir.Sub:
+			return l - r, true
+		case cir.Mul:
+			return l * r, true
+		case cir.Div:
+			if r != 0 {
+				return l / r, true
+			}
+		case cir.Shl:
+			return l << uint(r&63), true
+		case cir.Shr:
+			return l >> uint(r&63), true
+		}
+	}
+	return 0, false
+}

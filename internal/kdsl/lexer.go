@@ -1,0 +1,244 @@
+package kdsl
+
+import (
+	"strings"
+	"unicode"
+)
+
+// lexer tokenizes kdsl source text.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, returning the token stream or the first
+// lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peek2() rune {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) here() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		switch {
+		case unicode.IsSpace(r):
+			lx.advance()
+		case r == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case r == '/' && lx.peek2() == '*':
+			pos := lx.here()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(pos, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-char punctuation, longest first.
+var puncts = []string{
+	"<-", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"(", ")", "{", "}", "[", "]", ",", ":", ";", ".", "=",
+	"<", ">", "+", "-", "*", "/", "%", "!", "&", "|", "^", "~",
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.here()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	r := lx.peek()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			c := lx.peek()
+			if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+				b.WriteRune(lx.advance())
+			} else {
+				break
+			}
+		}
+		text := b.String()
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Pos: pos}, nil
+	case unicode.IsDigit(r):
+		return lx.number(pos)
+	case r == '\'':
+		return lx.charLit(pos)
+	case r == '"':
+		return lx.stringLit(pos)
+	}
+	for _, p := range puncts {
+		if lx.match(p) {
+			return Token{Kind: TokPunct, Text: p, Pos: pos}, nil
+		}
+	}
+	return Token{}, errf(pos, "unexpected character %q", r)
+}
+
+func (lx *lexer) match(p string) bool {
+	rs := []rune(p)
+	if lx.pos+len(rs) > len(lx.src) {
+		return false
+	}
+	for i, r := range rs {
+		if lx.src[lx.pos+i] != r {
+			return false
+		}
+	}
+	for range rs {
+		lx.advance()
+	}
+	return true
+}
+
+func (lx *lexer) number(pos Pos) (Token, error) {
+	var b strings.Builder
+	isFloat := false
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case unicode.IsDigit(c):
+			b.WriteRune(lx.advance())
+		case c == '.' && !isFloat && lx.pos+1 < len(lx.src) && unicode.IsDigit(lx.src[lx.pos+1]):
+			isFloat = true
+			b.WriteRune(lx.advance())
+		case (c == 'e' || c == 'E') && lx.pos+1 < len(lx.src) &&
+			(unicode.IsDigit(lx.src[lx.pos+1]) || lx.src[lx.pos+1] == '-' || lx.src[lx.pos+1] == '+'):
+			isFloat = true
+			b.WriteRune(lx.advance())
+			if lx.peek() == '-' || lx.peek() == '+' {
+				b.WriteRune(lx.advance())
+			}
+		case c == 'f' || c == 'F' || c == 'L' || c == 'd' || c == 'D':
+			b.WriteRune(lx.advance())
+			if c == 'f' || c == 'F' || c == 'd' || c == 'D' {
+				isFloat = true
+			}
+			goto done
+		default:
+			goto done
+		}
+	}
+done:
+	kind := TokInt
+	if isFloat {
+		kind = TokFloat
+	}
+	return Token{Kind: kind, Text: b.String(), Pos: pos}, nil
+}
+
+func (lx *lexer) charLit(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	if lx.pos >= len(lx.src) {
+		return Token{}, errf(pos, "unterminated character literal")
+	}
+	r := lx.advance()
+	if r == '\\' {
+		if lx.pos >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated escape")
+		}
+		esc := lx.advance()
+		switch esc {
+		case 'n':
+			r = '\n'
+		case 't':
+			r = '\t'
+		case '0':
+			r = 0
+		case '\\', '\'':
+			r = esc
+		default:
+			return Token{}, errf(pos, "unsupported escape \\%c", esc)
+		}
+	}
+	if lx.pos >= len(lx.src) || lx.peek() != '\'' {
+		return Token{}, errf(pos, "unterminated character literal")
+	}
+	lx.advance()
+	return Token{Kind: TokChar, Text: string(r), Pos: pos}, nil
+}
+
+func (lx *lexer) stringLit(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		r := lx.advance()
+		if r == '"' {
+			return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+		}
+		if r == '\n' {
+			return Token{}, errf(pos, "newline in string literal")
+		}
+		b.WriteRune(r)
+	}
+	return Token{}, errf(pos, "unterminated string literal")
+}

@@ -1,0 +1,62 @@
+// Package kdsl implements the Scala-subset kernel language that stands in
+// for user-written Spark/Blaze kernels (paper Code 1/Code 2). A kernel is
+// a class extending Accelerator[I, O] with a `val id: String` accelerator
+// identifier, optional constant fields, a `call` method (the RDD
+// transformation lambda) and an optional `reduce` combiner. The language
+// enforces exactly the S2FA restrictions of paper §3.3: primitive and
+// registered composite types only (tuples, arrays), no library calls
+// beyond java.lang.Math, and `new` only with compile-time-constant sizes.
+//
+// The package compiles source text to internal/bytecode class files, the
+// input format of the bytecode-to-C compiler.
+package kdsl
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokChar
+	TokString
+	TokPunct   // single/multi char operators and delimiters
+	TokKeyword // reserved words
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Pos  Pos
+}
+
+// Pos is a source position.
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a front-end diagnostic with position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("kdsl: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+var keywords = map[string]bool{
+	"class": true, "extends": true, "val": true, "var": true, "def": true,
+	"new": true, "if": true, "else": true, "while": true, "for": true,
+	"until": true, "to": true, "true": true, "false": true, "return": true,
+	"object": true,
+}

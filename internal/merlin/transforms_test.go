@@ -1,0 +1,136 @@
+package merlin_test
+
+import (
+	"strings"
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/cir"
+	"s2fa/internal/merlin"
+)
+
+func TestTileLoopStructure(t *testing.T) {
+	a := apps.Get("KMeans")
+	k, err := a.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tile the K loop (L1, trip 16) by a non-dividing factor.
+	xk := cir.CloneKernel(k)
+	if err := merlin.TileLoop(xk, "L1", 5); err != nil {
+		t.Fatal(err)
+	}
+	outer := xk.FindLoop("L1")
+	if outer == nil {
+		t.Fatal("outer tile loop lost its ID")
+	}
+	if outer.Step != 5 {
+		t.Errorf("outer step = %d, want 5", outer.Step)
+	}
+	inner := xk.FindLoop("L1.tile")
+	if inner == nil {
+		t.Fatal("inner tile loop missing")
+	}
+	if inner.Step != 1 {
+		t.Errorf("inner step = %d", inner.Step)
+	}
+	// Inner bound is a min() guard.
+	if call, ok := inner.Hi.(*cir.Call); !ok || call.Name != "min" {
+		t.Errorf("inner bound = %s", cir.ExprString(inner.Hi))
+	}
+	// Tiling semantics verified by execution in TestMaterializeSemanticsAllApps.
+}
+
+func TestTileErrors(t *testing.T) {
+	a := apps.Get("KMeans")
+	k, _ := a.Kernel()
+	xk := cir.CloneKernel(k)
+	if err := merlin.TileLoop(xk, "nope", 4); err == nil {
+		t.Error("unknown loop accepted")
+	}
+	if err := merlin.TileLoop(xk, "L1", 1); err == nil {
+		t.Error("tile factor 1 accepted")
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	a := apps.Get("KMeans")
+	k, _ := a.Kernel()
+	xk := cir.CloneKernel(k)
+	if err := merlin.UnrollLoop(xk, "nope", 4); err == nil {
+		t.Error("unknown loop accepted")
+	}
+	if err := merlin.UnrollLoop(xk, "L1", 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+}
+
+func TestFlattenDissolvesSubLoops(t *testing.T) {
+	a := apps.Get("KMeans")
+	k, _ := a.Kernel()
+	xk := cir.CloneKernel(k)
+	if err := merlin.FlattenLoop(xk, "L1"); err != nil {
+		t.Fatal(err)
+	}
+	if xk.FindLoop("L2") != nil {
+		t.Error("sub-loop survived flatten")
+	}
+	if xk.FindLoop("L1") == nil {
+		t.Error("flattened loop itself must remain")
+	}
+	// The flattened body contains 8 unrolled copies of the distance step.
+	src := cir.Print(xk)
+	if strings.Count(src, "centers[") < 8 {
+		t.Errorf("flattened body does not show the unrolled accesses:\n%s", src)
+	}
+}
+
+func TestFlattenDirectiveInvalidatesSubLoopFactors(t *testing.T) {
+	// Paper Impediment 2: flatten fully unrolls sub-loops, invalidating
+	// their factors; Materialize must tolerate directives for dissolved
+	// loops.
+	a := apps.Get("KMeans")
+	k, _ := a.Kernel()
+	d := merlin.Directives{Loops: map[string]cir.LoopOpt{
+		"L1": {Pipeline: cir.PipeFlatten},
+		"L2": {Parallel: 4, Pipeline: cir.PipeOn}, // dissolved by L1's flatten
+	}}
+	xk, err := merlin.Materialize(k, d)
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	if xk.FindLoop("L2") != nil {
+		t.Error("L2 should be dissolved")
+	}
+}
+
+func TestAnnotateDoesNotMutateOriginal(t *testing.T) {
+	a := apps.Get("KMeans")
+	k, _ := a.Kernel()
+	_, err := merlin.Annotate(k, merlin.Directives{
+		Loops:     map[string]cir.LoopOpt{"L1": {Parallel: 8, Pipeline: cir.PipeOn}},
+		BitWidths: map[string]int{"in": 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.FindLoop("L1").Opt.Parallel != 0 {
+		t.Error("Annotate mutated the original kernel")
+	}
+	if k.Param("in").BitWidth != 0 {
+		t.Error("Annotate mutated the original parameter")
+	}
+}
+
+func TestDirectivesClone(t *testing.T) {
+	d := merlin.Directives{
+		Loops:     map[string]cir.LoopOpt{"L0": {Parallel: 2}},
+		BitWidths: map[string]int{"in": 64},
+	}
+	cp := d.Clone()
+	cp.Loops["L0"] = cir.LoopOpt{Parallel: 9}
+	cp.BitWidths["in"] = 512
+	if d.Loops["L0"].Parallel != 2 || d.BitWidths["in"] != 64 {
+		t.Error("Clone shares state with the original")
+	}
+}

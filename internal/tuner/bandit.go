@@ -1,0 +1,79 @@
+package tuner
+
+import "math"
+
+// AUCBandit is the multi-armed bandit meta-technique OpenTuner uses to
+// arbitrate among search techniques (paper §4.2, citing Fialho et al.'s
+// bandit-based adaptive operator selection): each technique keeps a
+// sliding window recording whether its recent proposals produced a new
+// global best; techniques are scored by the area under that credit curve
+// plus an upper-confidence exploration bonus, and the next design point is
+// allocated to the best-scoring technique.
+type AUCBandit struct {
+	window int
+	c      float64 // exploration constant
+
+	history [][]bool // per-technique sliding windows
+	uses    []int
+	total   int
+}
+
+// NewAUCBandit creates a bandit over n techniques with the given sliding
+// window size and exploration constant.
+func NewAUCBandit(n, window int, c float64) *AUCBandit {
+	return &AUCBandit{
+		window:  window,
+		c:       c,
+		history: make([][]bool, n),
+		uses:    make([]int, n),
+	}
+}
+
+// Select returns the index of the technique to use next.
+func (b *AUCBandit) Select() int {
+	best, bestScore := 0, math.Inf(-1)
+	for i := range b.history {
+		score := b.auc(i) + b.exploration(i)
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// Reward records the outcome of one proposal by technique i.
+func (b *AUCBandit) Reward(i int, newBest bool) {
+	b.uses[i]++
+	b.total++
+	h := append(b.history[i], newBest)
+	if len(h) > b.window {
+		h = h[len(h)-b.window:]
+	}
+	b.history[i] = h
+}
+
+// auc computes the area-under-curve credit: recent successes weigh more
+// (rank-weighted sum over the window).
+func (b *AUCBandit) auc(i int) float64 {
+	h := b.history[i]
+	if len(h) == 0 {
+		return 0
+	}
+	var num, den float64
+	for r, ok := range h {
+		w := float64(r + 1)
+		den += w
+		if ok {
+			num += w
+		}
+	}
+	return num / den
+}
+
+// exploration is the UCB1 bonus ensuring starved techniques are retried.
+func (b *AUCBandit) exploration(i int) float64 {
+	if b.uses[i] == 0 {
+		return math.Inf(1)
+	}
+	return b.c * math.Sqrt(2*math.Log(float64(b.total+1))/float64(b.uses[i]))
+}

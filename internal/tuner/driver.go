@@ -1,0 +1,114 @@
+package tuner
+
+import (
+	"math/rand"
+
+	"s2fa/internal/space"
+)
+
+// Evaluator scores one design point. For S2FA this wraps Merlin
+// annotation plus the HLS estimator; for tests it can be any function.
+type Evaluator func(space.Point) Result
+
+// Driver runs the search loop: the bandit picks a technique, the
+// technique proposes a point, the evaluator scores it, and credit flows
+// back. Step evaluates a batch of k distinct candidates, which models
+// running k HLS evaluations on k CPU cores concurrently (the vanilla
+// OpenTuner baseline in the paper evaluates the top-8 candidates per
+// iteration on its 8 cores).
+type Driver struct {
+	Space      *space.Space
+	DB         *DB
+	Eval       Evaluator
+	Techniques []Technique
+	Bandit     *AUCBandit
+	Rng        *rand.Rand
+
+	ctx *Context
+}
+
+// NewDriver assembles a driver with the default technique ensemble and
+// bandit configuration.
+func NewDriver(s *space.Space, eval Evaluator, seed int64) *Driver {
+	rng := rand.New(rand.NewSource(seed))
+	techs := DefaultTechniques(rng)
+	d := &Driver{
+		Space:      s,
+		DB:         NewDB(),
+		Eval:       eval,
+		Techniques: techs,
+		Bandit:     NewAUCBandit(len(techs), 50, 0.05),
+		Rng:        rng,
+	}
+	d.ctx = &Context{Space: s, DB: d.DB, Rng: rng}
+	return d
+}
+
+// InjectSeed evaluates a caller-provided starting point (paper §4.3.2
+// seed generation) and records it without crediting any technique.
+func (d *Driver) InjectSeed(pt space.Point) Result {
+	r := d.Eval(pt)
+	r.Technique = "seed"
+	d.DB.Add(r)
+	for _, t := range d.Techniques {
+		if s, ok := t.(Seedable); ok {
+			s.Seed(d.ctx, r)
+		}
+	}
+	return r
+}
+
+// Step proposes and evaluates up to k distinct new design points,
+// returning their results in proposal order.
+func (d *Driver) Step(k int) []Result {
+	type slot struct {
+		tech int
+		pt   space.Point
+	}
+	var batch []slot
+	inBatch := map[string]bool{}
+	for len(batch) < k {
+		found := false
+		for attempt := 0; attempt < 16; attempt++ {
+			ti := d.Bandit.Select()
+			pt := d.Techniques[ti].Propose(d.ctx)
+			key := pt.Key()
+			if d.DB.Seen(pt) || inBatch[key] {
+				// Re-proposing an explored point wastes the slot; tell
+				// the bandit so the technique loses credit.
+				d.Bandit.Reward(ti, false)
+				continue
+			}
+			inBatch[key] = true
+			batch = append(batch, slot{tech: ti, pt: pt})
+			found = true
+			break
+		}
+		if !found {
+			// Fall back to uniform sampling to keep the batch filled.
+			pt := d.Space.RandomPoint(d.Rng)
+			if d.DB.Seen(pt) || inBatch[pt.Key()] {
+				break // space exhausted (tiny test spaces)
+			}
+			inBatch[pt.Key()] = true
+			batch = append(batch, slot{tech: -1, pt: pt})
+		}
+	}
+
+	out := make([]Result, 0, len(batch))
+	for _, sl := range batch {
+		r := d.Eval(sl.pt)
+		if sl.tech >= 0 {
+			r.Technique = d.Techniques[sl.tech].Name()
+		} else {
+			r.Technique = "random-fill"
+		}
+		newBest := d.DB.Add(r)
+		if sl.tech >= 0 {
+			d.Techniques[sl.tech].Feedback(d.ctx, r)
+			d.Bandit.Reward(sl.tech, newBest)
+		}
+		out = append(out, r)
+	}
+	return out
+}
