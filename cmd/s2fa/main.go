@@ -9,6 +9,7 @@
 //	s2fa -src kernel.scala              # your own kernel class
 //	s2fa -app KMeans -dse vanilla       # OpenTuner baseline exploration
 //	s2fa -app AES -dump-bytecode -dump-c
+//	s2fa -app S-W -lint                 # static verifier findings only
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"s2fa/internal/cir"
 	"s2fa/internal/core"
 	"s2fa/internal/dse"
+	"s2fa/internal/lint"
 )
 
 func main() {
@@ -30,6 +32,7 @@ func main() {
 		dseMode  = flag.String("dse", "s2fa", "exploration mode: s2fa | vanilla | trivial")
 		tasks    = flag.Int("tasks", 4096, "batch size the design is optimized for")
 		seed     = flag.Int64("seed", 1, "random seed (reproducible runs)")
+		lintOnly = flag.Bool("lint", false, "run the static verifier on the generated kernel, print findings, and exit (status 1 on errors)")
 		dumpBC   = flag.Bool("dump-bytecode", false, "print the compiled bytecode")
 		dumpC    = flag.Bool("dump-c", false, "print the generated HLS C before DSE")
 		dumpBest = flag.Bool("dump-best", false, "print the chosen design's annotated HLS C")
@@ -87,6 +90,19 @@ func main() {
 	if *dumpC {
 		fmt.Println("--- generated HLS C (pre-DSE) ---")
 		fmt.Println(cir.Print(kernel))
+	}
+	if *lintOnly {
+		fs := lint.Lint(kernel)
+		if len(fs) == 0 {
+			fmt.Printf("lint: %s: no findings\n", kernel.Name)
+			return
+		}
+		fmt.Printf("lint: %s: %d error(s), %d warning(s)\n", kernel.Name, len(fs.Errors()), len(fs.Warnings()))
+		fmt.Println(fs.String())
+		if fs.HasErrors() {
+			os.Exit(1)
+		}
+		return
 	}
 
 	build, err := fw.BuildFromClass(cls, kernel)

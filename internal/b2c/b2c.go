@@ -6,6 +6,7 @@ import (
 
 	"s2fa/internal/bytecode"
 	"s2fa/internal/cir"
+	"s2fa/internal/lint"
 )
 
 // Compile translates a kernel class to a complete HLS-C kernel: the
@@ -61,6 +62,15 @@ func Compile(cls *bytecode.Class) (*cir.Kernel, error) {
 	}
 	k.Body = cir.Block{task}
 	assignLoopIDs(k)
+
+	// Static verification gate: a lint error on a freshly generated kernel
+	// (undeclared variable, provable out-of-bounds subscript, broken
+	// structural invariant) is a compiler bug, not a user error — fail the
+	// compilation instead of shipping C that the differential tests would
+	// only catch dynamically. Warnings (zero-default reads etc.) pass.
+	if errs := lint.Lint(k).Errors(); len(errs) > 0 {
+		return nil, fmt.Errorf("b2c: generated kernel %s fails static verification:\n%s", k.Name, errs)
+	}
 	return k, nil
 }
 

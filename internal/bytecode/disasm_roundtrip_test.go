@@ -1,0 +1,93 @@
+// External test package so the test can compile the real workloads
+// (apps -> kdsl -> bytecode would cycle otherwise).
+package bytecode_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/bytecode"
+)
+
+// TestDisassembleAllApps drives the disassembler over every built-in
+// workload's compiled class: the listing must be complete (a line per
+// instruction, every local named), deterministic, and free of raw
+// "op(N)" markers — i.e. every opcode the DSL compiler can emit has a
+// mnemonic, so -dump-bytecode output is always readable.
+func TestDisassembleAllApps(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			cls, err := a.Class()
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			out := bytecode.DisassembleClass(cls)
+			if out != bytecode.DisassembleClass(cls) {
+				t.Fatal("disassembly is not deterministic")
+			}
+			if !strings.HasPrefix(out, fmt.Sprintf("class %s ", cls.Name)) {
+				t.Errorf("missing class header:\n%s", firstLines(out, 3))
+			}
+			if strings.Contains(out, "op(") {
+				t.Errorf("listing contains raw opcode markers:\n%s", grepLines(out, "op("))
+			}
+
+			methods := []*bytecode.Method{cls.Call}
+			if cls.Reduce != nil {
+				methods = append(methods, cls.Reduce)
+			}
+			for _, m := range methods {
+				if !strings.Contains(out, "method "+m.Name+"(") {
+					t.Errorf("method %s missing from class listing", m.Name)
+				}
+				// One listing line per instruction, at the right index.
+				for i := range m.Code {
+					marker := fmt.Sprintf("%4d: ", i)
+					if !strings.Contains(out, marker) {
+						t.Errorf("method %s: instruction %d missing from listing", m.Name, i)
+						break
+					}
+				}
+				if got := strings.Count(bytecode.Disassemble(m), "\n"); got != 1+len(m.LocalTypes)+len(m.Code) {
+					t.Errorf("method %s: %d listing lines, want header + %d locals + %d instructions",
+						m.Name, got, len(m.LocalTypes), len(m.Code))
+				}
+				// Locals render with their source names where known.
+				for i, name := range m.LocalNames {
+					if name == "" || i >= len(m.LocalTypes) {
+						continue
+					}
+					if !strings.Contains(out, " "+name+" ") {
+						t.Errorf("method %s: named local %q missing from listing", m.Name, name)
+					}
+				}
+			}
+			for _, s := range cls.Statics {
+				if !strings.Contains(out, "static "+s.Name+":") {
+					t.Errorf("static %s missing from listing", s.Name)
+				}
+			}
+		})
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func grepLines(s, sub string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, sub) {
+			out = append(out, l)
+		}
+	}
+	return strings.Join(out, "\n")
+}

@@ -92,6 +92,10 @@ type LoopInfo struct {
 	// HasTranscendental reports a transcendental call anywhere in the
 	// subtree body.
 	HasTranscendental bool
+	// HasWhile reports a general while loop anywhere in the subtree: a
+	// variable-trip region that no unroller (pipeline flatten, full
+	// unroll) can eliminate.
+	HasWhile bool
 	// CarriedArrays lists arrays through which this loop carries a
 	// dependence across iterations. Arrays declared inside the loop body
 	// are iteration-local and never appear here.
@@ -220,6 +224,9 @@ func analyzeBlock(b Block, cur *LoopInfo, info *KernelInfo, declared map[string]
 		case *While:
 			// Treated as an opaque sequential region charged to the
 			// enclosing loop.
+			if cur != nil {
+				cur.HasWhile = true
+			}
 			ops.Add(countExpr(s.Cond, cur, info))
 			ops.Add(analyzeBlock(s.Body, cur, info, declared))
 		case *Return:
@@ -240,6 +247,9 @@ func finishLoop(li *LoopInfo) {
 		li.SubtreeOps.Add(c.SubtreeOps)
 		if c.HasTranscendental {
 			li.HasTranscendental = true
+		}
+		if c.HasWhile {
+			li.HasWhile = true
 		}
 		for name, a := range c.Access {
 			acc := li.Access[name]
@@ -534,6 +544,15 @@ func carriedPair(v string, wi, ri Expr) bool {
 		return true
 	}
 	return wcst != rcst // non-zero dependence distance
+}
+
+// Affine decomposes e as coeff*v + cst + sym, where sym is a canonical
+// string for the non-constant remainder; ok=false when e is not linear in
+// v. It is the affine machinery behind the carried-dependence test, also
+// consumed by the static verifier (internal/lint) for interval analysis
+// on array subscripts.
+func Affine(e Expr, v string) (coeff, cst int64, sym string, ok bool) {
+	return affine(e, v)
 }
 
 // affine decomposes e as coeff*v + cst + sym, where sym is a canonical

@@ -35,6 +35,14 @@ type Outcome struct {
 	TotalMinutes         float64
 	Evaluations          int
 	Partitions           []Partition
+	// StaticallyPruned counts proposed points the lint legality pass
+	// rejected before evaluation (Config.StaticPrune); each cost
+	// microseconds instead of virtual synthesis minutes.
+	StaticallyPruned int
+	// PrunedDomainValues counts parameter-domain values space.PruneStatic
+	// removed before the search started (e.g. flatten on a loop with a
+	// variable-trip sub-loop).
+	PrunedDomainValues int
 }
 
 // BestAt returns the incumbent objective at virtual time t minutes
@@ -75,6 +83,11 @@ type Config struct {
 	Seed int64
 	// MaxEvaluations is a safety valve for tiny spaces.
 	MaxEvaluations int
+	// StaticPrune runs the lint legality pass before every evaluation and
+	// shrinks statically-illegal parameter domains up front, so provably
+	// rejected points never reach the HLS estimator (AutoDSE-style static
+	// pruning; outcome counters record both effects).
+	StaticPrune bool
 }
 
 // VanillaConfig reproduces the OpenTuner baseline of Fig. 3: no
@@ -106,6 +119,7 @@ func S2FAConfig(seed int64) Config {
 		BatchPerIter:     1,
 		Seed:             seed,
 		MaxEvaluations:   200_000,
+		StaticPrune:      true,
 	}
 }
 
@@ -135,6 +149,17 @@ func Run(k *cir.Kernel, sp *space.Space, eval tuner.Evaluator, cfg Config) *Outc
 	}
 
 	out := &Outcome{KernelName: k.Name, FirstFeasible: math.NaN(), FirstFeasibleMinutes: math.NaN()}
+	if cfg.StaticPrune {
+		// Guard the evaluator with the lint legality pass: statically
+		// illegal proposals cost microseconds instead of synthesis
+		// minutes. The space itself is left intact — shrinking domains
+		// here would change the partition structure and thus the whole
+		// search trajectory; the guard preserves it exactly. (Callers who
+		// want the smaller space can apply space.PruneStatic themselves
+		// before Run; PrunedDomainValues reports what it would remove.)
+		_, out.PrunedDomainValues = space.PruneStatic(sp, k)
+		eval = staticPruneEvaluator(k, sp, eval, &out.StaticallyPruned)
+	}
 	var parts []Partition
 	if cfg.Partition != nil {
 		parts = BuildPartitions(sp, k, eval, *cfg.Partition, cfg.Seed)
@@ -321,6 +346,11 @@ func (o *Outcome) Summary() string {
 	if o.Best.Feasible {
 		best = fmt.Sprintf("%.6fs", o.Best.Objective)
 	}
-	return fmt.Sprintf("%s: best=%s evals=%d time=%.1fmin partitions=%d",
+	s := fmt.Sprintf("%s: best=%s evals=%d time=%.1fmin partitions=%d",
 		o.KernelName, best, o.Evaluations, o.TotalMinutes, len(o.Partitions))
+	if o.PrunedDomainValues > 0 || o.StaticallyPruned > 0 {
+		s += fmt.Sprintf(" statically-pruned=%d(+%d domain values)",
+			o.StaticallyPruned, o.PrunedDomainValues)
+	}
+	return s
 }

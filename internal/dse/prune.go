@@ -1,0 +1,39 @@
+package dse
+
+import (
+	"s2fa/internal/cir"
+	"s2fa/internal/lint"
+	"s2fa/internal/space"
+	"s2fa/internal/tuner"
+)
+
+// pruneMinutes is the virtual cost of a static rejection: a compiler
+// check, microseconds of real work, against minutes for an HLS run. Kept
+// slightly above zero so pruned proposals still advance the virtual
+// clock (a worker cannot loop infinitely for free).
+const pruneMinutes = 0.001
+
+// staticPruneEvaluator wraps an evaluator with the lint legality pass
+// (pass 4): a point whose directives carry a lint *error* is rejected for
+// pruneMinutes instead of being handed to Merlin + the HLS estimator. By
+// the lint severity contract those points are exactly the ones the inner
+// evaluator would have rejected anyway (annotate error or flatten
+// infeasibility), so pruning never changes which designs are reachable —
+// only how much virtual time illegal proposals burn. counter tallies the
+// skips.
+func staticPruneEvaluator(k *cir.Kernel, sp *space.Space, inner tuner.Evaluator, counter *int) tuner.Evaluator {
+	chk := lint.NewChecker(k)
+	return func(pt space.Point) tuner.Result {
+		d := sp.Directives(pt)
+		if chk.Directives(d.Loops, d.BitWidths).HasErrors() {
+			*counter++
+			return tuner.Result{
+				Point:     pt,
+				Objective: rejectPenalty,
+				Feasible:  false,
+				Minutes:   pruneMinutes,
+			}
+		}
+		return inner(pt)
+	}
+}

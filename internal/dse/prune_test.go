@@ -1,0 +1,114 @@
+package dse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/fpga"
+	"s2fa/internal/hls"
+	"s2fa/internal/space"
+	"s2fa/internal/tuner"
+)
+
+func swSetup(t *testing.T) (*apps.App, *space.Space) {
+	t.Helper()
+	a := apps.Get("S-W")
+	k, err := a.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, space.Identify(k)
+}
+
+// TestStaticPruneEvaluatorShortCircuit checks the guard in isolation: a
+// statically illegal point (flatten over the S-W while-loop traceback)
+// must be rejected for pruneMinutes without reaching the inner evaluator,
+// and a legal point must pass through untouched.
+func TestStaticPruneEvaluatorShortCircuit(t *testing.T) {
+	a, sp := swSetup(t)
+	k, _ := a.Kernel()
+
+	innerCalls := 0
+	inner := func(pt space.Point) tuner.Result {
+		innerCalls++
+		return tuner.Result{Point: pt, Objective: 1, Feasible: true, Minutes: 5}
+	}
+	pruned := 0
+	eval := staticPruneEvaluator(k, sp, inner, &pruned)
+
+	// The task loop nests the while-loop traceback, so flattening it is a
+	// provable lint error (RuleFlattenVarTrip).
+	illegal := sp.AreaSeed()
+	illegal[k.TaskLoopID+".pipeline"] = space.PipeFlattenVal
+	r := eval(illegal)
+	if pruned != 1 || innerCalls != 0 {
+		t.Fatalf("illegal point: pruned=%d innerCalls=%d, want 1/0", pruned, innerCalls)
+	}
+	if r.Feasible || r.Objective != rejectPenalty || r.Minutes != pruneMinutes {
+		t.Errorf("pruned result = %+v, want infeasible rejectPenalty at pruneMinutes", r)
+	}
+
+	legal := sp.AreaSeed()
+	before := pruned
+	rl := eval(legal)
+	if innerCalls != 1 || pruned != before {
+		t.Errorf("legal point: innerCalls=%d pruned=%d, want inner called once and counter unchanged", innerCalls, pruned)
+	}
+	if !rl.Feasible || rl.Minutes != 5 {
+		t.Errorf("legal result not passed through: %+v", rl)
+	}
+}
+
+// TestStaticPruneSameQualityFewerEvaluations is the paper-facing claim
+// (ISSUE acceptance criterion): on S-W, the guarded run must reach the
+// same best design while spending HLS estimation on measurably fewer
+// points — the statically pruned proposals cost microseconds, not
+// synthesis minutes. Both runs share seed 42, so outcomes are exact.
+func TestStaticPruneSameQualityFewerEvaluations(t *testing.T) {
+	a, sp := swSetup(t)
+	k, _ := a.Kernel()
+
+	run := func(prune bool) *Outcome {
+		eval := NewEvaluator(k, sp, fpga.VU9P(), int64(a.Tasks), hls.Options{})
+		cfg := S2FAConfig(42)
+		cfg.StaticPrune = prune
+		return Run(k, sp, eval, cfg)
+	}
+	base, guarded := run(false), run(true)
+
+	if base.StaticallyPruned != 0 || base.PrunedDomainValues != 0 {
+		t.Errorf("unguarded run reported pruning: %d/%d", base.StaticallyPruned, base.PrunedDomainValues)
+	}
+	if guarded.StaticallyPruned == 0 {
+		t.Error("guarded run pruned nothing; S-W must reject flatten over the while traceback")
+	}
+	if guarded.PrunedDomainValues != 1 {
+		t.Errorf("PrunedDomainValues = %d, want exactly 1 (flatten on the traceback nest)", guarded.PrunedDomainValues)
+	}
+	if math.Abs(guarded.Best.Objective-base.Best.Objective) > 1e-12*base.Best.Objective {
+		t.Errorf("pruning changed the best design quality: %.9f vs %.9f",
+			guarded.Best.Objective, base.Best.Objective)
+	}
+	baseHLS := base.Evaluations - base.StaticallyPruned
+	guardedHLS := guarded.Evaluations - guarded.StaticallyPruned
+	if guardedHLS >= baseHLS {
+		t.Errorf("guarded run did not save HLS evaluations: %d vs %d", guardedHLS, baseHLS)
+	}
+	t.Logf("best=%.6f HLS evals %d -> %d (%d statically pruned, %d domain value)",
+		guarded.Best.Objective, baseHLS, guardedHLS, guarded.StaticallyPruned, guarded.PrunedDomainValues)
+}
+
+// TestSummaryReportsPruneCounters pins the Fig. 3 summary line format the
+// exp package surfaces.
+func TestSummaryReportsPruneCounters(t *testing.T) {
+	o := &Outcome{KernelName: "k", Best: tuner.Result{Objective: 1, Feasible: true}}
+	if s := o.Summary(); strings.Contains(s, "statically-pruned") {
+		t.Errorf("summary mentions pruning with zero counters: %s", s)
+	}
+	o.StaticallyPruned, o.PrunedDomainValues = 7, 2
+	if s := o.Summary(); !strings.Contains(s, "statically-pruned=7(+2 domain values)") {
+		t.Errorf("summary missing prune counters: %s", s)
+	}
+}

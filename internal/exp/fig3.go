@@ -131,8 +131,21 @@ func (f *Fig3Result) Render() string {
 			}
 		}
 		fmt.Fprintf(&b, "   %6.0f\n", s.Vanilla.TotalMinutes)
+		if s.S2FA.StaticallyPruned > 0 || s.S2FA.PrunedDomainValues > 0 {
+			fmt.Fprintf(&b, "%-8s  lint: %d proposals statically pruned, %d domain values provably illegal\n",
+				"", s.S2FA.StaticallyPruned, s.S2FA.PrunedDomainValues)
+		}
+	}
+	pruned, domain := 0, 0
+	for _, s := range f.Series {
+		pruned += s.S2FA.StaticallyPruned
+		domain += s.S2FA.PrunedDomainValues
 	}
 	fmt.Fprintf(&b, "\nS2FA saves %.1f%% DSE time on average (paper: 52.5%%) and reaches %.1fx better designs (paper: 35x)\n",
 		f.AvgTimeSavingPct, f.QoRImprovement)
+	if pruned > 0 || domain > 0 {
+		fmt.Fprintf(&b, "static verifier pruned %d proposed points before HLS estimation (%d parameter-domain values provably illegal)\n",
+			pruned, domain)
+	}
 	return b.String()
 }

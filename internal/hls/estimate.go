@@ -381,10 +381,15 @@ func (m *model) flattenStage(li *cir.LoopInfo, trip, u float64) stage {
 // subtree and the serialized dependence-chain depth contributed by carried
 // sub-loops: stencil-carried sub-loops serialize (trip x chain) while
 // reduction sub-loops collapse to balanced trees (log depth). ok=false
-// when a sub-loop has an unknown trip count.
+// when a sub-loop has an unknown trip count — including a general while
+// anywhere in the subtree, which no unroller can flatten (the Merlin
+// transformation would fail, so the design point is infeasible).
 func (m *model) flattenOps(li *cir.LoopInfo) (cir.OpCount, float64, bool) {
 	ops := li.BodyOps
 	var chain float64
+	if li.HasWhile {
+		return ops, 0, false
+	}
 	for _, c := range li.Children {
 		if c.Trip <= 0 {
 			return ops, 0, false

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"fmt"
+
+	"s2fa/internal/cir"
+)
+
+// Pass 2: array bounds via interval analysis.
+//
+// Every counted loop contributes a value interval for its induction
+// variable (computed from the interval of its bounds, honoring the step);
+// array subscripts are then evaluated in interval arithmetic. A subscript
+// whose entire interval falls outside [0, len) is a provable
+// out-of-bounds access — an error (the generated hardware would read
+// garbage; the differential tests would catch it dynamically, this pass
+// catches it statically). A partial overlap is a warning. Subscripts
+// involving runtime quantities (the task index against the batch size N,
+// data-dependent indices) have unknown intervals and are skipped: the
+// paper's §3.3 restrictions make the common kernel indices affine in loop
+// variables, so this covers the cases that matter.
+
+// interval is a conservative value range; ok=false means unknown.
+type interval struct {
+	lo, hi int64
+	ok     bool
+}
+
+func known(lo, hi int64) interval { return interval{lo: lo, hi: hi, ok: true} }
+
+var unknown = interval{}
+
+func evalInterval(e cir.Expr, env map[string]interval) interval {
+	switch e := e.(type) {
+	case *cir.IntLit:
+		return known(e.Val, e.Val)
+	case *cir.VarRef:
+		if iv, ok := env[e.Name]; ok {
+			return iv
+		}
+		return unknown
+	case *cir.Unary:
+		x := evalInterval(e.X, env)
+		if e.Op == cir.Neg && x.ok {
+			return known(-x.hi, -x.lo)
+		}
+		return unknown
+	case *cir.Cast:
+		x := evalInterval(e.X, env)
+		if !x.ok || !e.To.IsInteger() {
+			return unknown
+		}
+		// Truncating casts can wrap; only pass intervals that provably
+		// fit the target width.
+		bits := e.To.Bits()
+		if bits >= 64 {
+			return x
+		}
+		max := int64(1)<<(bits-1) - 1
+		min := -(int64(1) << (bits - 1))
+		if x.lo >= min && x.hi <= max {
+			return x
+		}
+		return unknown
+	case *cir.Cond:
+		t := evalInterval(e.T, env)
+		f := evalInterval(e.F, env)
+		if t.ok && f.ok {
+			return known(min64(t.lo, f.lo), max64(t.hi, f.hi))
+		}
+		return unknown
+	case *cir.Call:
+		return callInterval(e, env)
+	case *cir.Binary:
+		return binaryInterval(e, env)
+	}
+	return unknown
+}
+
+func callInterval(e *cir.Call, env map[string]interval) interval {
+	args := make([]interval, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = evalInterval(a, env)
+	}
+	switch e.Name {
+	case "min":
+		if len(args) == 2 && args[0].ok && args[1].ok {
+			return known(min64(args[0].lo, args[1].lo), min64(args[0].hi, args[1].hi))
+		}
+	case "max":
+		if len(args) == 2 && args[0].ok && args[1].ok {
+			return known(max64(args[0].lo, args[1].lo), max64(args[0].hi, args[1].hi))
+		}
+	case "abs":
+		if len(args) == 1 && args[0].ok {
+			x := args[0]
+			if x.lo >= 0 {
+				return x
+			}
+			return known(0, max64(-x.lo, x.hi))
+		}
+	}
+	return unknown
+}
+
+func binaryInterval(e *cir.Binary, env map[string]interval) interval {
+	l := evalInterval(e.L, env)
+	r := evalInterval(e.R, env)
+	switch e.Op {
+	case cir.Add:
+		if l.ok && r.ok {
+			return known(l.lo+r.lo, l.hi+r.hi)
+		}
+	case cir.Sub:
+		if l.ok && r.ok {
+			return known(l.lo-r.hi, l.hi-r.lo)
+		}
+	case cir.Mul:
+		if l.ok && r.ok {
+			a, b, c, d := l.lo*r.lo, l.lo*r.hi, l.hi*r.lo, l.hi*r.hi
+			return known(min64(min64(a, b), min64(c, d)), max64(max64(a, b), max64(c, d)))
+		}
+	case cir.Shl:
+		if lit, isLit := e.R.(*cir.IntLit); isLit && l.ok && lit.Val >= 0 && lit.Val < 63 {
+			f := int64(1) << uint(lit.Val)
+			return known(l.lo*f, l.hi*f)
+		}
+	case cir.Shr:
+		if lit, isLit := e.R.(*cir.IntLit); isLit && l.ok && l.lo >= 0 && lit.Val >= 0 && lit.Val < 63 {
+			return known(l.lo>>uint(lit.Val), l.hi>>uint(lit.Val))
+		}
+	case cir.Rem:
+		// x % c for constant c > 0: result in (-c, c); [0, c) when x >= 0.
+		if lit, isLit := e.R.(*cir.IntLit); isLit && lit.Val > 0 {
+			if l.ok && l.lo >= 0 {
+				return known(0, min64(l.hi, lit.Val-1))
+			}
+			if l.ok {
+				return known(-(lit.Val - 1), lit.Val-1)
+			}
+		}
+	case cir.And:
+		// x & c for constant c >= 0 is always in [0, c] (two's complement).
+		if lit, isLit := e.R.(*cir.IntLit); isLit && lit.Val >= 0 {
+			return known(0, lit.Val)
+		}
+		if lit, isLit := e.L.(*cir.IntLit); isLit && lit.Val >= 0 {
+			return known(0, lit.Val)
+		}
+	case cir.Div:
+		if lit, isLit := e.R.(*cir.IntLit); isLit && lit.Val > 0 && l.ok && l.lo >= 0 {
+			return known(l.lo/lit.Val, l.hi/lit.Val)
+		}
+	}
+	return unknown
+}
+
+// loopVarInterval computes the value range of a counted loop's induction
+// variable, honoring the step (the last attained value may be below
+// hi-1).
+func loopVarInterval(l *cir.Loop, env map[string]interval) interval {
+	lo := evalInterval(l.Lo, env)
+	hi := evalInterval(l.Hi, env)
+	if !lo.ok || !hi.ok || l.Step <= 0 {
+		return unknown
+	}
+	last := hi.hi - 1
+	if lo.lo == lo.hi && hi.lo == hi.hi && hi.hi > lo.lo {
+		// Exact constant bounds: the last attained value is lo + k*step.
+		n := (hi.hi - 1 - lo.lo) / l.Step
+		last = lo.lo + n*l.Step
+	}
+	if last < lo.lo {
+		last = lo.lo
+	}
+	return known(lo.lo, last)
+}
+
+type boundsChecker struct {
+	k        *cir.Kernel
+	lengths  map[string]int64
+	findings Findings
+	reported map[string]bool
+}
+
+// checkBounds runs pass 2 over the kernel.
+func checkBounds(k *cir.Kernel) Findings {
+	c := &boundsChecker{k: k, lengths: map[string]int64{}, reported: map[string]bool{}}
+	for _, p := range k.Params {
+		if p.IsArray && p.Length > 0 {
+			// Per-task length; task-relative subscripts are checked
+			// against it. Absolute subscripts contain the task index,
+			// whose interval is unknown, and are skipped.
+			c.lengths[p.Name] = int64(p.Length)
+		}
+	}
+	for _, g := range k.Globals {
+		c.lengths[g.Name] = int64(len(g.Data))
+	}
+	env := map[string]interval{}
+	c.block(k.Body, env, "")
+	c.findings.Sort()
+	return c.findings
+}
+
+func (c *boundsChecker) report(sev Severity, loopID, where, detail string) {
+	key := where + "|" + detail
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.findings = append(c.findings, Finding{
+		Rule: RuleArrayBounds, Sev: sev, Kernel: c.k.Name, LoopID: loopID, Where: where, Detail: detail,
+	})
+}
+
+func (c *boundsChecker) block(b cir.Block, env map[string]interval, loopID string) {
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.Decl:
+			c.expr(s.Init, env, loopID)
+			if s.Init != nil {
+				if iv := evalInterval(s.Init, env); iv.ok {
+					env[s.Name] = iv
+				} else {
+					delete(env, s.Name)
+				}
+			} else {
+				env[s.Name] = known(0, 0) // JVM zero default
+			}
+		case *cir.ArrDecl:
+			c.lengths[s.Name] = int64(s.Len)
+		case *cir.Assign:
+			c.expr(s.RHS, env, loopID)
+			switch lhs := s.LHS.(type) {
+			case *cir.VarRef:
+				if iv := evalInterval(s.RHS, env); iv.ok {
+					// Conservative widening: re-assignment in branches or
+					// loops may cycle, so keep the union with any prior
+					// interval.
+					if prev, ok := env[lhs.Name]; ok {
+						iv = known(min64(prev.lo, iv.lo), max64(prev.hi, iv.hi))
+					}
+					env[lhs.Name] = iv
+				} else {
+					delete(env, lhs.Name)
+				}
+			case *cir.Index:
+				c.checkIndex(lhs, env, loopID)
+				c.expr(lhs.Idx, env, loopID)
+			}
+		case *cir.If:
+			c.expr(s.Cond, env, loopID)
+			c.block(s.Then, cloneEnv(env), loopID)
+			c.block(s.Else, cloneEnv(env), loopID)
+			// Either branch may have reassigned a scalar: its pre-branch
+			// interval no longer holds.
+			killAssigned(s.Then, env)
+			killAssigned(s.Else, env)
+		case *cir.Loop:
+			c.expr(s.Lo, env, loopID)
+			c.expr(s.Hi, env, loopID)
+			bodyEnv := cloneEnv(env)
+			// Scalars the body reassigns can carry values across
+			// iterations (recurrences); a single walk cannot bound them,
+			// so their intervals are dropped before checking the body.
+			killAssigned(s.Body, bodyEnv)
+			bodyEnv[s.Var] = loopVarInterval(s, env)
+			c.block(s.Body, bodyEnv, s.ID)
+			killAssigned(s.Body, env)
+		case *cir.While:
+			c.expr(s.Cond, env, loopID)
+			// A while body may run any number of times: scalars it writes
+			// lose their intervals for the check inside it.
+			c.block(s.Body, map[string]interval{}, loopID)
+			killAssigned(s.Body, env)
+		case *cir.Return:
+			c.expr(s.Val, env, loopID)
+		}
+	}
+}
+
+func (c *boundsChecker) expr(e cir.Expr, env map[string]interval, loopID string) {
+	switch e := e.(type) {
+	case nil, *cir.IntLit, *cir.FloatLit, *cir.VarRef:
+	case *cir.Index:
+		c.checkIndex(e, env, loopID)
+		c.expr(e.Idx, env, loopID)
+	case *cir.Unary:
+		c.expr(e.X, env, loopID)
+	case *cir.Binary:
+		c.expr(e.L, env, loopID)
+		c.expr(e.R, env, loopID)
+	case *cir.Cast:
+		c.expr(e.X, env, loopID)
+	case *cir.Cond:
+		c.expr(e.C, env, loopID)
+		c.expr(e.T, env, loopID)
+		c.expr(e.F, env, loopID)
+	case *cir.Call:
+		for _, a := range e.Args {
+			c.expr(a, env, loopID)
+		}
+	}
+}
+
+func (c *boundsChecker) checkIndex(ix *cir.Index, env map[string]interval, loopID string) {
+	length, ok := c.lengths[ix.Arr]
+	if !ok || length <= 0 {
+		return
+	}
+	iv := evalInterval(ix.Idx, env)
+	if !iv.ok {
+		return
+	}
+	where := fmt.Sprintf("%s[%s]", ix.Arr, cir.ExprString(ix.Idx))
+	switch {
+	case iv.hi < 0 || iv.lo >= length:
+		c.report(SevError, loopID, where,
+			fmt.Sprintf("subscript range [%d, %d] is entirely outside [0, %d)", iv.lo, iv.hi, length))
+	case iv.lo < 0 || iv.hi >= length:
+		c.report(SevWarn, loopID, where,
+			fmt.Sprintf("subscript range [%d, %d] may leave [0, %d)", iv.lo, iv.hi, length))
+	}
+}
+
+// killAssigned removes from env every scalar assigned (or re-declared)
+// anywhere in the block's subtree.
+func killAssigned(b cir.Block, env map[string]interval) {
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.Decl:
+			delete(env, s.Name)
+		case *cir.Assign:
+			if vr, ok := s.LHS.(*cir.VarRef); ok {
+				delete(env, vr.Name)
+			}
+		case *cir.If:
+			killAssigned(s.Then, env)
+			killAssigned(s.Else, env)
+		case *cir.Loop:
+			delete(env, s.Var)
+			killAssigned(s.Body, env)
+		case *cir.While:
+			killAssigned(s.Body, env)
+		}
+	}
+}
+
+func cloneEnv(env map[string]interval) map[string]interval {
+	out := make(map[string]interval, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

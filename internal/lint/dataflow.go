@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"fmt"
+
+	"s2fa/internal/cir"
+)
+
+// Pass 1: def-before-use / uninitialized-read dataflow.
+//
+// The analysis walks the structured AST keeping two facts per scalar:
+// declared (the name exists) and definitely-assigned (every path to this
+// program point wrote it). Reading an undeclared name is an error — the
+// generated C would not compile, so this is a b2c/merlin compiler bug.
+// Reading a declared-but-unassigned scalar is a warning only: cir.Decl
+// without an initializer zero-initializes, matching JVM local semantics,
+// so the code is well-defined but the read of a default value is almost
+// always unintended.
+//
+// Join rules are the classic definite-assignment ones: an if defines a
+// name only when both arms do; a loop body's definitions escape only when
+// the loop provably executes (constant trip count >= 1). Arrays track a
+// coarser fact — "some element was stored" — because per-element
+// tracking needs the pass-2 interval machinery and reads of the JVM zero
+// default are legal anyway.
+
+type dfState struct {
+	declared map[string]bool // scalar names in scope (incl. loop vars)
+	assigned map[string]bool // definitely-assigned scalars
+	arrays   map[string]bool // array names in scope (params, globals, locals)
+	written  map[string]bool // arrays with at least one definite store
+}
+
+func (st *dfState) clone() *dfState {
+	out := &dfState{
+		declared: map[string]bool{},
+		assigned: map[string]bool{},
+		arrays:   map[string]bool{},
+		written:  map[string]bool{},
+	}
+	for k := range st.declared {
+		out.declared[k] = true
+	}
+	for k := range st.assigned {
+		out.assigned[k] = true
+	}
+	for k := range st.arrays {
+		out.arrays[k] = true
+	}
+	for k := range st.written {
+		out.written[k] = true
+	}
+	return out
+}
+
+// mergeBranches intersects the definite facts of two successor states
+// into st; declarations union (JVM locals are method-scoped, and the
+// printer hoists nothing, so a name declared in one arm must still be
+// flagged if read in the other — handled by `declared` being unioned but
+// `assigned` intersected).
+func (st *dfState) mergeBranches(a, b *dfState) {
+	for k := range a.declared {
+		st.declared[k] = true
+	}
+	for k := range b.declared {
+		st.declared[k] = true
+	}
+	for k := range a.arrays {
+		st.arrays[k] = true
+	}
+	for k := range b.arrays {
+		st.arrays[k] = true
+	}
+	for k := range a.assigned {
+		if b.assigned[k] {
+			st.assigned[k] = true
+		}
+	}
+	for k := range a.written {
+		if b.written[k] {
+			st.written[k] = true
+		}
+	}
+}
+
+type dfChecker struct {
+	k        *cir.Kernel
+	findings Findings
+	reported map[string]bool // (rule, name) dedup
+}
+
+func (c *dfChecker) report(rule string, sev Severity, loopID, where, detail string) {
+	key := rule + "|" + where + "|" + detail
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.findings = append(c.findings, Finding{
+		Rule: rule, Sev: sev, Kernel: c.k.Name, LoopID: loopID, Where: where, Detail: detail,
+	})
+}
+
+// checkDataflow runs pass 1 over the kernel.
+func checkDataflow(k *cir.Kernel) Findings {
+	c := &dfChecker{k: k, reported: map[string]bool{}}
+	st := &dfState{
+		declared: map[string]bool{"N": true}, // implicit batch-size parameter
+		assigned: map[string]bool{"N": true},
+		arrays:   map[string]bool{},
+		written:  map[string]bool{},
+	}
+	for _, p := range k.Params {
+		if p.IsArray {
+			st.arrays[p.Name] = true
+			if !p.IsOutput {
+				st.written[p.Name] = true // host-filled input buffer
+			}
+		} else {
+			st.declared[p.Name] = true
+			st.assigned[p.Name] = true
+		}
+	}
+	for _, g := range k.Globals {
+		st.arrays[g.Name] = true
+		st.written[g.Name] = true // constant data
+	}
+	c.block(k.Body, st, "")
+	return c.findings
+}
+
+func (c *dfChecker) block(b cir.Block, st *dfState, loopID string) {
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.Decl:
+			if s.Init != nil {
+				c.expr(s.Init, st, loopID)
+			}
+			st.declared[s.Name] = true
+			if s.Init != nil {
+				st.assigned[s.Name] = true
+			}
+		case *cir.ArrDecl:
+			st.arrays[s.Name] = true
+		case *cir.Assign:
+			c.expr(s.RHS, st, loopID)
+			switch lhs := s.LHS.(type) {
+			case *cir.VarRef:
+				if !st.declared[lhs.Name] {
+					c.report(RuleUndefinedVar, SevError, loopID, lhs.Name,
+						fmt.Sprintf("assignment to undeclared scalar %q", lhs.Name))
+				}
+				st.assigned[lhs.Name] = true
+			case *cir.Index:
+				c.expr(lhs.Idx, st, loopID)
+				if !st.arrays[lhs.Arr] {
+					c.report(RuleUndefinedVar, SevError, loopID, lhs.Arr,
+						fmt.Sprintf("store to undeclared array %q", lhs.Arr))
+				}
+				st.written[lhs.Arr] = true
+			}
+		case *cir.If:
+			c.expr(s.Cond, st, loopID)
+			thenSt, elseSt := st.clone(), st.clone()
+			c.block(s.Then, thenSt, loopID)
+			c.block(s.Else, elseSt, loopID)
+			st.mergeBranches(thenSt, elseSt)
+		case *cir.Loop:
+			c.expr(s.Lo, st, loopID)
+			c.expr(s.Hi, st, loopID)
+			prevDecl, prevAsg := st.declared[s.Var], st.assigned[s.Var]
+			bodySt := st.clone()
+			bodySt.declared[s.Var] = true
+			bodySt.assigned[s.Var] = true
+			c.block(s.Body, bodySt, s.ID)
+			if s.TripCount() >= 1 || s.ID == c.k.TaskLoopID {
+				// The loop provably executes (constant trip, or the task
+				// loop which runs once per batch element): its definite
+				// assignments survive. The loop variable does not — it
+				// scopes to the body (restore any shadowed outer fact).
+				delete(bodySt.assigned, s.Var)
+				delete(bodySt.declared, s.Var)
+				if prevDecl {
+					bodySt.declared[s.Var] = true
+				}
+				if prevAsg {
+					bodySt.assigned[s.Var] = true
+				}
+				*st = *bodySt
+			} else {
+				// Zero-trip possible: only declarations escape (the C
+				// printer emits them in the enclosing scope semantics of
+				// the JVM method frame).
+				st.mergeBranches(bodySt, st.clone())
+			}
+		case *cir.While:
+			c.expr(s.Cond, st, loopID)
+			bodySt := st.clone()
+			c.block(s.Body, bodySt, loopID)
+			st.mergeBranches(bodySt, st.clone())
+		case *cir.Return:
+			if s.Val != nil {
+				c.expr(s.Val, st, loopID)
+			}
+		}
+	}
+}
+
+func (c *dfChecker) expr(e cir.Expr, st *dfState, loopID string) {
+	switch e := e.(type) {
+	case nil, *cir.IntLit, *cir.FloatLit:
+	case *cir.VarRef:
+		switch {
+		case !st.declared[e.Name] && !st.arrays[e.Name]:
+			c.report(RuleUndefinedVar, SevError, loopID, e.Name,
+				fmt.Sprintf("read of undeclared variable %q", e.Name))
+		case st.declared[e.Name] && !st.assigned[e.Name]:
+			c.report(RuleUninitRead, SevWarn, loopID, e.Name,
+				fmt.Sprintf("%q may be read before assignment (reads the JVM zero default)", e.Name))
+		}
+	case *cir.Index:
+		c.expr(e.Idx, st, loopID)
+		if !st.arrays[e.Arr] {
+			c.report(RuleUndefinedVar, SevError, loopID, e.Arr,
+				fmt.Sprintf("read of undeclared array %q", e.Arr))
+		} else if !st.written[e.Arr] {
+			c.report(RuleUninitRead, SevWarn, loopID, e.Arr,
+				fmt.Sprintf("array %q may be read before any element is stored", e.Arr))
+		}
+	case *cir.Unary:
+		c.expr(e.X, st, loopID)
+	case *cir.Binary:
+		c.expr(e.L, st, loopID)
+		c.expr(e.R, st, loopID)
+	case *cir.Cast:
+		c.expr(e.X, st, loopID)
+	case *cir.Cond:
+		c.expr(e.C, st, loopID)
+		c.expr(e.T, st, loopID)
+		c.expr(e.F, st, loopID)
+	case *cir.Call:
+		for _, a := range e.Args {
+			c.expr(a, st, loopID)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Self-application: the verifier runs over every built-in workload at
+// three pipeline stages and must report zero errors everywhere (the
+// generated code and the expert manual designs are all known-good). The
+// complete findings output — including warnings — is pinned to a golden
+// file so any drift in the warning set shows up in review.
+//
+// External test package: importing apps would otherwise create the cycle
+// lint -> ... <- b2c <- apps.
+package lint_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/lint"
+	"s2fa/internal/merlin"
+)
+
+var update = flag.Bool("update", false, "rewrite the self-application golden file")
+
+func TestSelfApplication(t *testing.T) {
+	var b strings.Builder
+	for _, a := range apps.All() {
+		k, err := a.Kernel()
+		if err != nil {
+			t.Fatalf("%s: compile: %v", a.Name, err)
+		}
+		record(t, &b, a.Name, "generated", lint.Lint(k))
+
+		loops, bw := a.Manual.Directives(k)
+		d := merlin.Directives{Loops: loops, BitWidths: bw}
+		ann, err := merlin.Annotate(k, d)
+		if err != nil {
+			t.Fatalf("%s: annotate manual design: %v", a.Name, err)
+		}
+		record(t, &b, a.Name, "manual-annotated", lint.Lint(ann))
+
+		mat, err := merlin.Materialize(k, d)
+		if err != nil {
+			t.Fatalf("%s: materialize manual design: %v", a.Name, err)
+		}
+		record(t, &b, a.Name, "manual-materialized", lint.PostTransform(mat))
+	}
+
+	golden := filepath.Join("testdata", "selfapp.golden")
+	got := b.String()
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("lint self-application drifted from golden file %s (regenerate with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+func record(t *testing.T, b *strings.Builder, app, stage string, fs lint.Findings) {
+	t.Helper()
+	if fs.HasErrors() {
+		t.Errorf("%s %s: unexpected lint errors:\n%s", app, stage, fs.Errors())
+	}
+	fmt.Fprintf(b, "== %s %s\n%s\n", app, stage, fs)
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+
+	"s2fa/internal/cir"
+)
+
+// Pass 5: post-transform structural invariants.
+//
+// The Merlin materialization transforms rewrite the AST aggressively —
+// unrolling duplicates bodies under lane renaming, tiling splits loops,
+// flatten splices sub-loop copies inline. This pass checks the invariants
+// those rewrites must preserve: loop IDs stay unique (the design space
+// addresses loops by ID), local names stay unique within their scope
+// (unroll renaming must not collide), induction variables are never
+// written by the body, steps are positive, and the kernel's declared task
+// loop exists. It runs after every transform in the self-application
+// tests and inside the b2c gate.
+
+type structChecker struct {
+	k        *cir.Kernel
+	findings Findings
+}
+
+// CheckStructure runs pass 5 over the kernel.
+func CheckStructure(k *cir.Kernel) Findings {
+	c := &structChecker{k: k}
+
+	seenID := map[string]bool{}
+	for _, l := range k.Loops() {
+		if seenID[l.ID] {
+			c.add(RuleDupLoopID, SevError, l.ID, "",
+				fmt.Sprintf("loop ID %q appears more than once; the design space addresses loops by ID", l.ID))
+		}
+		seenID[l.ID] = true
+		if l.Step <= 0 {
+			c.add(RuleBadStep, SevError, l.ID, "",
+				fmt.Sprintf("non-positive step %d (canonical counted loops require step >= 1)", l.Step))
+		}
+		if n := writesTo(l.Body, l.Var); n > 0 {
+			c.add(RuleLoopVarWrite, SevError, l.ID, l.Var,
+				fmt.Sprintf("loop body writes its own induction variable %q (%d stores)", l.Var, n))
+		}
+	}
+	if k.TaskLoopID != "" && k.FindLoop(k.TaskLoopID) == nil {
+		c.add(RuleMissingTask, SevError, k.TaskLoopID, "",
+			fmt.Sprintf("declared task loop %q does not exist in the body", k.TaskLoopID))
+	}
+
+	outer := map[string]bool{"N": true}
+	for _, p := range c.k.Params {
+		outer[p.Name] = true
+	}
+	for _, g := range c.k.Globals {
+		outer[g.Name] = true
+	}
+	c.scope(k.Body, outer, "")
+
+	c.findings.Sort()
+	return c.findings
+}
+
+func (c *structChecker) add(rule string, sev Severity, loopID, where, detail string) {
+	c.findings = append(c.findings, Finding{
+		Rule: rule, Sev: sev, Kernel: c.k.Name, LoopID: loopID, Where: where, Detail: detail,
+	})
+}
+
+// scope checks name uniqueness: a re-declaration in the same block is an
+// error (the generated C would not compile — the exact bug class unroll
+// renaming exists to prevent); shadowing an outer name is a warning.
+func (c *structChecker) scope(b cir.Block, visible map[string]bool, loopID string) {
+	local := map[string]bool{}
+	declare := func(name string) {
+		switch {
+		case local[name]:
+			c.add(RuleDupLocal, SevError, loopID, name,
+				fmt.Sprintf("%q declared twice in the same scope (unroll lane renaming collision?)", name))
+		case visible[name]:
+			c.add(RuleShadowedLocal, SevWarn, loopID, name,
+				fmt.Sprintf("%q shadows a declaration from an enclosing scope", name))
+		}
+		local[name] = true
+	}
+	inner := func() map[string]bool {
+		m := make(map[string]bool, len(visible)+len(local))
+		for k := range visible {
+			m[k] = true
+		}
+		for k := range local {
+			m[k] = true
+		}
+		return m
+	}
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.Decl:
+			declare(s.Name)
+		case *cir.ArrDecl:
+			declare(s.Name)
+		case *cir.If:
+			c.scope(s.Then, inner(), loopID)
+			c.scope(s.Else, inner(), loopID)
+		case *cir.Loop:
+			vis := inner()
+			if vis[s.Var] {
+				c.add(RuleShadowedLocal, SevWarn, s.ID, s.Var,
+					fmt.Sprintf("induction variable %q shadows a declaration from an enclosing scope", s.Var))
+			}
+			vis[s.Var] = true
+			c.scope(s.Body, vis, s.ID)
+		case *cir.While:
+			c.scope(s.Body, inner(), loopID)
+		}
+	}
+}
+
+// writesTo counts assignments targeting the named scalar in a block.
+func writesTo(b cir.Block, name string) int {
+	n := 0
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.Assign:
+			if vr, ok := s.LHS.(*cir.VarRef); ok && vr.Name == name {
+				n++
+			}
+		case *cir.If:
+			n += writesTo(s.Then, name)
+			n += writesTo(s.Else, name)
+		case *cir.Loop:
+			if s.Var == name {
+				continue // inner loop rebinds the name
+			}
+			n += writesTo(s.Body, name)
+		case *cir.While:
+			n += writesTo(s.Body, name)
+		}
+	}
+	return n
+}

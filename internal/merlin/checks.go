@@ -1,0 +1,85 @@
+package merlin
+
+import (
+	"fmt"
+
+	"s2fa/internal/cir"
+	"s2fa/internal/lint"
+)
+
+// Precondition entry points backed by the static verifier (internal/
+// lint). Each answers "would this single transform be legal on this
+// kernel?" without cloning or rewriting anything, returning a typed error
+// (errors.go) classified from the lint findings. The transforms
+// themselves stay permissive where the hardware semantics are permissive
+// — e.g. UnrollLoop on a carried loop serializes rather than fails — so
+// CheckUnroll is strictly stricter than UnrollLoop: it also rejects
+// factor requests whose parallelism a carried dependence would nullify.
+
+// CheckTile reports whether tiling loop id by t is legal.
+func CheckTile(k *cir.Kernel, id string, t int) error {
+	c := lint.NewChecker(k)
+	if t < 2 {
+		return fmt.Errorf("merlin: tile loop %q: factor %d below minimum 2: %w", id, t, ErrIllegalFactor)
+	}
+	fs := c.Directives(map[string]cir.LoopOpt{id: {Tile: t}}, nil)
+	return classify(fs.Errors())
+}
+
+// CheckUnroll reports whether unrolling loop id by factor is legal and
+// race-free. A carried non-reduction dependence is reported as
+// ErrCarriedDependence even though the transform would still apply
+// (serialized): callers asking for parallel semantics should know.
+func CheckUnroll(k *cir.Kernel, id string, factor int) error {
+	c := lint.NewChecker(k)
+	if factor < 2 {
+		return fmt.Errorf("merlin: parallel loop %q: factor %d below minimum 2: %w", id, factor, ErrIllegalFactor)
+	}
+	fs := c.Directives(map[string]cir.LoopOpt{id: {Parallel: factor}}, nil)
+	if err := classify(fs.Errors()); err != nil {
+		return err
+	}
+	for _, f := range fs.ByRule(lint.RuleParallelRace) {
+		return fmt.Errorf("merlin: parallel loop %q: %s: %w", id, f.Detail, ErrCarriedDependence)
+	}
+	return nil
+}
+
+// CheckFlatten reports whether pipeline-flattening loop id is legal.
+func CheckFlatten(k *cir.Kernel, id string) error {
+	c := lint.NewChecker(k)
+	fs := c.Directives(map[string]cir.LoopOpt{id: {Pipeline: cir.PipeFlatten}}, nil)
+	return classify(fs.Errors())
+}
+
+// CheckDirectives validates a complete directive set statically,
+// returning the first classified legality error (nil when the set is
+// statically legal). This is the entry point the DSE pruner uses via a
+// cached lint.Checker; this convenience form re-analyzes the kernel.
+func CheckDirectives(k *cir.Kernel, d Directives) error {
+	c := lint.NewChecker(k)
+	return classify(c.Directives(d.Loops, d.BitWidths).Errors())
+}
+
+// classify maps lint error findings to the typed sentinel errors.
+func classify(errs lint.Findings) error {
+	for _, f := range errs {
+		switch f.Rule {
+		case lint.RuleUnknownLoop:
+			return fmt.Errorf("merlin: loop %q: %s: %w", f.LoopID, f.Detail, ErrUnknownLoop)
+		case lint.RuleUnknownParam:
+			return fmt.Errorf("merlin: parameter %q: %s: %w", f.Where, f.Detail, ErrUnknownParam)
+		case lint.RuleIllegalFactor:
+			return fmt.Errorf("merlin: loop %q: %s: %w", f.LoopID, f.Detail, ErrIllegalFactor)
+		case lint.RuleFlattenVarTrip:
+			return fmt.Errorf("merlin: loop %q: %s: %w", f.LoopID, f.Detail, ErrNonConstantTrip)
+		case lint.RuleIllegalWidth:
+			return fmt.Errorf("merlin: parameter %q: %s: %w", f.Where, f.Detail, ErrIllegalBitWidth)
+		}
+	}
+	if len(errs) > 0 {
+		f := errs[0]
+		return fmt.Errorf("merlin: %s: %s", f.Rule, f.Detail)
+	}
+	return nil
+}

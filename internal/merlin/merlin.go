@@ -54,7 +54,7 @@ func Annotate(k *cir.Kernel, d Directives) (*cir.Kernel, error) {
 	for id, opt := range d.Loops {
 		l := out.FindLoop(id)
 		if l == nil {
-			return nil, fmt.Errorf("merlin: directive for unknown loop %q", id)
+			return nil, fmt.Errorf("merlin: directive for unknown loop %q: %w", id, ErrUnknownLoop)
 		}
 		if err := validateOpt(l, opt); err != nil {
 			return nil, err
@@ -64,10 +64,10 @@ func Annotate(k *cir.Kernel, d Directives) (*cir.Kernel, error) {
 	for name, bw := range d.BitWidths {
 		p := out.Param(name)
 		if p == nil {
-			return nil, fmt.Errorf("merlin: bit-width directive for unknown parameter %q", name)
+			return nil, fmt.Errorf("merlin: bit-width directive for unknown parameter %q: %w", name, ErrUnknownParam)
 		}
 		if !p.IsArray {
-			return nil, fmt.Errorf("merlin: bit-width directive on scalar parameter %q", name)
+			return nil, fmt.Errorf("merlin: bit-width directive on scalar parameter %q: %w", name, ErrIllegalBitWidth)
 		}
 		if err := validateBitWidth(bw); err != nil {
 			return nil, fmt.Errorf("merlin: parameter %q: %w", name, err)
@@ -131,14 +131,14 @@ func Materialize(k *cir.Kernel, d Directives) (*cir.Kernel, error) {
 func validateOpt(l *cir.Loop, opt cir.LoopOpt) error {
 	tc := l.TripCount()
 	if opt.Tile < 0 || opt.Parallel < 0 {
-		return fmt.Errorf("merlin: loop %s: negative factor", l.ID)
+		return fmt.Errorf("merlin: loop %s: negative factor: %w", l.ID, ErrIllegalFactor)
 	}
 	if tc > 0 {
 		if int64(opt.Tile) > tc {
-			return fmt.Errorf("merlin: loop %s: tile factor %d exceeds trip count %d", l.ID, opt.Tile, tc)
+			return fmt.Errorf("merlin: loop %s: tile factor %d exceeds trip count %d: %w", l.ID, opt.Tile, tc, ErrIllegalFactor)
 		}
 		if int64(opt.Parallel) > tc {
-			return fmt.Errorf("merlin: loop %s: parallel factor %d exceeds trip count %d", l.ID, opt.Parallel, tc)
+			return fmt.Errorf("merlin: loop %s: parallel factor %d exceeds trip count %d: %w", l.ID, opt.Parallel, tc, ErrIllegalFactor)
 		}
 	}
 	return nil
@@ -146,10 +146,10 @@ func validateOpt(l *cir.Loop, opt cir.LoopOpt) error {
 
 func validateBitWidth(bw int) error {
 	if bw < 8 || bw > 512 {
-		return fmt.Errorf("bit-width %d outside (8, 512]", bw)
+		return fmt.Errorf("bit-width %d outside (8, 512]: %w", bw, ErrIllegalBitWidth)
 	}
 	if bw&(bw-1) != 0 {
-		return fmt.Errorf("bit-width %d is not a power of two", bw)
+		return fmt.Errorf("bit-width %d is not a power of two: %w", bw, ErrIllegalBitWidth)
 	}
 	return nil
 }

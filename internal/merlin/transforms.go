@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"s2fa/internal/cir"
+	"s2fa/internal/lint"
 )
 
 // TileLoop splits the loop with the given ID into an outer tile loop
@@ -19,10 +20,10 @@ import (
 func TileLoop(k *cir.Kernel, id string, t int) error {
 	l := k.FindLoop(id)
 	if l == nil {
-		return fmt.Errorf("merlin: tile: loop %q not found", id)
+		return fmt.Errorf("merlin: tile: loop %q not found: %w", id, ErrUnknownLoop)
 	}
 	if t < 2 {
-		return fmt.Errorf("merlin: tile: factor %d must be >= 2", t)
+		return fmt.Errorf("merlin: tile: factor %d must be >= 2: %w", t, ErrIllegalFactor)
 	}
 	tileVar := l.Var + "_t"
 	bigStep := l.Step * int64(t)
@@ -57,12 +58,12 @@ func TileLoop(k *cir.Kernel, id string, t int) error {
 func UnrollLoop(k *cir.Kernel, id string, factor int) error {
 	l := k.FindLoop(id)
 	if l == nil {
-		return fmt.Errorf("merlin: parallel: loop %q not found", id)
+		return fmt.Errorf("merlin: parallel: loop %q not found: %w", id, ErrUnknownLoop)
 	}
 	if factor < 2 {
-		return fmt.Errorf("merlin: parallel: factor %d must be >= 2", factor)
+		return fmt.Errorf("merlin: parallel: factor %d must be >= 2: %w", factor, ErrIllegalFactor)
 	}
-	if acc, rhs, ok := reductionForm(l); ok {
+	if acc, rhs, ok := lint.ReductionForm(l); ok {
 		return unrollReduction(k, l, factor, acc, rhs)
 	}
 	return unrollPlain(l, factor)
@@ -89,115 +90,6 @@ func unrollPlain(l *cir.Loop, factor int) error {
 	l.Step = origStep * int64(factor)
 	l.Body = body
 	return nil
-}
-
-// reductionForm recognizes the canonical additive reduction body: the loop
-// contains an assignment acc = acc + e (either operand order) where acc is
-// declared outside the loop and is not otherwise read or written in the
-// body. It returns the accumulator name and the added expression.
-func reductionForm(l *cir.Loop) (acc string, addend cir.Expr, ok bool) {
-	var candidate string
-	var cExpr cir.Expr
-	matches := 0
-	for _, s := range l.Body {
-		a, isAssign := s.(*cir.Assign)
-		if !isAssign {
-			continue
-		}
-		lhs, isVar := a.LHS.(*cir.VarRef)
-		if !isVar {
-			continue
-		}
-		bin, isBin := a.RHS.(*cir.Binary)
-		if !isBin || bin.Op != cir.Add {
-			continue
-		}
-		if vr, isV := bin.L.(*cir.VarRef); isV && vr.Name == lhs.Name {
-			candidate, cExpr = lhs.Name, bin.R
-			matches++
-		} else if vr, isV := bin.R.(*cir.VarRef); isV && vr.Name == lhs.Name {
-			candidate, cExpr = lhs.Name, bin.L
-			matches++
-		}
-	}
-	if matches != 1 {
-		return "", nil, false
-	}
-	// The accumulator must appear exactly once outside the recurrence
-	// statement: nowhere.
-	uses := 0
-	for _, s := range l.Body {
-		uses += stmtMentions(s, candidate)
-	}
-	if uses != 2 { // LHS + RHS of the recurrence only
-		return "", nil, false
-	}
-	// Addend must not reference the accumulator or contain nested loops'
-	// state; a simple expression check suffices.
-	return candidate, cExpr, true
-}
-
-func stmtMentions(s cir.Stmt, name string) int {
-	n := 0
-	var we func(e cir.Expr)
-	we = func(e cir.Expr) {
-		switch e := e.(type) {
-		case *cir.VarRef:
-			if e.Name == name {
-				n++
-			}
-		case *cir.Index:
-			we(e.Idx)
-		case *cir.Unary:
-			we(e.X)
-		case *cir.Binary:
-			we(e.L)
-			we(e.R)
-		case *cir.Cast:
-			we(e.X)
-		case *cir.Cond:
-			we(e.C)
-			we(e.T)
-			we(e.F)
-		case *cir.Call:
-			for _, a := range e.Args {
-				we(a)
-			}
-		}
-	}
-	var ws func(s cir.Stmt)
-	ws = func(s cir.Stmt) {
-		switch s := s.(type) {
-		case *cir.Decl:
-			we(s.Init)
-		case *cir.Assign:
-			we(s.LHS)
-			we(s.RHS)
-		case *cir.If:
-			we(s.Cond)
-			for _, t := range s.Then {
-				ws(t)
-			}
-			for _, t := range s.Else {
-				ws(t)
-			}
-		case *cir.Loop:
-			we(s.Lo)
-			we(s.Hi)
-			for _, t := range s.Body {
-				ws(t)
-			}
-		case *cir.While:
-			we(s.Cond)
-			for _, t := range s.Body {
-				ws(t)
-			}
-		case *cir.Return:
-			we(s.Val)
-		}
-	}
-	ws(s)
-	return n
 }
 
 // unrollReduction materializes a tree reduction: the body is unrolled
@@ -335,7 +227,7 @@ func zeroOf(kind cir.Kind) cir.Expr {
 func FlattenLoop(k *cir.Kernel, id string) error {
 	l := k.FindLoop(id)
 	if l == nil {
-		return fmt.Errorf("merlin: flatten: loop %q not found", id)
+		return fmt.Errorf("merlin: flatten: loop %q not found: %w", id, ErrUnknownLoop)
 	}
 	body, err := fullyUnrollBlock(l.Body)
 	if err != nil {
@@ -360,7 +252,7 @@ func fullyUnrollBlock(b cir.Block) (cir.Block, error) {
 			lo, okLo := s.Lo.(*cir.IntLit)
 			hi, okHi := s.Hi.(*cir.IntLit)
 			if !okLo || !okHi {
-				return nil, fmt.Errorf("sub-loop %s has non-constant bounds", s.ID)
+				return nil, fmt.Errorf("sub-loop %s has non-constant bounds: %w", s.ID, ErrNonConstantTrip)
 			}
 			iter := 0
 			for v := lo.Val; v < hi.Val; v += s.Step {
@@ -379,6 +271,8 @@ func fullyUnrollBlock(b cir.Block) (cir.Block, error) {
 				return nil, err
 			}
 			out = append(out, &cir.If{Cond: cir.CloneExpr(s.Cond), Then: thenB, Else: elseB})
+		case *cir.While:
+			return nil, fmt.Errorf("sub-region is a variable-trip while loop: %w", ErrNonConstantTrip)
 		default:
 			out = append(out, cir.CloneStmt(s))
 		}
