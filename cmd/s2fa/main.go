@@ -10,6 +10,7 @@
 //	s2fa -app KMeans -dse vanilla       # OpenTuner baseline exploration
 //	s2fa -app AES -dump-bytecode -dump-c
 //	s2fa -app S-W -lint                 # static verifier findings only
+//	s2fa -src kernel.scala -explain     # abstract-interpretation fact report
 package main
 
 import (
@@ -17,11 +18,14 @@ import (
 	"fmt"
 	"os"
 
+	"s2fa/internal/absint"
 	"s2fa/internal/apps"
+	"s2fa/internal/b2c"
 	"s2fa/internal/bytecode"
 	"s2fa/internal/cir"
 	"s2fa/internal/core"
 	"s2fa/internal/dse"
+	"s2fa/internal/kdsl"
 	"s2fa/internal/lint"
 )
 
@@ -33,6 +37,7 @@ func main() {
 		tasks    = flag.Int("tasks", 4096, "batch size the design is optimized for")
 		seed     = flag.Int64("seed", 1, "random seed (reproducible runs)")
 		lintOnly = flag.Bool("lint", false, "run the static verifier on the generated kernel, print findings, and exit (status 1 on errors)")
+		explain  = flag.Bool("explain", false, "print the abstract interpreter's fact report (§3.3 violations with kdsl positions, purity, value ranges) and exit (status 1 on violations)")
 		dumpBC   = flag.Bool("dump-bytecode", false, "print the compiled bytecode")
 		dumpC    = flag.Bool("dump-c", false, "print the generated HLS C before DSE")
 		dumpBest = flag.Bool("dump-best", false, "print the chosen design's annotated HLS C")
@@ -79,13 +84,58 @@ func main() {
 		fatal(fmt.Errorf("unknown -dse mode %q", *dseMode))
 	}
 
-	cls, kernel, err := fw.Compile(src)
+	// The file label prefixed to §3.3 diagnostics (file:line:col).
+	fileLabel := *srcPath
+	if fileLabel == "" {
+		fileLabel = *appName + ".kdsl"
+	}
+
+	cls, err := kdsl.CompileSource(src)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("compiled class %s (accelerator id %q, pattern %s)\n", cls.Name, cls.ID, cls.Pattern())
 	if *dumpBC {
 		fmt.Println(bytecode.DisassembleClass(cls))
+	}
+
+	if *explain {
+		facts, err := absint.DiagnoseClass(cls)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(absint.Explain(facts, fileLabel))
+		if len(facts.Violations()) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+	if *lintOnly {
+		// §3.3 legality first: a violating kernel never reaches the C
+		// generator, so its diagnostics come from the bytecode analyzer
+		// with kdsl positions attached.
+		facts, err := absint.DiagnoseClass(cls)
+		if err != nil {
+			fatal(err)
+		}
+		if vs := facts.Violations(); len(vs) > 0 {
+			fmt.Printf("lint: %s: %d §3.3 violation(s)\n", cls.Name, len(vs))
+			for _, v := range vs {
+				fmt.Println(v.Sourced(fileLabel))
+			}
+			os.Exit(1)
+		}
+	}
+
+	kernel, err := b2c.Compile(cls)
+	if err != nil {
+		// Surface any sourced §3.3 diagnostics alongside the compile error.
+		if facts, derr := absint.DiagnoseClass(cls); derr == nil {
+			for _, v := range facts.Violations() {
+				fmt.Fprintln(os.Stderr, "s2fa: "+v.Sourced(fileLabel))
+			}
+		}
+		fatal(err)
 	}
 	if *dumpC {
 		fmt.Println("--- generated HLS C (pre-DSE) ---")

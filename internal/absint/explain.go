@@ -1,0 +1,78 @@
+package absint
+
+import (
+	"fmt"
+	"strings"
+
+	"s2fa/internal/bytecode"
+)
+
+// Explain renders the analyzer's full fact report for one kernel class:
+// §3.3 legality violations, the per-method purity summary, and the
+// proven value ranges of every abstract array the kernel touches. file
+// labels source positions (the kdsl file the class was compiled from);
+// when empty, positions print as line:column only. This is what
+// `s2fa -explain` shows, and what the golden tests pin down.
+func Explain(cf *ClassFacts, file string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "abstract interpretation of %s:\n", cf.Class.Name)
+
+	fmt.Fprintf(&b, "\n§3.3 legality:\n")
+	if vs := cf.Violations(); len(vs) == 0 {
+		fmt.Fprintf(&b, "  no violations — the kernel is synthesizable\n")
+	} else {
+		for _, v := range vs {
+			fmt.Fprintf(&b, "  %s\n", v.Sourced(file))
+		}
+	}
+
+	fmt.Fprintf(&b, "\npurity:\n")
+	explainPurity(&b, file, "call", cf.Call)
+	if cf.Reduce != nil {
+		explainPurity(&b, file, "reduce", cf.Reduce)
+	}
+
+	fmt.Fprintf(&b, "\nvalue ranges:\n")
+	explainArrays(&b, "call", cf.Call)
+	if cf.Reduce != nil {
+		explainArrays(&b, "reduce", cf.Reduce)
+	}
+	return b.String()
+}
+
+func explainPurity(b *strings.Builder, file, name string, mf *MethodFacts) {
+	p := mf.Purity
+	if p.Pure() {
+		fmt.Fprintf(b, "  %s: pure (no observable effect beyond the return value)\n", name)
+		return
+	}
+	fmt.Fprintf(b, "  %s: impure\n", name)
+	for _, e := range p.HeapWrites {
+		fmt.Fprintf(b, "    %s: heap write: %s\n", srcPos(file, e.Pos, name, e.PC), e.Detail)
+	}
+	for _, e := range p.ArgEscapes {
+		fmt.Fprintf(b, "    %s: argument escape: %s\n", srcPos(file, e.Pos, name, e.PC), e.Detail)
+	}
+}
+
+func explainArrays(b *strings.Builder, name string, mf *MethodFacts) {
+	for _, a := range mf.Arrays {
+		fmt.Fprintf(b, "  %s %s: %s elems in %s, length %s\n",
+			name, a.Origin, a.Kind, a.Elems, a.Len)
+	}
+}
+
+// srcPos renders a source position as file:line:col, falling back to the
+// method@pc form when the instruction carries no position.
+func srcPos(file string, p bytecode.Pos, method string, pc int) string {
+	if !p.Valid() {
+		if pc >= 0 {
+			return fmt.Sprintf("%s@%d", method, pc)
+		}
+		return method
+	}
+	if file == "" {
+		return p.String()
+	}
+	return file + ":" + p.String()
+}

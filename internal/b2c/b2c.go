@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"s2fa/internal/absint"
 	"s2fa/internal/bytecode"
 	"s2fa/internal/cir"
 	"s2fa/internal/lint"
@@ -18,7 +19,20 @@ func Compile(cls *bytecode.Class) (*cir.Kernel, error) {
 	if err := bytecode.VerifyClass(cls); err != nil {
 		return nil, err
 	}
-	callBody, callLift, err := decompile(cls, cls.Call)
+	// Abstract interpretation supplies value-range and extent facts the
+	// syntactic pipeline below cannot see: per-store constants fold into
+	// literals (constant trip counts), output array extents resolve when
+	// the dataflow is too indirect for arrayLenIn, and every interface
+	// buffer is annotated with the proven range of values it carries
+	// (seeding cir bit-width inference and the design-space restriction).
+	// The class just verified, so analysis cannot fail; a nil facts value
+	// simply disables the extra precision.
+	facts, err := absint.AnalyzeClass(cls)
+	if err != nil {
+		facts = nil
+	}
+	callFacts := methodFacts(facts, cls.Call)
+	callBody, callLift, err := decompile(cls, cls.Call, callFacts)
 	if err != nil {
 		return nil, err
 	}
@@ -34,7 +48,7 @@ func Compile(cls *bytecode.Class) (*cir.Kernel, error) {
 		}
 	}
 
-	f := &flattener{cls: cls, kernel: k}
+	f := &flattener{cls: cls, kernel: k, facts: facts}
 	if err := f.buildParams(callLift); err != nil {
 		return nil, err
 	}
@@ -78,15 +92,32 @@ func Compile(cls *bytecode.Class) (*cir.Kernel, error) {
 // of Code 3).
 const taskVar = "_task"
 
+// methodFacts selects the per-method fact set for m, nil-safe.
+func methodFacts(cf *absint.ClassFacts, m *bytecode.Method) *absint.MethodFacts {
+	if cf == nil {
+		return nil
+	}
+	if cf.Reduce != nil && cf.Reduce.Method == m {
+		return cf.Reduce
+	}
+	if cf.Call != nil && cf.Call.Method == m {
+		return cf.Call
+	}
+	return nil
+}
+
 // decompile runs the CFG/lift/structure pipeline for one method and
 // returns its structured body (with counted loops recovered and scalar
-// locals declared).
-func decompile(cls *bytecode.Class, m *bytecode.Method) (cir.Block, *lifter, error) {
+// locals declared). When facts is non-nil, stores whose abstract value is
+// a proven constant lift as integer literals, so downstream trip-count
+// and bounds analyses see constants the syntax alone would hide.
+func decompile(cls *bytecode.Class, m *bytecode.Method, facts *absint.MethodFacts) (cir.Block, *lifter, error) {
 	g, err := buildCFG(m)
 	if err != nil {
 		return nil, nil, err
 	}
 	lf := newLifter(cls, m, g)
+	lf.facts = facts
 	if err := lf.liftAll(); err != nil {
 		return nil, nil, err
 	}

@@ -2,7 +2,9 @@ package b2c
 
 import (
 	"fmt"
+	"math"
 
+	"s2fa/internal/absint"
 	"s2fa/internal/bytecode"
 	"s2fa/internal/cir"
 )
@@ -25,6 +27,29 @@ type flattener struct {
 	scalarRes map[string]bool
 	// outNames in field order.
 	outNames []string
+	// facts, when non-nil, is the abstract interpretation of the class:
+	// interface buffers are annotated with proven value ranges and output
+	// extents resolve from return-value facts.
+	facts *absint.ClassFacts
+}
+
+// setValueRange annotates a parameter with a proven finite value range.
+// Output buffers additionally admit zero: the runtime zero-fills them at
+// allocation, so elements the kernel leaves unwritten (and reduce
+// accumulators before their first fold) hold zero.
+func setValueRange(p *cir.Param, iv absint.Interval) {
+	if p.IsOutput {
+		lo, hi := iv.Lo, iv.Hi
+		if iv.IsBottom() {
+			lo, hi = 0, 0
+		}
+		iv = absint.Interval{Lo: math.Min(lo, 0), Hi: math.Max(hi, 0)}
+	}
+	if iv.IsBottom() || math.IsInf(iv.Lo, 0) || math.IsInf(iv.Hi, 0) ||
+		math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+		return
+	}
+	p.ValLo, p.ValHi, p.ValKnown = iv.Lo, iv.Hi, true
 }
 
 // buildParams derives the input buffer interface from the call method's
@@ -54,12 +79,26 @@ func (f *flattener) buildParams(lf *lifter) error {
 			f.scalarIns[names[i]] = true
 		}
 		f.inLens[names[i]] = ln
-		f.kernel.Params = append(f.kernel.Params, cir.Param{
+		p := cir.Param{
 			Name:    names[i],
 			Elem:    ft.Kind,
 			IsArray: true,
 			Length:  ln,
-		})
+		}
+		if f.facts != nil {
+			origin := "param#0"
+			if pdesc.IsTuple() {
+				origin = fmt.Sprintf("field#%d", i)
+			}
+			if ft.Array {
+				if af := f.facts.Call.Array(origin); af != nil {
+					setValueRange(&p, af.Elems)
+				}
+			} else {
+				setValueRange(&p, absint.KindRange(ft.Kind))
+			}
+		}
+		f.kernel.Params = append(f.kernel.Params, p)
 	}
 	return nil
 }
@@ -94,6 +133,20 @@ func (f *flattener) rewriteCallBody(body cir.Block) (cir.Block, error) {
 		return nil, fmt.Errorf("b2c: return arity %d does not match output type arity %d", len(fields), len(fdescs))
 	}
 
+	// Per-field output abstractions: element ranges seed the interface
+	// annotations, and proven extents back up the syntactic length search.
+	var outAbs []absint.Abstract
+	if f.facts != nil {
+		ab := f.facts.OutputAbstract()
+		outAbs = []absint.Abstract{ab}
+		if ab.IsTuple() {
+			outAbs = ab.Fields
+		}
+		if len(outAbs) != len(fdescs) {
+			outAbs = nil
+		}
+	}
+
 	reduceMode := f.cls.Reduce != nil
 	for k, fe := range fields {
 		outName := "out"
@@ -112,6 +165,14 @@ func (f *flattener) rewriteCallBody(body cir.Block) (cir.Block, error) {
 				return nil, fmt.Errorf("b2c: array output _%d must be a local array variable", k+1)
 			}
 			srcLen, known := arrayLenIn(body, vr.Name, f.inLens)
+			if !known && outAbs != nil {
+				// Fall back to the abstract interpreter's proven extent
+				// of the returned array when the dataflow is too indirect
+				// for the syntactic search.
+				if c, ok := outAbs[k].Len.ConstInt(); ok && c > 0 {
+					srcLen, known = int(c), true
+				}
+			}
 			if !known {
 				return nil, fmt.Errorf("b2c: cannot determine length of output array %q", vr.Name)
 			}
@@ -133,9 +194,13 @@ func (f *flattener) rewriteCallBody(body cir.Block) (cir.Block, error) {
 				}
 				body = append(body, cp)
 			}
-			f.kernel.Params = append(f.kernel.Params, cir.Param{
+			p := cir.Param{
 				Name: outName, Elem: fd.Kind, IsArray: true, Length: srcLen, IsOutput: true,
-			})
+			}
+			if outAbs != nil {
+				setValueRange(&p, outAbs[k].Elems)
+			}
+			f.kernel.Params = append(f.kernel.Params, p)
 		default:
 			f.outLens[outName] = 1
 			if reduceMode {
@@ -148,9 +213,13 @@ func (f *flattener) rewriteCallBody(body cir.Block) (cir.Block, error) {
 					RHS: fe,
 				})
 			}
-			f.kernel.Params = append(f.kernel.Params, cir.Param{
+			p := cir.Param{
 				Name: outName, Elem: fd.Kind, IsArray: true, Length: 1, IsOutput: true,
-			})
+			}
+			if outAbs != nil {
+				setValueRange(&p, outAbs[k].Iv)
+			}
+			f.kernel.Params = append(f.kernel.Params, p)
 		}
 	}
 	return body, nil
@@ -160,7 +229,11 @@ func (f *flattener) rewriteCallBody(body cir.Block) (cir.Block, error) {
 // computation, with its first parameter mapped to the output accumulators
 // and its second to the per-task result temporaries.
 func (f *flattener) inlineReduce(cls *bytecode.Class) (cir.Block, error) {
-	body, lf, err := decompile(cls, cls.Reduce)
+	// No fact-driven constant folding here: reduce facts model Spark's
+	// fold (accumulator seeded from call results), while the generated
+	// kernel folds against a zero-initialized accumulator, so a store the
+	// analysis proves constant may still see zero on the first fold.
+	body, lf, err := decompile(cls, cls.Reduce, nil)
 	if err != nil {
 		return nil, err
 	}

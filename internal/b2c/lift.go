@@ -3,6 +3,7 @@ package b2c
 import (
 	"fmt"
 
+	"s2fa/internal/absint"
 	"s2fa/internal/bytecode"
 	"s2fa/internal/cir"
 )
@@ -61,6 +62,10 @@ type lifter struct {
 	// (e.g. `val a = in._1` makes a an alias of in_1).
 	aliases map[string]string
 	blocks  []*lifted
+	// facts, when non-nil, carries the abstract interpreter's per-store
+	// value ranges for this method; proven-constant integer stores lift
+	// as literals.
+	facts *absint.MethodFacts
 }
 
 func newLifter(cls *bytecode.Class, m *bytecode.Method, g *cfg) *lifter {
@@ -154,7 +159,7 @@ func (lf *lifter) liftBlock(b *bblock) (*lifted, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := lf.store(out, in.A, v); err != nil {
+			if err := lf.store(out, pc, in.A, v); err != nil {
 				return nil, err
 			}
 		case bytecode.OpALoad:
@@ -203,6 +208,9 @@ func (lf *lifter) liftBlock(b *bblock) (*lifted, error) {
 				return nil, err
 			}
 			n, ok := lf.arrayLens[name]
+			if !ok {
+				n, ok = lf.factArrayLen(name)
+			}
 			if !ok {
 				return nil, fmt.Errorf("b2c: %s: length of array %q unknown at compile time", lf.m.Name, name)
 			}
@@ -327,9 +335,10 @@ func (lf *lifter) liftBlock(b *bblock) (*lifted, error) {
 
 // store handles OpStore: scalar assignment, array allocation binding, or
 // array aliasing.
-func (lf *lifter) store(out *lifted, slot int, v cir.Expr) error {
+func (lf *lifter) store(out *lifted, pc, slot int, v cir.Expr) error {
 	t := lf.m.LocalTypes[slot]
 	name := lf.localName(slot)
+	v = lf.foldStoredConst(pc, t, v)
 	if t.IsTuple() {
 		return fmt.Errorf("b2c: %s: tuple-typed local %q is unsupported", lf.m.Name, name)
 	}
@@ -374,6 +383,71 @@ func (lf *lifter) store(out *lifted, slot int, v cir.Expr) error {
 		RHS: v,
 	})
 	return nil
+}
+
+// factArrayLen resolves the length of a parameter-rooted array buffer
+// from the abstract interpreter's extent facts. The syntactic table only
+// knows local allocations and statics; input arrays (whose extents come
+// from the class's data-layout template) are proven by analysis instead,
+// so `a.length` on a kernel argument constant-folds like any other.
+func (lf *lifter) factArrayLen(name string) (int, bool) {
+	if lf.facts == nil {
+		return 0, false
+	}
+	for i, p := range lf.m.Params {
+		pname := lf.localName(i)
+		var origin string
+		switch {
+		case p.IsTuple():
+			for j, ft := range p.Tuple {
+				if ft.Array && paramFieldName(pname, j) == name {
+					origin = fmt.Sprintf("field#%d", j)
+					if i != 0 {
+						origin = fmt.Sprintf("param#%d.field#%d", i, j)
+					}
+				}
+			}
+		case p.Array && pname == name:
+			origin = fmt.Sprintf("param#%d", i)
+		}
+		if origin == "" {
+			continue
+		}
+		af := lf.facts.Array(origin)
+		if af == nil {
+			return 0, false
+		}
+		c, ok := af.Len.ConstInt()
+		if !ok || c <= 0 {
+			return 0, false
+		}
+		return int(c), true
+	}
+	return 0, false
+}
+
+// foldStoredConst replaces a stored integer expression with a literal
+// when the abstract interpreter proved that this store only ever writes
+// a single value. Expressions in this IR are pure, so dropping the
+// computation is semantics-preserving; the payoff is that loop bounds
+// and subscripts derived from such locals become compile-time constants
+// (proven constant trip counts, paper §3.3).
+func (lf *lifter) foldStoredConst(pc int, t bytecode.TypeDesc, v cir.Expr) cir.Expr {
+	if lf.facts == nil || t.Array || t.IsTuple() || t.Kind.IsFloat() {
+		return v
+	}
+	if _, isLit := v.(*cir.IntLit); isLit {
+		return v
+	}
+	iv, ok := lf.facts.Stored[pc]
+	if !ok {
+		return v
+	}
+	c, ok := iv.ConstInt()
+	if !ok {
+		return v
+	}
+	return &cir.IntLit{K: t.Kind, Val: c}
 }
 
 func (lf *lifter) setAlias(name, src string) {

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"time"
 
+	"s2fa/internal/absint"
+	"s2fa/internal/bytecode"
 	"s2fa/internal/cir"
 	"s2fa/internal/fpga"
 	"s2fa/internal/jvmsim"
@@ -27,11 +29,43 @@ type Manager struct {
 	mu     sync.RWMutex
 	device *fpga.Device
 	accs   map[string]*Accelerator
+	purity map[*bytecode.Class]string
 }
 
 // NewManager creates a manager for one FPGA device.
 func NewManager(dev *fpga.Device) *Manager {
-	return &Manager{device: dev, accs: map[string]*Accelerator{}}
+	return &Manager{
+		device: dev,
+		accs:   map[string]*Accelerator{},
+		purity: map[*bytecode.Class]string{},
+	}
+}
+
+// purityGate returns "" when the kernel class is provably side-effect
+// free, or a sourced diagnostic explaining why offloading is unsafe. The
+// offload path materializes results only from the kernel's output
+// buffers, so a method that also mutates caller-visible memory (an
+// argument array, a class static) would silently diverge from the JVM
+// semantics on the accelerator — such kernels must stay on the JVM. The
+// verdict comes from the abstract interpreter's per-method side-effect
+// summary and is cached per class.
+func (m *Manager) purityGate(cls *bytecode.Class) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d, ok := m.purity[cls]; ok {
+		return d
+	}
+	d := ""
+	facts, err := absint.AnalyzeClass(cls)
+	switch {
+	case err != nil:
+		d = "purity analysis failed: " + err.Error()
+	case !facts.Pure():
+		d = fmt.Sprintf("kernel is impure, offload would drop the side effect at %s",
+			facts.Impurities()[0])
+	}
+	m.purity[cls] = d
+	return d
 }
 
 // Device returns the managed FPGA.
@@ -95,6 +129,9 @@ func (a *AccRDD) MapAcc(vm *jvmsim.VM) ([]jvmsim.Val, Stats, error) {
 	if acc == nil {
 		return a.fallbackMap(vm, tasks, "no accelerator registered for "+vm.Class.ID)
 	}
+	if why := a.mgr.purityGate(vm.Class); why != "" {
+		return a.fallbackMap(vm, tasks, why)
+	}
 	results, stats, err := a.offload(acc, tasks)
 	if err != nil {
 		return a.fallbackMap(vm, tasks, "accelerator error: "+err.Error())
@@ -109,6 +146,9 @@ func (a *AccRDD) ReduceAcc(vm *jvmsim.VM) (jvmsim.Val, Stats, error) {
 	acc := a.mgr.Lookup(vm.Class.ID)
 	if acc == nil {
 		return a.fallbackReduce(vm, tasks, "no accelerator registered for "+vm.Class.ID)
+	}
+	if why := a.mgr.purityGate(vm.Class); why != "" {
+		return a.fallbackReduce(vm, tasks, why)
 	}
 	bufs, stats, err := a.execKernel(acc, tasks)
 	if err != nil {

@@ -170,6 +170,25 @@ func (in Instr) String() string {
 	}
 }
 
+// Pos is a source position in the kernel source the method was compiled
+// from, mirroring the JVM LineNumberTable (extended with columns). The
+// zero Pos means "no source information" — hand-assembled methods and
+// synthesized instructions carry it.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// Valid reports whether the position carries real source information.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.Valid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
 // Method is one compiled method body.
 type Method struct {
 	Name   string
@@ -182,6 +201,20 @@ type Method struct {
 	// temporaries get synthesized names.
 	LocalNames []string
 	Code       []Instr
+	// Pos maps each instruction back to the kernel source statement or
+	// expression it was emitted for (parallel to Code; empty for
+	// hand-assembled methods). This is the source map every diagnostic
+	// layer (absint, lint, the -explain CLI) resolves offsets through.
+	Pos []Pos
+}
+
+// PosAt returns the source position of instruction i, or the zero Pos
+// when the method carries no source map (or i is out of range).
+func (m *Method) PosAt(i int) Pos {
+	if i < 0 || i >= len(m.Pos) {
+		return Pos{}
+	}
+	return m.Pos[i]
 }
 
 // StaticField is a class-level constant (e.g. an AES S-box), compiled

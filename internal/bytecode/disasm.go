@@ -25,7 +25,14 @@ func Disassemble(m *Method) string {
 		fmt.Fprintf(&b, "  local %2d  %-12s %s\n", i, name, t)
 	}
 	for i, in := range m.Code {
-		fmt.Fprintf(&b, "  %4d: %s\n", i, in)
+		if p := m.PosAt(i); p.Valid() {
+			// Source-mapped listing: javap's LineNumberTable folded inline,
+			// extended with columns so §3.3 diagnostics can point at the
+			// offending kdsl expression.
+			fmt.Fprintf(&b, "  %4d: %-24s // %s\n", i, in.String(), p)
+		} else {
+			fmt.Fprintf(&b, "  %4d: %s\n", i, in)
+		}
 	}
 	return b.String()
 }

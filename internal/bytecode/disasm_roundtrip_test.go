@@ -55,6 +55,26 @@ func TestDisassembleAllApps(t *testing.T) {
 					t.Errorf("method %s: %d listing lines, want header + %d locals + %d instructions",
 						m.Name, got, len(m.LocalTypes), len(m.Code))
 				}
+				// Source positions render inline (javap's LineNumberTable
+				// folded into the listing, with columns), and the kdsl
+				// compiler must have attached at least one real position
+				// per method so the check is not vacuous.
+				listing := bytecode.Disassemble(m)
+				posed := 0
+				for i := range m.Code {
+					p := m.PosAt(i)
+					if !p.Valid() {
+						continue
+					}
+					posed++
+					if !strings.Contains(listing, "// "+p.String()) {
+						t.Errorf("method %s: instruction %d position %s missing from listing", m.Name, i, p)
+						break
+					}
+				}
+				if posed == 0 {
+					t.Errorf("method %s carries no source positions", m.Name)
+				}
 				// Locals render with their source names where known.
 				for i, name := range m.LocalNames {
 					if name == "" || i >= len(m.LocalTypes) {

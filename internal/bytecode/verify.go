@@ -17,7 +17,20 @@ import (
 // The last property is what javac-style statement-oriented code
 // generation produces and what the bytecode-to-C compiler's
 // expression-lifting pass (internal/b2c) relies on.
-func Verify(m *Method) error {
+//
+// Verify also enforces the §3.3 legality rules that are decidable
+// per-instruction (constant newarray sizes, the intrinsic whitelist).
+// VerifyStructural checks everything except those two, so diagnostic
+// passes can analyze an illegal-but-well-formed kernel and report the
+// violations with source positions instead of stopping at the first.
+func Verify(m *Method) error { return verify(m, true) }
+
+// VerifyStructural verifies branch targets, slot usage, and stack
+// discipline only, deferring §3.3 legality to the abstract interpreter's
+// sourced diagnostics.
+func VerifyStructural(m *Method) error { return verify(m, false) }
+
+func verify(m *Method, legality bool) error {
 	n := len(m.Code)
 	if n == 0 {
 		return fmt.Errorf("bytecode: %s: empty code", m.Name)
@@ -113,7 +126,7 @@ func Verify(m *Method) error {
 			if _, err := pop(i); err != nil {
 				return err
 			}
-			if constLen < 0 {
+			if legality && constLen < 0 {
 				return fmt.Errorf("bytecode: %s@%d: newarray length is not a compile-time constant (dynamic allocation is unsupported on the FPGA)", m.Name, i)
 			}
 			push(ArrayOf(in.Kind))
@@ -174,7 +187,7 @@ func Verify(m *Method) error {
 			}
 			push(Prim(in.Kind))
 		case OpIntrin:
-			if !cir.Intrinsics[in.Sym] {
+			if legality && !cir.Intrinsics[in.Sym] {
 				return fmt.Errorf("bytecode: %s@%d: unknown intrinsic %q (library calls are unsupported, paper §3.3)", m.Name, i, in.Sym)
 			}
 			for j := 0; j < in.A; j++ {
@@ -216,15 +229,21 @@ func Verify(m *Method) error {
 }
 
 // VerifyClass verifies all methods of a class and its template metadata.
-func VerifyClass(c *Class) error {
+func VerifyClass(c *Class) error { return verifyClass(c, true) }
+
+// VerifyClassStructural is VerifyClass with the per-method §3.3 legality
+// rules deferred (see VerifyStructural).
+func VerifyClassStructural(c *Class) error { return verifyClass(c, false) }
+
+func verifyClass(c *Class, legality bool) error {
 	if c.Call == nil {
 		return fmt.Errorf("bytecode: class %s has no call method", c.Name)
 	}
-	if err := Verify(c.Call); err != nil {
+	if err := verify(c.Call, legality); err != nil {
 		return err
 	}
 	if c.Reduce != nil {
-		if err := Verify(c.Reduce); err != nil {
+		if err := verify(c.Reduce, legality); err != nil {
 			return err
 		}
 	}

@@ -55,6 +55,28 @@ func TestVerifyRejects(t *testing.T) {
 			method([]Instr{c(1), c(1), {Op: OpBrTrue, Target: 0}, c(0), {Op: OpReturn}}),
 			"non-empty stack",
 		},
+		"non-empty stack at leader": {
+			// The add at 4 is a branch target reached with two operands
+			// left over from the fall-through path: the statement-boundary
+			// invariant b2c's expression lifting relies on is broken.
+			method([]Instr{
+				c(1),
+				{Op: OpBrTrue, Target: 4},
+				c(5),
+				c(6),
+				{Op: OpBin, Bin: cir.Add, Kind: cir.Int},
+				{Op: OpReturn},
+			}),
+			"at block boundary",
+		},
+		"goto with non-empty stack": {
+			method([]Instr{c(1), {Op: OpStore, A: 0, Kind: cir.Int}, c(2), {Op: OpGoto, Target: 0}}, Prim(cir.Int)),
+			"goto with non-empty stack",
+		},
+		"negative branch target": {
+			method([]Instr{c(1), {Op: OpBrTrue, Target: -1}, c(0), {Op: OpReturn}}),
+			"out of range",
+		},
 		"dynamic newarray": {
 			method([]Instr{
 				c(4),
@@ -102,6 +124,50 @@ func TestVerifyRejects(t *testing.T) {
 				t.Errorf("error %q does not contain %q", err, tc.want)
 			}
 		})
+	}
+}
+
+func TestVerifyStructuralDefersLegality(t *testing.T) {
+	// The two §3.3 legality rules (constant newarray sizes, the intrinsic
+	// whitelist) are deferred by VerifyStructural so the abstract
+	// interpreter can analyze the kernel and report sourced violations.
+	dyn := method([]Instr{
+		c(4),
+		{Op: OpStore, A: 0, Kind: cir.Int},
+		{Op: OpLoad, A: 0, Kind: cir.Int},
+		{Op: OpNewArray, Kind: cir.Int},
+		{Op: OpStore, A: 1, Kind: cir.Int},
+		c(0),
+		{Op: OpReturn},
+	}, Prim(cir.Int), ArrayOf(cir.Int))
+	if err := VerifyStructural(dyn); err != nil {
+		t.Errorf("structural pass rejected dynamic newarray: %v", err)
+	}
+	if err := Verify(dyn); err == nil {
+		t.Error("full verify accepted dynamic newarray")
+	}
+
+	intr := method([]Instr{c(1), {Op: OpIntrin, Sym: "sin", A: 1, Kind: cir.Double}, {Op: OpReturn}})
+	if err := VerifyStructural(intr); err != nil {
+		t.Errorf("structural pass rejected unknown intrinsic: %v", err)
+	}
+	if err := Verify(intr); err == nil {
+		t.Error("full verify accepted unknown intrinsic")
+	}
+
+	// Structural breakage is still rejected by both.
+	bad := method([]Instr{{Op: OpBin, Bin: cir.Add, Kind: cir.Int}, c(0), {Op: OpReturn}})
+	if err := VerifyStructural(bad); err == nil {
+		t.Error("structural pass accepted stack underflow")
+	}
+
+	cls := &Class{Name: "X", ID: "x", Call: dyn, InSizes: []int{1}}
+	cls.Call.Params = []TypeDesc{Prim(cir.Int)}
+	if err := VerifyClassStructural(cls); err != nil {
+		t.Errorf("VerifyClassStructural rejected class: %v", err)
+	}
+	if err := VerifyClass(cls); err == nil {
+		t.Error("VerifyClass accepted dynamic newarray class")
 	}
 }
 

@@ -319,6 +319,32 @@ type Param struct {
 	// BitWidth is the off-chip interface bit-width (Table 1: 8 < 2^n <=
 	// 512). Zero means the natural element width.
 	BitWidth int
+	// ValLo/ValHi bound every value the buffer provably carries at
+	// runtime. The bytecode-to-C compiler seeds them from the abstract
+	// interpreter's value-range facts (internal/absint); they are valid
+	// only when ValKnown is set.
+	ValLo, ValHi float64
+	ValKnown     bool
+}
+
+// ValueBits is the narrowest standard storage width (8/16/32/64 bits)
+// that provably holds every value the buffer carries. Without a proven
+// range — or for float elements, whose mantissa precision a value range
+// says nothing about — it is the element's natural width.
+func (p Param) ValueBits() int {
+	if !p.ValKnown || p.Elem.IsFloat() {
+		return p.Elem.Bits()
+	}
+	for _, b := range []int{8, 16, 32} {
+		if b >= p.Elem.Bits() {
+			break
+		}
+		half := float64(int64(1) << (b - 1))
+		if p.ValLo >= -half && p.ValHi <= half-1 {
+			return b
+		}
+	}
+	return p.Elem.Bits()
 }
 
 // Global is a read-only constant array available to the kernel (e.g. an

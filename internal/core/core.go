@@ -104,6 +104,9 @@ func (f *Framework) BuildFromClass(cls *bytecode.Class, k *cir.Kernel) (*Build, 
 	if f.DSE != nil {
 		cfg = *f.DSE
 	}
+	if cfg.Device == nil {
+		cfg.Device = f.Device
+	}
 	tasks := f.Tasks
 	if tasks <= 0 {
 		tasks = 4096

@@ -1,0 +1,66 @@
+package dse
+
+import (
+	"reflect"
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/fpga"
+	"s2fa/internal/hls"
+	"s2fa/internal/space"
+)
+
+// TestRangeCollapsePreservesTrajectorySW is the acceptance check for the
+// value-range optimization: on S-W at seed 42 the collapse must cut real
+// HLS estimations below the prior 158 while leaving the search — every
+// trajectory point, the evaluation count, and the best design —
+// byte-identical to a run without it.
+func TestRangeCollapsePreservesTrajectorySW(t *testing.T) {
+	a := apps.Get("S-W")
+	k, err := a.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(restrict bool) *Outcome {
+		sp := space.Identify(k)
+		eval := NewEvaluator(k, sp, fpga.VU9P(), int64(a.Tasks), hls.Options{})
+		cfg := S2FAConfig(42)
+		cfg.RestrictRanges = restrict
+		return Run(k, sp, eval, cfg)
+	}
+	base := run(false)
+	opt := run(true)
+
+	if !reflect.DeepEqual(base.Best.Point, opt.Best.Point) {
+		t.Errorf("best point changed:\n  base %v\n  opt  %v", base.Best.Point, opt.Best.Point)
+	}
+	if base.Best.Objective != opt.Best.Objective {
+		t.Errorf("best objective changed: %v -> %v", base.Best.Objective, opt.Best.Objective)
+	}
+	if !reflect.DeepEqual(base.Trajectory, opt.Trajectory) {
+		t.Errorf("trajectory changed:\n  base %v\n  opt  %v", base.Trajectory, opt.Trajectory)
+	}
+	if base.Evaluations != opt.Evaluations {
+		t.Errorf("evaluation count changed: %d -> %d", base.Evaluations, opt.Evaluations)
+	}
+	if base.StaticallyPruned != opt.StaticallyPruned {
+		t.Errorf("static prune count changed: %d -> %d", base.StaticallyPruned, opt.StaticallyPruned)
+	}
+
+	if opt.RangeRestrictedValues != 4 {
+		t.Errorf("RangeRestrictedValues = %d, want 4 (one 512-bit value per buffer)", opt.RangeRestrictedValues)
+	}
+	if opt.RangeCollapsed == 0 {
+		t.Error("RangeCollapsed = 0: no evaluation reused a width-equivalent report")
+	}
+	baseHLS := base.Evaluations - base.StaticallyPruned
+	optHLS := opt.Evaluations - opt.StaticallyPruned - opt.RangeCollapsed
+	if baseHLS != 158 {
+		t.Errorf("baseline HLS estimations = %d, want 158 (seed-42 reference)", baseHLS)
+	}
+	if optHLS >= 158 {
+		t.Errorf("HLS estimations = %d, want < 158", optHLS)
+	}
+	t.Logf("S-W seed 42: HLS estimations %d -> %d (collapsed %d, dominated widths %d)",
+		baseHLS, optHLS, opt.RangeCollapsed, opt.RangeRestrictedValues)
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"s2fa/internal/cir"
+	"s2fa/internal/fpga"
 	"s2fa/internal/space"
 	"s2fa/internal/tuner"
 )
@@ -43,6 +44,14 @@ type Outcome struct {
 	// removed before the search started (e.g. flatten on a loop with a
 	// variable-trip sub-loop).
 	PrunedDomainValues int
+	// RangeCollapsed counts evaluations served from a width-equivalent
+	// design's HLS report instead of a fresh estimation
+	// (Config.RestrictRanges); the value-range facts prove the model
+	// cannot tell the points apart.
+	RangeCollapsed int
+	// RangeRestrictedValues counts bit-width domain values
+	// space.RestrictFromRanges proved dominated by a narrower width.
+	RangeRestrictedValues int
 }
 
 // BestAt returns the incumbent objective at virtual time t minutes
@@ -88,6 +97,16 @@ type Config struct {
 	// rejected points never reach the HLS estimator (AutoDSE-style static
 	// pruning; outcome counters record both effects).
 	StaticPrune bool
+	// RestrictRanges uses the abstract interpreter's proven value ranges
+	// to collapse interface bit-widths the HLS model cannot distinguish:
+	// equivalent points share one estimation, and the dominated domain
+	// values space.RestrictFromRanges would drop are counted. Like
+	// StaticPrune, the search trajectory and best design are preserved
+	// exactly.
+	RestrictRanges bool
+	// Device supplies the DDR interface model for RestrictRanges; nil
+	// defaults to the paper's VU9P.
+	Device *fpga.Device
 }
 
 // VanillaConfig reproduces the OpenTuner baseline of Fig. 3: no
@@ -120,6 +139,7 @@ func S2FAConfig(seed int64) Config {
 		Seed:             seed,
 		MaxEvaluations:   200_000,
 		StaticPrune:      true,
+		RestrictRanges:   true,
 	}
 }
 
@@ -149,6 +169,19 @@ func Run(k *cir.Kernel, sp *space.Space, eval tuner.Evaluator, cfg Config) *Outc
 	}
 
 	out := &Outcome{KernelName: k.Name, FirstFeasible: math.NaN(), FirstFeasibleMinutes: math.NaN()}
+	if cfg.RestrictRanges {
+		// Collapse width-equivalent points onto shared HLS reports and
+		// count the dominated domain values. As with StaticPrune below,
+		// the space itself is left intact so the partition structure and
+		// search trajectory are byte-identical to a run without the
+		// optimization — only the estimator invocation count drops.
+		dev := cfg.Device
+		if dev == nil {
+			dev = fpga.VU9P()
+		}
+		_, out.RangeRestrictedValues = space.RestrictFromRanges(sp, dev)
+		eval = rangeCollapseEvaluator(k, sp, dev, eval, &out.RangeCollapsed)
+	}
 	if cfg.StaticPrune {
 		// Guard the evaluator with the lint legality pass: statically
 		// illegal proposals cost microseconds instead of synthesis
@@ -351,6 +384,10 @@ func (o *Outcome) Summary() string {
 	if o.PrunedDomainValues > 0 || o.StaticallyPruned > 0 {
 		s += fmt.Sprintf(" statically-pruned=%d(+%d domain values)",
 			o.StaticallyPruned, o.PrunedDomainValues)
+	}
+	if o.RangeCollapsed > 0 || o.RangeRestrictedValues > 0 {
+		s += fmt.Sprintf(" range-collapsed=%d(+%d dominated widths)",
+			o.RangeCollapsed, o.RangeRestrictedValues)
 	}
 	return s
 }

@@ -63,6 +63,7 @@ func ComponentAblation(s *Suite, appNames []string) (*ComponentAblationResult, e
 		run := func(mut func(*dse.Config)) *dse.Outcome {
 			eval := dse.NewEvaluator(r.Kernel, r.Space, s.Device, int64(r.App.Tasks), hls.Options{})
 			cfg := dse.S2FAConfig(s.Seed)
+			cfg.Device = s.Device
 			if mut != nil {
 				mut(&cfg)
 			}

@@ -135,17 +135,27 @@ func (f *Fig3Result) Render() string {
 			fmt.Fprintf(&b, "%-8s  lint: %d proposals statically pruned, %d domain values provably illegal\n",
 				"", s.S2FA.StaticallyPruned, s.S2FA.PrunedDomainValues)
 		}
+		if s.S2FA.RangeCollapsed > 0 || s.S2FA.RangeRestrictedValues > 0 {
+			fmt.Fprintf(&b, "%-8s  absint: %d evaluations collapsed onto width-equivalent designs, %d bit-width values dominated\n",
+				"", s.S2FA.RangeCollapsed, s.S2FA.RangeRestrictedValues)
+		}
 	}
-	pruned, domain := 0, 0
+	pruned, domain, collapsed, dominated := 0, 0, 0, 0
 	for _, s := range f.Series {
 		pruned += s.S2FA.StaticallyPruned
 		domain += s.S2FA.PrunedDomainValues
+		collapsed += s.S2FA.RangeCollapsed
+		dominated += s.S2FA.RangeRestrictedValues
 	}
 	fmt.Fprintf(&b, "\nS2FA saves %.1f%% DSE time on average (paper: 52.5%%) and reaches %.1fx better designs (paper: 35x)\n",
 		f.AvgTimeSavingPct, f.QoRImprovement)
 	if pruned > 0 || domain > 0 {
 		fmt.Fprintf(&b, "static verifier pruned %d proposed points before HLS estimation (%d parameter-domain values provably illegal)\n",
 			pruned, domain)
+	}
+	if collapsed > 0 || dominated > 0 {
+		fmt.Fprintf(&b, "abstract interpreter collapsed %d evaluations onto width-equivalent designs (%d bit-width domain values dominated)\n",
+			collapsed, dominated)
 	}
 	return b.String()
 }

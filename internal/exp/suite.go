@@ -96,7 +96,9 @@ func (s *Suite) Result(name string, modes Modes) (*AppResult, error) {
 
 	if r.S2FA == nil {
 		eval := dse.NewEvaluator(r.Kernel, r.Space, s.Device, int64(r.App.Tasks), hls.Options{})
-		r.S2FA = dse.Run(r.Kernel, r.Space, eval, dse.S2FAConfig(s.Seed))
+		cfg := dse.S2FAConfig(s.Seed)
+		cfg.Device = s.Device
+		r.S2FA = dse.Run(r.Kernel, r.Space, eval, cfg)
 		if rep, ok := dse.Report(r.S2FA.Best); ok {
 			r.BestReport = rep
 		}

@@ -77,6 +77,11 @@ type VM struct {
 	Counts Counts
 	// MaxSteps bounds one invocation (default 500M).
 	MaxSteps int64
+	// Trace, when non-nil, is invoked before each instruction executes
+	// with the live frame (method, pc, operand stack, locals). Used by
+	// the absint differential soundness harness; the hook must not
+	// mutate the slices.
+	Trace func(m *bytecode.Method, pc int, stack []Val, locals []Val)
 }
 
 // New returns a VM for the class.
@@ -125,6 +130,9 @@ func (vm *VM) Invoke(m *bytecode.Method, args []Val) (Val, error) {
 			return Val{}, fmt.Errorf("jvmsim: %s: pc %d out of range", m.Name, pc)
 		}
 		in := m.Code[pc]
+		if vm.Trace != nil {
+			vm.Trace(m, pc, stack, locals)
+		}
 		switch in.Op {
 		case bytecode.OpConst:
 			vm.Counts.LoadStore++

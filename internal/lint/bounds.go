@@ -19,6 +19,16 @@ import (
 // data-dependent indices) have unknown intervals and are skipped: the
 // paper's §3.3 restrictions make the common kernel indices affine in loop
 // variables, so this covers the cases that matter.
+//
+// The pass additionally consumes the abstract interpreter's value-range
+// facts riding on the kernel interface (cir.Param.ValLo/ValHi, seeded by
+// internal/b2c from internal/absint): a load from a proven-range buffer
+// evaluates to that range instead of unknown, which makes data-dependent
+// subscripts (table lookups, gather indices) checkable. To keep those
+// checks from false-warning on guarded accesses, branch conditions
+// refine scalar intervals on each arm — `if (x < n) out(x) = ...` with x
+// proven non-negative reports nothing, while the same store unguarded
+// keeps its warning.
 
 // interval is a conservative value range; ok=false means unknown.
 type interval struct {
@@ -30,12 +40,27 @@ func known(lo, hi int64) interval { return interval{lo: lo, hi: hi, ok: true} }
 
 var unknown = interval{}
 
+// inRange guards interval arithmetic against int64 overflow: operands
+// are only combined while both bounds stay within +-2^31, so sums and
+// four-way products fit comfortably in int64. Subscript math lives far
+// inside this window; anything bigger degrades to unknown.
+func inRange(iv interval) bool {
+	return iv.lo >= -maxSeedMagnitude && iv.hi <= maxSeedMagnitude
+}
+
 func evalInterval(e cir.Expr, env map[string]interval) interval {
 	switch e := e.(type) {
 	case *cir.IntLit:
 		return known(e.Val, e.Val)
 	case *cir.VarRef:
 		if iv, ok := env[e.Name]; ok {
+			return iv
+		}
+		return unknown
+	case *cir.Index:
+		// Element-range facts are stored under the reserved "name[]" key
+		// (variable names cannot contain brackets).
+		if iv, ok := env[e.Arr+"[]"]; ok {
 			return iv
 		}
 		return unknown
@@ -108,20 +133,20 @@ func binaryInterval(e *cir.Binary, env map[string]interval) interval {
 	r := evalInterval(e.R, env)
 	switch e.Op {
 	case cir.Add:
-		if l.ok && r.ok {
+		if l.ok && r.ok && inRange(l) && inRange(r) {
 			return known(l.lo+r.lo, l.hi+r.hi)
 		}
 	case cir.Sub:
-		if l.ok && r.ok {
+		if l.ok && r.ok && inRange(l) && inRange(r) {
 			return known(l.lo-r.hi, l.hi-r.lo)
 		}
 	case cir.Mul:
-		if l.ok && r.ok {
+		if l.ok && r.ok && inRange(l) && inRange(r) {
 			a, b, c, d := l.lo*r.lo, l.lo*r.hi, l.hi*r.lo, l.hi*r.hi
 			return known(min64(min64(a, b), min64(c, d)), max64(max64(a, b), max64(c, d)))
 		}
 	case cir.Shl:
-		if lit, isLit := e.R.(*cir.IntLit); isLit && l.ok && lit.Val >= 0 && lit.Val < 63 {
+		if lit, isLit := e.R.(*cir.IntLit); isLit && l.ok && inRange(l) && lit.Val >= 0 && lit.Val < 31 {
 			f := int64(1) << uint(lit.Val)
 			return known(l.lo*f, l.hi*f)
 		}
@@ -183,9 +208,15 @@ type boundsChecker struct {
 	reported map[string]bool
 }
 
+// maxSeedMagnitude bounds the element ranges imported from interface
+// facts so downstream interval arithmetic (products of two data values)
+// cannot overflow int64.
+const maxSeedMagnitude = int64(1) << 31
+
 // checkBounds runs pass 2 over the kernel.
 func checkBounds(k *cir.Kernel) Findings {
 	c := &boundsChecker{k: k, lengths: map[string]int64{}, reported: map[string]bool{}}
+	env := map[string]interval{}
 	for _, p := range k.Params {
 		if p.IsArray && p.Length > 0 {
 			// Per-task length; task-relative subscripts are checked
@@ -193,11 +224,17 @@ func checkBounds(k *cir.Kernel) Findings {
 			// whose interval is unknown, and are skipped.
 			c.lengths[p.Name] = int64(p.Length)
 		}
+		if p.IsArray && p.ValKnown && p.Elem.IsInteger() &&
+			p.ValLo >= float64(-maxSeedMagnitude) && p.ValHi <= float64(maxSeedMagnitude) {
+			env[p.Name+"[]"] = known(int64(p.ValLo), int64(p.ValHi))
+		}
 	}
 	for _, g := range k.Globals {
 		c.lengths[g.Name] = int64(len(g.Data))
+		if iv, ok := globalElemRange(g); ok {
+			env[g.Name+"[]"] = iv
+		}
 	}
-	env := map[string]interval{}
 	c.block(k.Body, env, "")
 	c.findings.Sort()
 	return c.findings
@@ -251,8 +288,12 @@ func (c *boundsChecker) block(b cir.Block, env map[string]interval, loopID strin
 			}
 		case *cir.If:
 			c.expr(s.Cond, env, loopID)
-			c.block(s.Then, cloneEnv(env), loopID)
-			c.block(s.Else, cloneEnv(env), loopID)
+			thenEnv := cloneEnv(env)
+			refineCond(s.Cond, true, thenEnv)
+			c.block(s.Then, thenEnv, loopID)
+			elseEnv := cloneEnv(env)
+			refineCond(s.Cond, false, elseEnv)
+			c.block(s.Else, elseEnv, loopID)
 			// Either branch may have reassigned a scalar: its pre-branch
 			// interval no longer holds.
 			killAssigned(s.Then, env)
@@ -345,6 +386,123 @@ func killAssigned(b cir.Block, env map[string]interval) {
 			killAssigned(s.Body, env)
 		}
 	}
+}
+
+// globalElemRange computes the exact value range of a constant global
+// array (lookup tables are the canonical subscript source).
+func globalElemRange(g cir.Global) (interval, bool) {
+	if !g.Elem.IsInteger() || len(g.Data) == 0 {
+		return unknown, false
+	}
+	lo, hi := g.Data[0].AsInt(), g.Data[0].AsInt()
+	for _, v := range g.Data[1:] {
+		lo = min64(lo, v.AsInt())
+		hi = max64(hi, v.AsInt())
+	}
+	return known(lo, hi), true
+}
+
+// refineCond narrows env with the facts implied by cond evaluating to
+// branch. Only scalar comparisons against a known interval refine;
+// anything else leaves env untouched (conservative).
+func refineCond(e cir.Expr, branch bool, env map[string]interval) {
+	b, ok := e.(*cir.Binary)
+	if !ok {
+		return
+	}
+	switch b.Op {
+	case cir.LAnd:
+		if branch { // !(a && b) implies nothing about a or b alone
+			refineCond(b.L, true, env)
+			refineCond(b.R, true, env)
+		}
+		return
+	case cir.LOr:
+		if !branch {
+			refineCond(b.L, false, env)
+			refineCond(b.R, false, env)
+		}
+		return
+	}
+	if !b.Op.IsCompare() {
+		return
+	}
+	op := b.Op
+	if !branch {
+		op = negateCmp(op)
+	}
+	refineCmp(b.L, op, b.R, env)
+	refineCmp(b.R, flipCmp(op), b.L, env)
+}
+
+func negateCmp(op cir.BinOp) cir.BinOp {
+	switch op {
+	case cir.Lt:
+		return cir.Ge
+	case cir.Le:
+		return cir.Gt
+	case cir.Gt:
+		return cir.Le
+	case cir.Ge:
+		return cir.Lt
+	case cir.Eq:
+		return cir.Ne
+	case cir.Ne:
+		return cir.Eq
+	}
+	return op
+}
+
+func flipCmp(op cir.BinOp) cir.BinOp {
+	switch op {
+	case cir.Lt:
+		return cir.Gt
+	case cir.Gt:
+		return cir.Lt
+	case cir.Le:
+		return cir.Ge
+	case cir.Ge:
+		return cir.Le
+	}
+	return op // Eq and Ne are symmetric
+}
+
+// refineCmp narrows x's interval given that `x op bound` holds.
+func refineCmp(x cir.Expr, op cir.BinOp, bound cir.Expr, env map[string]interval) {
+	vr, ok := x.(*cir.VarRef)
+	if !ok {
+		return
+	}
+	cur, ok := env[vr.Name]
+	if !ok {
+		return
+	}
+	bv := evalInterval(bound, env)
+	if !bv.ok {
+		return
+	}
+	switch op {
+	case cir.Lt:
+		cur.hi = min64(cur.hi, bv.hi-1)
+	case cir.Le:
+		cur.hi = min64(cur.hi, bv.hi)
+	case cir.Gt:
+		cur.lo = max64(cur.lo, bv.lo+1)
+	case cir.Ge:
+		cur.lo = max64(cur.lo, bv.lo)
+	case cir.Eq:
+		cur.lo = max64(cur.lo, bv.lo)
+		cur.hi = min64(cur.hi, bv.hi)
+	default: // Ne carves a hole, not an interval
+		return
+	}
+	if cur.lo > cur.hi {
+		// The branch is statically unreachable; dropping the interval
+		// skips (rather than mis-reports) anything inside it.
+		delete(env, vr.Name)
+		return
+	}
+	env[vr.Name] = cur
 }
 
 func cloneEnv(env map[string]interval) map[string]interval {

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"testing"
+
+	"s2fa/internal/cir"
+)
+
+// Tests for the value-range fact consumption in the bounds pass: loads
+// from buffers with proven element ranges (cir.Param.ValKnown, seeded by
+// b2c from the abstract interpreter) become checkable subscripts, and
+// branch-condition refinement keeps guarded accesses from false-warning.
+
+func inArrRange(name string, n int, lo, hi float64) cir.Param {
+	p := inArr(name, n)
+	p.ValKnown, p.ValLo, p.ValHi = true, lo, hi
+	return p
+}
+
+func idx(arr string, i cir.Expr) *cir.Index {
+	return &cir.Index{K: cir.Int, Arr: arr, Idx: i}
+}
+
+func cmp(op cir.BinOp, l, r cir.Expr) *cir.Binary {
+	return &cir.Binary{K: cir.Int, Op: op, L: l, R: r}
+}
+
+// gatherKernel builds `for i: x = in(i); [if (guard) ] out(x) = 1` with
+// the input's element range proven to be [lo, hi].
+func gatherKernel(lo, hi float64, guarded bool) *cir.Kernel {
+	store := cir.Stmt(&cir.Assign{LHS: idx("out", ref("x")), RHS: intLit(1)})
+	if guarded {
+		store = &cir.If{
+			Cond: cmp(cir.LAnd, cmp(cir.Ge, ref("x"), intLit(0)), cmp(cir.Lt, ref("x"), intLit(8))),
+			Then: cir.Block{store},
+		}
+	}
+	return kern(cir.Block{
+		counted("L1", "i", 8, cir.Block{
+			&cir.Decl{Name: "x", K: cir.Int, Init: idx("in", ref("i"))},
+			store,
+		}),
+	}, inArrRange("in", 8, lo, hi), outArr("out", 8))
+}
+
+func boundsFindings(k *cir.Kernel) Findings {
+	return Lint(k).ByRule(RuleArrayBounds)
+}
+
+func TestFactRangeGuardedGatherIsClean(t *testing.T) {
+	// x is proven within [-128, 127]; the guard narrows it to [0, 7], so
+	// the store is in bounds and the pass must stay silent. Before branch
+	// refinement the fact range alone would have produced a false "may
+	// leave [0, 8)" warning here.
+	if fs := boundsFindings(gatherKernel(-128, 127, true)); len(fs) != 0 {
+		t.Errorf("guarded gather reported:\n%s", fs)
+	}
+}
+
+func TestFactRangeUnguardedGatherWarns(t *testing.T) {
+	fs := boundsFindings(gatherKernel(-128, 127, false))
+	if len(fs) != 1 || fs[0].Sev != SevWarn {
+		t.Fatalf("unguarded gather findings:\n%s", fs)
+	}
+}
+
+func TestFactRangeProvenInBounds(t *testing.T) {
+	// The element range itself fits the target: no guard needed.
+	if fs := boundsFindings(gatherKernel(0, 7, false)); len(fs) != 0 {
+		t.Errorf("proven-in-bounds gather reported:\n%s", fs)
+	}
+}
+
+func TestFactRangeProvenOutOfBounds(t *testing.T) {
+	fs := boundsFindings(gatherKernel(100, 200, false))
+	if len(fs) != 1 || fs[0].Sev != SevError {
+		t.Fatalf("proven-out-of-bounds gather findings:\n%s", fs)
+	}
+}
+
+func TestFactRangeUnknownBufferStillSkipped(t *testing.T) {
+	// Without facts the subscript interval is unknown: skipped, exactly
+	// the pre-facts behavior.
+	k := kern(cir.Block{
+		counted("L1", "i", 8, cir.Block{
+			&cir.Decl{Name: "x", K: cir.Int, Init: idx("in", ref("i"))},
+			&cir.Assign{LHS: idx("out", ref("x")), RHS: intLit(1)},
+		}),
+	}, inArr("in", 8), outArr("out", 8))
+	if fs := boundsFindings(k); len(fs) != 0 {
+		t.Errorf("fact-free gather reported:\n%s", fs)
+	}
+}
+
+func TestGlobalTableRangeChecked(t *testing.T) {
+	table := func(vals ...int64) cir.Global {
+		g := cir.Global{Name: "tbl", Elem: cir.Int}
+		for _, v := range vals {
+			g.Data = append(g.Data, cir.IntVal(cir.Int, v))
+		}
+		return g
+	}
+	build := func(g cir.Global) *cir.Kernel {
+		k := kern(cir.Block{
+			counted("L1", "i", 4, cir.Block{
+				&cir.Assign{LHS: idx("out", idx("tbl", ref("i"))), RHS: intLit(1)},
+			}),
+		}, outArr("out", 8))
+		k.Globals = []cir.Global{g}
+		return k
+	}
+	// Constant lookup tables carry exact element ranges.
+	if fs := boundsFindings(build(table(0, 3, 5, 7))); len(fs) != 0 {
+		t.Errorf("in-range table lookup reported:\n%s", fs)
+	}
+	fs := boundsFindings(build(table(0, 3, 5, 9)))
+	if len(fs) != 1 || fs[0].Sev != SevWarn {
+		t.Fatalf("out-of-range table lookup findings:\n%s", fs)
+	}
+}

@@ -1,0 +1,71 @@
+package space_test
+
+import (
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/fpga"
+	"s2fa/internal/space"
+)
+
+func identify(t *testing.T, name string) *space.Space {
+	t.Helper()
+	a := apps.Get(name)
+	if a == nil {
+		t.Fatalf("no app %q", name)
+	}
+	k, err := a.Kernel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space.Identify(k)
+}
+
+// TestRestrictFromRangesSW checks the dominance rule on S-W: all four
+// Char buffers carry proven [-128,127] ranges, the aggregate payload is
+// 768 bytes against a 32 B/cycle channel (24-cycle floor), and 256 bits
+// is the smallest domain width that both saturates the channel alongside
+// the other buffers' narrowest widths and streams each buffer under the
+// floor — so exactly the four 512-bit values are dominated.
+func TestRestrictFromRangesSW(t *testing.T) {
+	s := identify(t, "S-W")
+	out, removed := space.RestrictFromRanges(s, fpga.VU9P())
+	if removed != 4 {
+		t.Fatalf("removed = %d, want 4 (one 512-bit value per buffer)", removed)
+	}
+	for i := range out.Params {
+		p := &out.Params[i]
+		if p.Kind != space.FactorBitWidth {
+			continue
+		}
+		if top := p.ValueAt(p.Size() - 1); top != 256 {
+			t.Errorf("%s widest width = %d, want 256", p.Name, top)
+		}
+	}
+	// The original space is untouched.
+	for i := range s.Params {
+		p := &s.Params[i]
+		if p.Kind == space.FactorBitWidth && p.ValueAt(p.Size()-1) != 512 {
+			t.Errorf("input space mutated: %s widest = %d", p.Name, p.ValueAt(p.Size()-1))
+		}
+	}
+}
+
+// LR streams Double feature vectors; floating-point buffers never get a
+// ValKnown range (width carries precision, not magnitude), so the rule
+// must not fire.
+func TestRestrictFromRangesFloatBuffersUntouched(t *testing.T) {
+	s := identify(t, "LR")
+	_, removed := space.RestrictFromRanges(s, fpga.VU9P())
+	if removed != 0 {
+		t.Fatalf("removed = %d, want 0 for float buffers", removed)
+	}
+}
+
+func TestRestrictFromRangesNilDevice(t *testing.T) {
+	s := identify(t, "S-W")
+	out, removed := space.RestrictFromRanges(s, nil)
+	if removed != 0 || out != s {
+		t.Fatalf("nil device must be a no-op, got removed=%d", removed)
+	}
+}
