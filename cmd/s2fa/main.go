@@ -11,12 +11,15 @@
 //	s2fa -app AES -dump-bytecode -dump-c
 //	s2fa -app S-W -lint                 # static verifier findings only
 //	s2fa -src kernel.scala -explain     # abstract-interpretation fact report
+//	s2fa -app S-W -trace run.json -trace-format chrome   # Perfetto trace
+//	s2fa -app KMeans -summary           # post-run observability report
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"s2fa/internal/absint"
 	"s2fa/internal/apps"
@@ -27,20 +30,24 @@ import (
 	"s2fa/internal/dse"
 	"s2fa/internal/kdsl"
 	"s2fa/internal/lint"
+	"s2fa/internal/obs"
 )
 
 func main() {
 	var (
-		srcPath  = flag.String("src", "", "path to a kernel class source file")
-		appName  = flag.String("app", "", "built-in workload name (PR, KMeans, KNN, LR, SVM, LLS, AES, S-W)")
-		dseMode  = flag.String("dse", "s2fa", "exploration mode: s2fa | vanilla | trivial")
-		tasks    = flag.Int("tasks", 4096, "batch size the design is optimized for")
-		seed     = flag.Int64("seed", 1, "random seed (reproducible runs)")
-		lintOnly = flag.Bool("lint", false, "run the static verifier on the generated kernel, print findings, and exit (status 1 on errors)")
-		explain  = flag.Bool("explain", false, "print the abstract interpreter's fact report (§3.3 violations with kdsl positions, purity, value ranges) and exit (status 1 on violations)")
-		dumpBC   = flag.Bool("dump-bytecode", false, "print the compiled bytecode")
-		dumpC    = flag.Bool("dump-c", false, "print the generated HLS C before DSE")
-		dumpBest = flag.Bool("dump-best", false, "print the chosen design's annotated HLS C")
+		srcPath     = flag.String("src", "", "path to a kernel class source file")
+		appName     = flag.String("app", "", "built-in workload name (PR, KMeans, KNN, LR, SVM, LLS, AES, S-W)")
+		dseMode     = flag.String("dse", "s2fa", "exploration mode: s2fa | vanilla | trivial")
+		tasks       = flag.Int("tasks", 4096, "batch size the design is optimized for")
+		seed        = flag.Int64("seed", 1, "random seed (reproducible runs)")
+		lintOnly    = flag.Bool("lint", false, "run the static verifier on the generated kernel, print findings, and exit (status 1 on errors)")
+		explain     = flag.Bool("explain", false, "print the abstract interpreter's fact report (§3.3 violations with kdsl positions, purity, value ranges) and exit (status 1 on violations)")
+		dumpBC      = flag.Bool("dump-bytecode", false, "print the compiled bytecode")
+		dumpC       = flag.Bool("dump-c", false, "print the generated HLS C before DSE")
+		dumpBest    = flag.Bool("dump-best", false, "print the chosen design's annotated HLS C")
+		tracePath   = flag.String("trace", "", "write pipeline + DSE trace events to this file")
+		traceFormat = flag.String("trace-format", "jsonl", "trace file format: jsonl | chrome (load the latter in chrome://tracing or Perfetto)")
+		summary     = flag.Bool("summary", false, "print a post-run observability report (stage times, slowest HLS estimations, bandit arms, entropy sparkline)")
 	)
 	flag.Parse()
 
@@ -61,7 +68,8 @@ func main() {
 	default:
 		a := apps.Get(*appName)
 		if a == nil {
-			fatal(fmt.Errorf("unknown app %q", *appName))
+			fmt.Fprintln(os.Stderr, "s2fa: "+unknownAppMessage(*appName))
+			os.Exit(2)
 		}
 		src = a.Source
 		if *tasks == 4096 {
@@ -69,9 +77,38 @@ func main() {
 		}
 	}
 
+	// Observability: trace file and/or in-process summary collector. A nil
+	// trace is free; a live one never changes the run (see internal/obs).
+	var sinks []obs.Sink
+	var collector *obs.Collector
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		switch *traceFormat {
+		case "jsonl":
+			sinks = append(sinks, obs.NewJSONL(f))
+		case "chrome":
+			sinks = append(sinks, obs.NewChrome(f))
+		default:
+			fatal(fmt.Errorf("unknown -trace-format %q (want jsonl or chrome)", *traceFormat))
+		}
+	}
+	if *summary {
+		collector = obs.NewCollector()
+		sinks = append(sinks, collector)
+	}
+	var tr *obs.Trace
+	if len(sinks) > 0 {
+		tr = obs.New(obs.Multi(sinks...))
+	}
+
 	fw := core.New()
 	fw.Seed = *seed
 	fw.Tasks = *tasks
+	fw.Trace = tr
 	switch *dseMode {
 	case "s2fa":
 	case "vanilla":
@@ -90,7 +127,9 @@ func main() {
 		fileLabel = *appName + ".kdsl"
 	}
 
+	kspan := tr.Begin("kdsl", "compile", obs.Int("src_bytes", len(src)))
 	cls, err := kdsl.CompileSource(src)
+	kspan.End(obs.Bool("ok", err == nil))
 	if err != nil {
 		fatal(err)
 	}
@@ -127,7 +166,7 @@ func main() {
 		}
 	}
 
-	kernel, err := b2c.Compile(cls)
+	kernel, err := b2c.CompileTraced(cls, tr)
 	if err != nil {
 		// Surface any sourced §3.3 diagnostics alongside the compile error.
 		if facts, derr := absint.DiagnoseClass(cls); derr == nil {
@@ -160,8 +199,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("design space: %d parameters, %.3g points\n", len(build.Space.Params), build.Space.Cardinality())
-	fmt.Printf("DSE (%s): %d evaluations over %.0f virtual minutes, %d partitions\n",
-		*dseMode, build.Outcome.Evaluations, build.Outcome.TotalMinutes, len(build.Outcome.Partitions))
+	fmt.Printf("DSE (%s): %d evaluations over %.0f virtual minutes, %d partitions, stopped: %s\n",
+		*dseMode, build.Outcome.Evaluations, build.Outcome.TotalMinutes,
+		len(build.Outcome.Partitions), build.Outcome.StopReason)
 	for i, p := range build.Outcome.Partitions {
 		fmt.Printf("  partition %d: %s\n", i, p.String())
 	}
@@ -171,6 +211,20 @@ func main() {
 		fmt.Println("--- chosen design (annotated HLS C) ---")
 		fmt.Println(build.BestHLSSource())
 	}
+	if err := tr.Close(); err != nil {
+		fatal(fmt.Errorf("writing trace: %w", err))
+	}
+	if collector != nil {
+		fmt.Println("--- run summary ---")
+		fmt.Print(collector.Render())
+	}
+}
+
+// unknownAppMessage is the -app rejection text: the bad name plus every
+// accepted workload, so the fix is on screen.
+func unknownAppMessage(name string) string {
+	return fmt.Sprintf("unknown app %q (valid workloads: %s)",
+		name, strings.Join(apps.Names(), ", "))
 }
 
 func fatal(err error) {

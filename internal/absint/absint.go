@@ -154,6 +154,19 @@ type MethodFacts struct {
 	Ret        Abstract
 	Purity     Purity
 	Violations []Violation
+	// Fixpoint records how much work the worklist solver did on this
+	// method — the telemetry behind the absint spans of a pipeline trace.
+	Fixpoint FixpointStats
+}
+
+// FixpointStats counts the abstract interpreter's fixpoint work for one
+// method: worklist block visits, state joins at leaders, and widening
+// applications (loop-head locals and array-element updates).
+type FixpointStats struct {
+	Iterations     int // blocks popped off the worklist
+	Joins          int // state joins at block leaders
+	Widenings      int // loop-head widening applications on locals
+	ArrayWidenings int // array-element widenings (all passes)
 }
 
 // LocalRange returns the proven range of a local slot (Top when the slot

@@ -423,6 +423,7 @@ func (a *analyzer) fixpoint() error {
 			pc := work[0]
 			work = work[1:]
 			queued[pc] = false
+			a.facts.Fixpoint.Iterations++
 			st := a.in[pc].clone()
 			edges, err := a.simBlock(pc, st, false)
 			if err != nil {
@@ -435,7 +436,9 @@ func (a *analyzer) fixpoint() error {
 				} else {
 					next := prev.join(e.st)
 					a.joins[e.to]++
+					a.facts.Fixpoint.Joins++
 					if a.backTargets[e.to] && a.joins[e.to] > widenAfter {
+						a.facts.Fixpoint.Widenings++
 						for i := range next.locals {
 							lim := a.widenLimit(next.locals[i])
 							next.locals[i].iv = next.locals[i].iv.Widen(prev.locals[i].iv, lim)
@@ -646,6 +649,7 @@ func (a *analyzer) simBlock(start int, st *state, record bool) ([]edge, error) {
 					o.updates++
 					if o.updates > widenAfter {
 						grown = grown.Widen(o.facts.Elems, kindRange(o.facts.Kind))
+						a.facts.Fixpoint.ArrayWidenings++
 					}
 					o.facts.Elems = grown
 					a.objChanged = true

@@ -132,6 +132,15 @@ var registry []*App
 // All returns the eight workloads in Table 2 order.
 func All() []*App { return registry }
 
+// Names returns the workload names in Table 2 order (what -app accepts).
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, a := range registry {
+		out[i] = a.Name
+	}
+	return out
+}
+
 // Get returns the named workload, or nil.
 func Get(name string) *App {
 	for _, a := range registry {

@@ -8,6 +8,7 @@ import (
 	"s2fa/internal/bytecode"
 	"s2fa/internal/cir"
 	"s2fa/internal/lint"
+	"s2fa/internal/obs"
 )
 
 // Compile translates a kernel class to a complete HLS-C kernel: the
@@ -16,7 +17,21 @@ import (
 // inlined. The result is functionally equivalent to the JVM semantics of
 // the class — a property the test suite checks by differential execution.
 func Compile(cls *bytecode.Class) (*cir.Kernel, error) {
-	if err := bytecode.VerifyClass(cls); err != nil {
+	return CompileTraced(cls, nil)
+}
+
+// CompileTraced is Compile with pipeline tracing: the bytecode verifier,
+// the abstract interpreter (with per-method fixpoint iteration/widening
+// counts), and the lint gate each get a span under the b2c compile span.
+// A nil trace is free.
+func CompileTraced(cls *bytecode.Class, tr *obs.Trace) (*cir.Kernel, error) {
+	outer := tr.Begin("b2c", "compile", obs.Str("class", cls.Name))
+	defer outer.End()
+
+	vs := tr.Begin("bytecode", "verify")
+	err := bytecode.VerifyClass(cls)
+	vs.End(obs.Bool("ok", err == nil))
+	if err != nil {
 		return nil, err
 	}
 	// Abstract interpretation supplies value-range and extent facts the
@@ -27,9 +42,15 @@ func Compile(cls *bytecode.Class) (*cir.Kernel, error) {
 	// (seeding cir bit-width inference and the design-space restriction).
 	// The class just verified, so analysis cannot fail; a nil facts value
 	// simply disables the extra precision.
+	as := tr.Begin("absint", "analyze")
 	facts, err := absint.AnalyzeClass(cls)
 	if err != nil {
 		facts = nil
+	}
+	as.End(obs.Bool("ok", facts != nil))
+	if tr.Enabled() && facts != nil {
+		emitFixpoint(tr, "call", facts.Call)
+		emitFixpoint(tr, "reduce", facts.Reduce)
 	}
 	callFacts := methodFacts(facts, cls.Call)
 	callBody, callLift, err := decompile(cls, cls.Call, callFacts)
@@ -82,10 +103,27 @@ func Compile(cls *bytecode.Class) (*cir.Kernel, error) {
 	// structural invariant) is a compiler bug, not a user error — fail the
 	// compilation instead of shipping C that the differential tests would
 	// only catch dynamically. Warnings (zero-default reads etc.) pass.
-	if errs := lint.Lint(k).Errors(); len(errs) > 0 {
+	ls := tr.Begin("lint", "gate")
+	errs := lint.Lint(k).Errors()
+	ls.End(obs.Int("errors", len(errs)))
+	if len(errs) > 0 {
 		return nil, fmt.Errorf("b2c: generated kernel %s fails static verification:\n%s", k.Name, errs)
 	}
 	return k, nil
+}
+
+// emitFixpoint reports one method's abstract-interpretation work.
+func emitFixpoint(tr *obs.Trace, which string, mf *absint.MethodFacts) {
+	if mf == nil {
+		return
+	}
+	fp := mf.Fixpoint
+	tr.Event("absint", "fixpoint",
+		obs.Str("method", which),
+		obs.Int("iterations", fp.Iterations),
+		obs.Int("joins", fp.Joins),
+		obs.Int("widenings", fp.Widenings),
+		obs.Int("array_widenings", fp.ArrayWidenings))
 }
 
 // taskVar is the compiler-inserted task-loop induction variable (the `i`

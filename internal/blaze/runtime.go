@@ -10,6 +10,7 @@ import (
 	"s2fa/internal/cir"
 	"s2fa/internal/fpga"
 	"s2fa/internal/jvmsim"
+	"s2fa/internal/obs"
 	"s2fa/internal/spark"
 )
 
@@ -30,6 +31,11 @@ type Manager struct {
 	device *fpga.Device
 	accs   map[string]*Accelerator
 	purity map[*bytecode.Class]string
+
+	// Trace, when set, receives runtime telemetry: one "blaze" span per
+	// accelerated transformation (offload vs fallback with the cause) and
+	// serialization traffic events. Tracing never changes which path runs.
+	Trace *obs.Trace
 }
 
 // NewManager creates a manager for one FPGA device.
@@ -125,6 +131,14 @@ func Wrap(r *spark.RDD[jvmsim.Val], mgr *Manager) *AccRDD {
 // runtime behaves.
 func (a *AccRDD) MapAcc(vm *jvmsim.VM) ([]jvmsim.Val, Stats, error) {
 	tasks := a.base.Collect()
+	span := a.mgr.Trace.Begin("blaze", "map",
+		obs.Str("acc", vm.Class.ID), obs.Int("tasks", len(tasks)))
+	out, stats, err := a.mapAcc(vm, tasks)
+	a.closeSpan(span, stats, err)
+	return out, stats, err
+}
+
+func (a *AccRDD) mapAcc(vm *jvmsim.VM, tasks []jvmsim.Val) ([]jvmsim.Val, Stats, error) {
 	acc := a.mgr.Lookup(vm.Class.ID)
 	if acc == nil {
 		return a.fallbackMap(vm, tasks, "no accelerator registered for "+vm.Class.ID)
@@ -143,6 +157,14 @@ func (a *AccRDD) MapAcc(vm *jvmsim.VM) ([]jvmsim.Val, Stats, error) {
 // accumulated value.
 func (a *AccRDD) ReduceAcc(vm *jvmsim.VM) (jvmsim.Val, Stats, error) {
 	tasks := a.base.Collect()
+	span := a.mgr.Trace.Begin("blaze", "reduce",
+		obs.Str("acc", vm.Class.ID), obs.Int("tasks", len(tasks)))
+	v, stats, err := a.reduceAcc(vm, tasks)
+	a.closeSpan(span, stats, err)
+	return v, stats, err
+}
+
+func (a *AccRDD) reduceAcc(vm *jvmsim.VM, tasks []jvmsim.Val) (jvmsim.Val, Stats, error) {
 	acc := a.mgr.Lookup(vm.Class.ID)
 	if acc == nil {
 		return a.fallbackReduce(vm, tasks, "no accelerator registered for "+vm.Class.ID)
@@ -159,6 +181,26 @@ func (a *AccRDD) ReduceAcc(vm *jvmsim.VM) (jvmsim.Val, Stats, error) {
 		return a.fallbackReduce(vm, tasks, "deserialize error: "+err.Error())
 	}
 	return v, stats, nil
+}
+
+// closeSpan ends a transformation span with how it actually executed:
+// the chosen path (offload vs JVM fallback with its cause) and the
+// modeled execution time.
+func (a *AccRDD) closeSpan(span *obs.Span, st Stats, err error) {
+	if span == nil {
+		return
+	}
+	kvs := []obs.KV{
+		obs.Bool("offloaded", st.UsedFPGA),
+		obs.I64("sim_ns", st.SimTime.Nanoseconds()),
+	}
+	if st.Fallback != "" {
+		kvs = append(kvs, obs.Str("fallback", st.Fallback))
+	}
+	if err != nil {
+		kvs = append(kvs, obs.Str("error", err.Error()))
+	}
+	span.End(kvs...)
 }
 
 func (a *AccRDD) offload(acc *Accelerator, tasks []jvmsim.Val) ([]jvmsim.Val, Stats, error) {
@@ -194,10 +236,25 @@ func (a *AccRDD) execKernel(acc *Accelerator, tasks []jvmsim.Val) (map[string][]
 		Tasks:    n,
 		SimTime:  a.mgr.device.Execute(acc.Design, n),
 	}
+	if tr := a.mgr.Trace; tr != nil {
+		bytes := acc.Layout.BytesPerTask() * n
+		tr.Event("blaze", "offload",
+			obs.Str("acc", acc.ID),
+			obs.Int("tasks", n),
+			obs.Int("bytes", bytes),
+			obs.I64("sim_ns", st.SimTime.Nanoseconds()))
+		tr.Count("blaze.offloads", 1)
+		tr.Count("blaze.bytes_serialized", int64(bytes))
+	}
 	return bufs, st, nil
 }
 
 func (a *AccRDD) fallbackMap(vm *jvmsim.VM, tasks []jvmsim.Val, why string) ([]jvmsim.Val, Stats, error) {
+	if tr := a.mgr.Trace; tr != nil {
+		tr.Event("blaze", "fallback",
+			obs.Str("acc", vm.Class.ID), obs.Str("cause", why))
+		tr.Count("blaze.fallbacks", 1)
+	}
 	out := make([]jvmsim.Val, len(tasks))
 	for i, t := range tasks {
 		v, err := vm.Call(t)

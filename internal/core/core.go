@@ -25,6 +25,7 @@ import (
 	"s2fa/internal/hls"
 	"s2fa/internal/kdsl"
 	"s2fa/internal/merlin"
+	"s2fa/internal/obs"
 	"s2fa/internal/space"
 )
 
@@ -39,6 +40,11 @@ type Framework struct {
 	DSE *dse.Config
 	// HLS options (StageSplit is reserved for expert manual designs).
 	HLS hls.Options
+	// Trace, when set, receives spans for every pipeline stage (kdsl,
+	// b2c, space identification, DSE) plus the search telemetry the DSE
+	// emits. A nil Trace costs nothing; a live one never perturbs the
+	// search — traced and untraced runs are byte-identical.
+	Trace *obs.Trace
 }
 
 // New returns a framework targeting the EC2 F1's VU9P with the paper's
@@ -75,11 +81,14 @@ func (b *Build) BestHLSSource() string {
 
 // Compile runs only the front half: source -> bytecode -> HLS-C kernel.
 func (f *Framework) Compile(src string) (*bytecode.Class, *cir.Kernel, error) {
+	span := f.Trace.Begin("kdsl", "compile", obs.Int("src_bytes", len(src)))
 	cls, err := kdsl.CompileSource(src)
 	if err != nil {
+		span.End(obs.Bool("ok", false))
 		return nil, nil, err
 	}
-	k, err := b2c.Compile(cls)
+	span.End(obs.Bool("ok", true), obs.Str("class", cls.Name))
+	k, err := b2c.CompileTraced(cls, f.Trace)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -98,7 +107,10 @@ func (f *Framework) BuildFromSource(src string) (*Build, error) {
 // BuildFromClass runs design-space identification, DSE, and accelerator
 // assembly for an already compiled kernel.
 func (f *Framework) BuildFromClass(cls *bytecode.Class, k *cir.Kernel) (*Build, error) {
-	b := &Build{Class: cls, Kernel: k, Space: space.Identify(k)}
+	sspan := f.Trace.Begin("space", "identify", obs.Str("kernel", k.Name))
+	sp := space.Identify(k)
+	sspan.End(obs.Int("params", len(sp.Params)), obs.F64("points", sp.Cardinality()))
+	b := &Build{Class: cls, Kernel: k, Space: sp}
 
 	cfg := dse.S2FAConfig(f.Seed)
 	if f.DSE != nil {
@@ -107,12 +119,20 @@ func (f *Framework) BuildFromClass(cls *bytecode.Class, k *cir.Kernel) (*Build, 
 	if cfg.Device == nil {
 		cfg.Device = f.Device
 	}
+	if cfg.Trace == nil {
+		cfg.Trace = f.Trace
+	}
 	tasks := f.Tasks
 	if tasks <= 0 {
 		tasks = 4096
 	}
-	eval := dse.NewEvaluator(k, b.Space, f.Device, int64(tasks), f.HLS)
+	eval := dse.NewTracedEvaluator(k, b.Space, f.Device, int64(tasks), f.HLS, f.Trace)
+	dspan := f.Trace.Begin("dse", "run", obs.Str("kernel", k.Name))
 	b.Outcome = dse.Run(k, b.Space, eval, cfg)
+	dspan.End(
+		obs.Int("evaluations", b.Outcome.Evaluations),
+		obs.F64("virtual_min", b.Outcome.TotalMinutes),
+		obs.Str("stop", string(b.Outcome.StopReason)))
 	if !b.Outcome.Best.Feasible {
 		return nil, fmt.Errorf("core: DSE found no feasible design for %s", k.Name)
 	}

@@ -3,6 +3,7 @@ package dse
 import (
 	"s2fa/internal/cir"
 	"s2fa/internal/fpga"
+	"s2fa/internal/obs"
 	"s2fa/internal/space"
 	"s2fa/internal/tuner"
 )
@@ -21,7 +22,7 @@ import (
 // Equivalence is gated on buffers whose value range the abstract
 // interpreter proved (cir.Param.ValKnown): the proof certifies the
 // traffic model behind the width conditions below.
-func rangeCollapseEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, inner tuner.Evaluator, counter *int) tuner.Evaluator {
+func rangeCollapseEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, inner tuner.Evaluator, counter *int, tr *obs.Trace) tuner.Evaluator {
 	eq := newWidthEquiv(k, sp, dev)
 	cache := map[string]tuner.Result{}
 	seen := map[string]bool{}
@@ -37,6 +38,11 @@ func rangeCollapseEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, in
 			} else {
 				seen[ptKey] = true
 				*counter++
+				if tr != nil {
+					tr.Event("dse", "collapse",
+						obs.Str("point", ptKey), obs.Str("canonical", key))
+					tr.Count("dse.collapsed", 1)
+				}
 			}
 			return r
 		}

@@ -6,8 +6,26 @@ import (
 
 	"s2fa/internal/cir"
 	"s2fa/internal/fpga"
+	"s2fa/internal/obs"
 	"s2fa/internal/space"
 	"s2fa/internal/tuner"
+)
+
+// StopReason classifies why a DSE run terminated — without it an
+// entropy-converged run and one killed by the 4-hour budget are
+// indistinguishable in the Fig. 3 summary.
+type StopReason string
+
+const (
+	// StopEntropyConverged: every partition ended because its stopping
+	// criterion fired (within budget).
+	StopEntropyConverged StopReason = "entropy-converged"
+	// StopBudgetExhausted: the virtual time limit or the evaluation
+	// budget cut the search short.
+	StopBudgetExhausted StopReason = "budget-exhausted"
+	// StopSpaceExhausted: every partition ran out of unevaluated points
+	// before any criterion or budget fired.
+	StopSpaceExhausted StopReason = "space-exhausted"
 )
 
 // TrajPoint is one point of the best-so-far trajectory: the virtual DSE
@@ -52,6 +70,9 @@ type Outcome struct {
 	// RangeRestrictedValues counts bit-width domain values
 	// space.RestrictFromRanges proved dominated by a narrower width.
 	RangeRestrictedValues int
+	// StopReason records what ended the run: entropy-converged,
+	// budget-exhausted, or space-exhausted.
+	StopReason StopReason
 }
 
 // BestAt returns the incumbent objective at virtual time t minutes
@@ -107,6 +128,12 @@ type Config struct {
 	// Device supplies the DDR interface model for RestrictRanges; nil
 	// defaults to the paper's VU9P.
 	Device *fpga.Device
+	// Trace, when set, receives the search telemetry: per-partition
+	// spans on per-worker tracks, per-evaluation events (disposition,
+	// objective, virtual clock), entropy-window values, bandit arm
+	// selections, and incumbent updates. Tracing is strictly read-only —
+	// a traced run follows a byte-identical trajectory.
+	Trace *obs.Trace
 }
 
 // VanillaConfig reproduces the OpenTuner baseline of Fig. 3: no
@@ -180,7 +207,7 @@ func Run(k *cir.Kernel, sp *space.Space, eval tuner.Evaluator, cfg Config) *Outc
 			dev = fpga.VU9P()
 		}
 		_, out.RangeRestrictedValues = space.RestrictFromRanges(sp, dev)
-		eval = rangeCollapseEvaluator(k, sp, dev, eval, &out.RangeCollapsed)
+		eval = rangeCollapseEvaluator(k, sp, dev, eval, &out.RangeCollapsed, cfg.Trace)
 	}
 	if cfg.StaticPrune {
 		// Guard the evaluator with the lint legality pass: statically
@@ -191,7 +218,7 @@ func Run(k *cir.Kernel, sp *space.Space, eval tuner.Evaluator, cfg Config) *Outc
 		// want the smaller space can apply space.PruneStatic themselves
 		// before Run; PrunedDomainValues reports what it would remove.)
 		_, out.PrunedDomainValues = space.PruneStatic(sp, k)
-		eval = staticPruneEvaluator(k, sp, eval, &out.StaticallyPruned)
+		eval = staticPruneEvaluator(k, sp, eval, &out.StaticallyPruned, cfg.Trace)
 	}
 	var parts []Partition
 	if cfg.Partition != nil {
@@ -204,6 +231,7 @@ func Run(k *cir.Kernel, sp *space.Space, eval tuner.Evaluator, cfg Config) *Outc
 	sched := newScheduler(cfg, parts, eval, out)
 	sched.run()
 	out.TotalMinutes = sched.totalMinutes()
+	out.StopReason = sched.stopReason()
 	if !out.Best.Feasible {
 		out.Best = tuner.Result{Objective: math.Inf(1)}
 	}
@@ -219,6 +247,10 @@ type worker struct {
 	part    int // index into partitions; -1 when idle/done
 	seeds   []space.Point
 	done    bool
+	// span is the open partition trace span (tid = id+1); pevals counts
+	// this partition's evaluations for the span's closing args.
+	span   *obs.Span
+	pevals int
 }
 
 type scheduler struct {
@@ -230,6 +262,10 @@ type scheduler struct {
 	nextPart int
 	bestObj  float64
 	evals    int
+	// Termination-cause flags behind Outcome.StopReason.
+	sawTimeout  bool
+	sawStop     bool
+	hitMaxEvals bool
 }
 
 func newScheduler(cfg Config, parts []Partition, eval tuner.Evaluator, out *Outcome) *scheduler {
@@ -255,6 +291,8 @@ func (s *scheduler) assign(w *worker) {
 	p := s.parts[idx]
 	w.part = idx
 	w.driver = tuner.NewDriver(p.Sub, s.eval, s.cfg.Seed*7919+int64(idx)*104729+1)
+	w.driver.Trace = s.cfg.Trace
+	w.driver.TID = w.id + 1
 	w.stopper = s.cfg.Stopper.Clone()
 	w.seeds = nil
 	if s.cfg.Seeded {
@@ -263,6 +301,27 @@ func (s *scheduler) assign(w *worker) {
 		w.seeds = []space.Point{p.Sub.RandomPoint(w.driver.Rng)}
 	}
 	w.done = false
+	w.pevals = 0
+	if s.cfg.Trace != nil {
+		w.span = s.cfg.Trace.BeginT(w.id+1, "dse", "partition",
+			obs.Int("part", idx),
+			obs.Str("rule", p.String()),
+			obs.Vmin(w.clock))
+	}
+}
+
+// endPartitionSpan closes the worker's open partition span with its
+// outcome: why it ended, how many evaluations it spent, and the virtual
+// clock at the end.
+func (s *scheduler) endPartitionSpan(w *worker, cause string) {
+	if w.span == nil {
+		return
+	}
+	w.span.End(
+		obs.Str("cause", cause),
+		obs.Int("evals", w.pevals),
+		obs.Vmin(w.clock))
+	w.span = nil
 }
 
 // run advances the virtual clock: repeatedly pick the worker with the
@@ -274,6 +333,10 @@ func (s *scheduler) run() {
 			return
 		}
 		if s.evals >= s.cfg.MaxEvaluations {
+			s.hitMaxEvals = true
+			for _, w := range s.workers {
+				s.endPartitionSpan(w, "max-evaluations")
+			}
 			return
 		}
 		s.step(w)
@@ -295,6 +358,8 @@ func (s *scheduler) earliest() *worker {
 
 func (s *scheduler) step(w *worker) {
 	if w.clock >= s.cfg.TimeLimitMinutes {
+		s.sawTimeout = true
+		s.endPartitionSpan(w, "timeout")
 		w.done = true
 		w.part = -1
 		return
@@ -311,7 +376,7 @@ func (s *scheduler) step(w *worker) {
 		results = w.driver.Step(s.cfg.BatchPerIter)
 		if len(results) == 0 {
 			// Partition exhausted (tiny sub-space).
-			s.finishPartition(w)
+			s.finishPartition(w, "exhausted")
 			return
 		}
 		// Batched candidates run concurrently on the worker's cores
@@ -329,38 +394,90 @@ func (s *scheduler) step(w *worker) {
 		w.clock = s.cfg.TimeLimitMinutes
 	}
 
+	tr := s.cfg.Trace
 	stop := false
 	for _, r := range results {
 		s.evals++
 		s.out.Evaluations++
+		w.pevals++
+		if tr != nil {
+			tr.EventT(w.id+1, "dse", "eval",
+				obs.Vmin(w.clock),
+				obs.Str("technique", r.Technique),
+				obs.F64("objective", r.Objective),
+				obs.Bool("feasible", r.Feasible),
+				obs.F64("minutes", r.Minutes))
+			tr.Count("dse.evals", 1)
+		}
 		if r.Feasible && math.IsNaN(s.out.FirstFeasible) {
 			s.out.FirstFeasible = r.Objective
 			s.out.FirstFeasibleMinutes = w.clock
+			if tr != nil {
+				tr.EventT(w.id+1, "dse", "first-feasible",
+					obs.Vmin(w.clock), obs.F64("objective", r.Objective))
+			}
 		}
 		newGlobalBest := r.Feasible && r.Objective < s.bestObj
 		if newGlobalBest {
 			s.bestObj = r.Objective
 			s.out.Best = r
 			s.out.Trajectory = append(s.out.Trajectory, TrajPoint{Minutes: w.clock, Objective: r.Objective})
+			if tr != nil {
+				tr.EventT(w.id+1, "dse", "incumbent",
+					obs.Vmin(w.clock), obs.F64("objective", r.Objective))
+				tr.Count("dse.incumbents", 1)
+			}
 		}
 		localBest := w.driver.DB.Best()
 		newLocalBest := localBest != nil && r.Feasible && r.Objective <= localBest.Objective
-		if w.stopper.Observe(r, newLocalBest) {
+		fired := w.stopper.Observe(r, newLocalBest)
+		if fired {
 			stop = true
 		}
+		if tr != nil {
+			// The entropy-window value H(D_i) the EntropyStopper just
+			// computed — the curve the -summary sparkline plots.
+			if es, ok := w.stopper.(*EntropyStopper); ok && es.hValid {
+				tr.EventT(w.id+1, "dse", "entropy",
+					obs.Vmin(w.clock),
+					obs.F64("h", es.prevH),
+					obs.Int("streak", es.streak),
+					obs.Bool("fired", fired))
+			}
+		}
 	}
-	if stop || w.clock >= s.cfg.TimeLimitMinutes {
-		s.finishPartition(w)
+	if stop {
+		s.sawStop = true
+		s.finishPartition(w, "converged")
+	} else if w.clock >= s.cfg.TimeLimitMinutes {
+		s.finishPartition(w, "timeout")
 	}
 }
 
-func (s *scheduler) finishPartition(w *worker) {
+func (s *scheduler) finishPartition(w *worker, cause string) {
+	s.endPartitionSpan(w, cause)
 	if w.clock >= s.cfg.TimeLimitMinutes {
+		s.sawTimeout = true
 		w.done = true
 		w.part = -1
 		return
 	}
 	s.assign(w)
+}
+
+// stopReason classifies the finished run. The budget cutting any worker
+// short dominates (the search did not finish on its own terms); a run
+// that completed because stoppers fired is converged; otherwise every
+// partition simply ran out of points.
+func (s *scheduler) stopReason() StopReason {
+	switch {
+	case s.hitMaxEvals || s.sawTimeout:
+		return StopBudgetExhausted
+	case s.sawStop:
+		return StopEntropyConverged
+	default:
+		return StopSpaceExhausted
+	}
 }
 
 func (s *scheduler) totalMinutes() float64 {
@@ -388,6 +505,9 @@ func (o *Outcome) Summary() string {
 	if o.RangeCollapsed > 0 || o.RangeRestrictedValues > 0 {
 		s += fmt.Sprintf(" range-collapsed=%d(+%d dominated widths)",
 			o.RangeCollapsed, o.RangeRestrictedValues)
+	}
+	if o.StopReason != "" {
+		s += fmt.Sprintf(" stop=%s", o.StopReason)
 	}
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"s2fa/internal/fpga"
 	"s2fa/internal/hls"
 	"s2fa/internal/merlin"
+	"s2fa/internal/obs"
 	"s2fa/internal/space"
 	"s2fa/internal/tuner"
 )
@@ -15,13 +16,34 @@ import (
 // achieved frequency). Results are memoized: re-evaluating a synthesized
 // configuration costs no additional synthesis time.
 func NewEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int64, opt hls.Options) tuner.Evaluator {
+	return NewTracedEvaluator(k, sp, dev, n, opt, nil)
+}
+
+// NewTracedEvaluator is NewEvaluator with an "hls"/"estimate" span around
+// every invocation: cache hits close immediately with cache=hit, fresh
+// estimations carry the Merlin + estimator work and close with the
+// synthesis minutes and feasibility verdict. With tr == nil it behaves —
+// and costs — exactly like NewEvaluator.
+func NewTracedEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int64, opt hls.Options, tr *obs.Trace) tuner.Evaluator {
 	cache := map[string]tuner.Result{}
 	return func(pt space.Point) tuner.Result {
 		key := pt.Key()
 		if r, ok := cache[key]; ok {
 			r.Point = pt
 			r.Minutes = 0 // cached HLS report, no synthesis re-run
+			if tr != nil {
+				hit := tr.Begin("hls", "estimate",
+					obs.Str("point", key), obs.Str("cache", "hit"))
+				hit.End(obs.F64("synth_min", 0), obs.Bool("feasible", r.Feasible))
+				tr.Count("hls.cache_hits", 1)
+			}
 			return r
+		}
+		var span *obs.Span
+		if tr != nil {
+			span = tr.Begin("hls", "estimate",
+				obs.Str("point", key), obs.Str("cache", "fresh"))
+			tr.Count("hls.estimations", 1)
 		}
 		d := sp.Directives(pt)
 		ann, err := merlin.Annotate(k, d)
@@ -33,6 +55,8 @@ func NewEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int64, opt
 				Feasible:  false,
 				Minutes:   1, // rejected before synthesis
 			}
+			span.End(obs.Str("merlin", "rejected"),
+				obs.F64("synth_min", res.Minutes), obs.Bool("feasible", false))
 		} else {
 			rep := hls.Estimate(ann, dev, n, opt)
 			obj := rep.Seconds()
@@ -51,6 +75,8 @@ func NewEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int64, opt
 				Minutes:   rep.SynthMinutes,
 				Meta:      rep,
 			}
+			span.End(obs.F64("synth_min", rep.SynthMinutes),
+				obs.Bool("feasible", rep.Feasible))
 		}
 		cache[key] = res
 		return res

@@ -3,6 +3,7 @@ package dse
 import (
 	"s2fa/internal/cir"
 	"s2fa/internal/lint"
+	"s2fa/internal/obs"
 	"s2fa/internal/space"
 	"s2fa/internal/tuner"
 )
@@ -21,12 +22,16 @@ const pruneMinutes = 0.001
 // infeasibility), so pruning never changes which designs are reachable —
 // only how much virtual time illegal proposals burn. counter tallies the
 // skips.
-func staticPruneEvaluator(k *cir.Kernel, sp *space.Space, inner tuner.Evaluator, counter *int) tuner.Evaluator {
+func staticPruneEvaluator(k *cir.Kernel, sp *space.Space, inner tuner.Evaluator, counter *int, tr *obs.Trace) tuner.Evaluator {
 	chk := lint.NewChecker(k)
 	return func(pt space.Point) tuner.Result {
 		d := sp.Directives(pt)
 		if chk.Directives(d.Loops, d.BitWidths).HasErrors() {
 			*counter++
+			if tr != nil {
+				tr.Event("dse", "prune", obs.Str("point", pt.Key()))
+				tr.Count("dse.pruned", 1)
+			}
 			return tuner.Result{
 				Point:     pt,
 				Objective: rejectPenalty,

@@ -36,7 +36,7 @@ func TestStaticPruneEvaluatorShortCircuit(t *testing.T) {
 		return tuner.Result{Point: pt, Objective: 1, Feasible: true, Minutes: 5}
 	}
 	pruned := 0
-	eval := staticPruneEvaluator(k, sp, inner, &pruned)
+	eval := staticPruneEvaluator(k, sp, inner, &pruned, nil)
 
 	// The task loop nests the while-loop traceback, so flattening it is a
 	// provable lint error (RuleFlattenVarTrip).

@@ -99,6 +99,14 @@ func Fig3(s *Suite, appNames []string) (*Fig3Result, error) {
 	return out, nil
 }
 
+// stopTag annotates a stop(min) cell with why the run ended.
+func stopTag(o *dse.Outcome) string {
+	if o.StopReason == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (%s)", o.StopReason)
+}
+
 // Render prints the trajectories as text: one row per time sample with
 // the normalized best execution time of both flows.
 func (f *Fig3Result) Render() string {
@@ -120,7 +128,7 @@ func (f *Fig3Result) Render() string {
 				fmt.Fprintf(&b, " %10.4f", sv)
 			}
 		}
-		fmt.Fprintf(&b, "   %6.0f\n", s.S2FA.TotalMinutes)
+		fmt.Fprintf(&b, "   %6.0f%s\n", s.S2FA.TotalMinutes, stopTag(s.S2FA))
 		fmt.Fprintf(&b, "%-8s", "  (van)")
 		for _, t := range samples {
 			_, vv := s.NormalizedAt(t)
@@ -130,7 +138,7 @@ func (f *Fig3Result) Render() string {
 				fmt.Fprintf(&b, " %10.4f", vv)
 			}
 		}
-		fmt.Fprintf(&b, "   %6.0f\n", s.Vanilla.TotalMinutes)
+		fmt.Fprintf(&b, "   %6.0f%s\n", s.Vanilla.TotalMinutes, stopTag(s.Vanilla))
 		if s.S2FA.StaticallyPruned > 0 || s.S2FA.PrunedDomainValues > 0 {
 			fmt.Fprintf(&b, "%-8s  lint: %d proposals statically pruned, %d domain values provably illegal\n",
 				"", s.S2FA.StaticallyPruned, s.S2FA.PrunedDomainValues)

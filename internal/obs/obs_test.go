@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeClock returns a deterministic clock ticking 1000ns per call.
+func fakeClock() func() int64 {
+	var n int64
+	return func() int64 {
+		n += 1000
+		return n
+	}
+}
+
+// TestNilTraceIsSafe: the disabled trace must no-op on every method —
+// pipeline call sites thread a nil *Trace with no guards.
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	if tr.Enabled() {
+		t.Fatal("nil trace reports enabled")
+	}
+	sp := tr.Begin("cat", "name", Str("k", "v"))
+	sp.End(Vmin(3))
+	tr.BeginT(4, "cat", "name").End()
+	tr.Event("cat", "name", Int("n", 1))
+	tr.EventT(2, "cat", "name")
+	tr.Count("c", 1)
+	tr.Gauge("g", 0.5)
+	if tr.Counters() != nil {
+		t.Fatal("nil trace returned counters")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpanHierarchyAndClocks: begin/end pairs carry ids, parents nest
+// per track, and the Vmin attribute lands in the dedicated dual-clock
+// field rather than args.
+func TestSpanHierarchyAndClocks(t *testing.T) {
+	mem := NewMemory()
+	tr := New(mem, WithClock(fakeClock()))
+	outer := tr.Begin("b2c", "compile", Str("class", "SW"))
+	inner := tr.Begin("bytecode", "verify")
+	tr.Event("absint", "fixpoint", Int("iterations", 7))
+	inner.End(Bool("ok", true))
+	outer.End()
+	w := tr.BeginT(3, "dse", "partition", Vmin(0))
+	w.End(Vmin(12.5))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ev := mem.Events()
+	if len(ev) != 7 {
+		t.Fatalf("got %d events, want 7", len(ev))
+	}
+	if ev[0].Ph != PhaseBegin || ev[0].ID == 0 || ev[0].Parent != 0 {
+		t.Errorf("outer begin = %+v", ev[0])
+	}
+	if ev[1].Parent != ev[0].ID {
+		t.Errorf("inner parent = %d, want %d", ev[1].Parent, ev[0].ID)
+	}
+	if ev[2].Parent != ev[1].ID {
+		t.Errorf("instant parent = %d, want %d", ev[2].Parent, ev[1].ID)
+	}
+	if ev[3].Ph != PhaseEnd || ev[3].ID != ev[1].ID {
+		t.Errorf("inner end = %+v", ev[3])
+	}
+	if ev[5].TID != 3 || ev[5].VM == nil || *ev[5].VM != 0 {
+		t.Errorf("worker begin = %+v", ev[5])
+	}
+	if ev[6].VM == nil || *ev[6].VM != 12.5 {
+		t.Errorf("worker end lost virtual clock: %+v", ev[6])
+	}
+	if _, inArgs := ev[6].Args["vmin"]; inArgs {
+		t.Error("vmin leaked into args")
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].NS <= ev[i-1].NS {
+			t.Fatalf("timestamps not increasing at %d", i)
+		}
+	}
+}
+
+// TestCounters: Count accumulates monotonically and each emission
+// carries the running total.
+func TestCounters(t *testing.T) {
+	mem := NewMemory()
+	tr := New(mem, WithClock(fakeClock()))
+	tr.Count("dse.evals", 1)
+	tr.Count("dse.evals", 2)
+	tr.Count("hls.cache_hits", 1)
+	got := tr.Counters()
+	if got["dse.evals"] != 3 || got["hls.cache_hits"] != 1 {
+		t.Fatalf("counters = %v", got)
+	}
+	last := mem.Events()[1]
+	if v, _ := last.Args["value"].(int64); v != 3 {
+		t.Fatalf("second sample value = %v, want 3", last.Args["value"])
+	}
+}
+
+// TestJSONLRoundTrip: the JSONL sink's output must decode back into the
+// emitted events.
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONL(&buf), WithClock(fakeClock()))
+	sp := tr.Begin("kdsl", "compile", Str("class", "K"))
+	sp.End()
+	tr.Event("dse", "entropy", F64("h", 1.25), Vmin(40))
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	if events[0].Cat != "kdsl" || events[0].Args["class"] != "K" {
+		t.Errorf("begin = %+v", events[0])
+	}
+	if events[2].VM == nil || *events[2].VM != 40 {
+		t.Errorf("instant lost vmin: %+v", events[2])
+	}
+}
+
+// TestChromeExport: the converter must produce a chrome://tracing
+// document whose span ends recover name/cat from their begins.
+func TestChromeExport(t *testing.T) {
+	var jsonl bytes.Buffer
+	tr := New(NewJSONL(&jsonl), WithClock(fakeClock()))
+	sp := tr.BeginT(1, "dse", "partition", Vmin(0))
+	tr.EventT(1, "dse", "eval", F64("objective", 2))
+	sp.End(Vmin(9))
+	tr.Count("dse.evals", 1)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var chrome bytes.Buffer
+	if err := ConvertJSONLToChrome(bytes.NewReader(jsonl.Bytes()), &chrome); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output is not JSON: %v", err)
+	}
+	var phases []string
+	for _, e := range doc.TraceEvents {
+		phases = append(phases, e["ph"].(string))
+	}
+	// thread_name metadata first: tid 0 (counter) and tid 1 (worker).
+	want := []string{"M", "M", "B", "i", "E", "C"}
+	if strings.Join(phases, "") != strings.Join(want, "") {
+		t.Fatalf("phases = %v, want %v", phases, want)
+	}
+	end := doc.TraceEvents[4]
+	if end["name"] != "partition" || end["cat"] != "dse" {
+		t.Errorf("span end did not inherit begin identity: %v", end)
+	}
+	if vm, _ := end["args"].(map[string]any); vm["vmin"] != 9.0 {
+		t.Errorf("end args = %v", end["args"])
+	}
+}
+
+// TestChromeSinkDirect: -trace-format chrome writes the document
+// straight from the sink.
+func TestChromeSinkDirect(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewChrome(&buf), WithClock(fakeClock()))
+	tr.Begin("hls", "estimate").End()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 3 { // metadata + B + E
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+}
+
+// TestCollectorSummary: the collector must aggregate stage times, HLS
+// rankings, bandit arms, the entropy curve, and counters into a report.
+func TestCollectorSummary(t *testing.T) {
+	col := NewCollector()
+	tr := New(Multi(NewMemory(), col), WithClock(fakeClock()))
+
+	k := tr.Begin("kdsl", "compile")
+	k.End()
+	h := tr.Begin("hls", "estimate", Str("point", "L0.parallel=4"), Str("cache", "fresh"))
+	h.End(F64("synth_min", 7.5), Bool("feasible", true))
+	h2 := tr.Begin("hls", "estimate", Str("point", "L0.parallel=8"), Str("cache", "hit"))
+	h2.End()
+	tr.Event("tuner", "select", Str("arm", "greedy-mutation"), F64("auc", 0.4))
+	tr.Event("tuner", "reward", Str("arm", "greedy-mutation"), Bool("new_best", true))
+	tr.Event("dse", "entropy", F64("h", 2.0), Vmin(5))
+	tr.Event("dse", "entropy", F64("h", 1.5), Vmin(9))
+	tr.Event("dse", "incumbent", F64("objective", 0.004), Vmin(9))
+	tr.Count("dse.evals", 12)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := col.Render()
+	for _, want := range []string{
+		"kdsl/compile",
+		"hls/estimate",
+		"synth=  7.5min",
+		"greedy-mutation",
+		"entropy window (2 samples",
+		"incumbent updates: 1",
+		"dse.evals",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "L0.parallel=8") {
+		t.Error("cache hit ranked among fresh estimations")
+	}
+}
+
+// TestSparkline quantizes into the block glyphs with min/max pinning.
+func TestSparkline(t *testing.T) {
+	got := Sparkline([]float64{0, 1, 2, 3}, 8)
+	if got != "▁▃▅█" {
+		t.Errorf("sparkline = %q", got)
+	}
+	if Sparkline(nil, 8) != "" {
+		t.Error("empty input should render empty")
+	}
+	if got := Sparkline([]float64{5, 5, 5}, 8); got != "▁▁▁" {
+		t.Errorf("flat curve = %q", got)
+	}
+	if n := len([]rune(Sparkline(make([]float64, 1000), 64))); n != 64 {
+		t.Errorf("downsampled width = %d, want 64", n)
+	}
+}

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Collector is a Sink that aggregates a run into the `-summary` report:
+// per-stage real-time breakdown, the slowest fresh HLS estimations, the
+// bandit arm table, and the entropy-window curve feeding the
+// EntropyStopper.
+type Collector struct {
+	begins   map[int64]Event // open span id -> begin event
+	stages   map[string]*stageAgg
+	stageOrd []string
+
+	hls []hlsSpan
+
+	arms    map[string]*armAgg
+	armOrd  []string
+	entropy []float64
+
+	incumbents int
+	finalBest  float64
+	counters   map[string]int64
+	ctrOrd     []string
+}
+
+type stageAgg struct {
+	count   int
+	totalNS int64
+}
+
+type hlsSpan struct {
+	durNS    int64
+	point    string
+	synthMin float64
+	feasible bool
+}
+
+type armAgg struct {
+	selections int
+	wins       int
+	lastAUC    float64
+}
+
+// NewCollector returns an empty summary collector.
+func NewCollector() *Collector {
+	return &Collector{
+		begins:    map[int64]Event{},
+		stages:    map[string]*stageAgg{},
+		arms:      map[string]*armAgg{},
+		counters:  map[string]int64{},
+		finalBest: math.NaN(),
+	}
+}
+
+// Emit implements Sink.
+func (c *Collector) Emit(e Event) {
+	switch e.Ph {
+	case PhaseBegin:
+		c.begins[e.ID] = e
+	case PhaseEnd:
+		b, ok := c.begins[e.ID]
+		if !ok {
+			return
+		}
+		delete(c.begins, e.ID)
+		dur := e.NS - b.NS
+		key := b.Cat + "/" + b.Name
+		agg := c.stages[key]
+		if agg == nil {
+			agg = &stageAgg{}
+			c.stages[key] = agg
+			c.stageOrd = append(c.stageOrd, key)
+		}
+		agg.count++
+		agg.totalNS += dur
+		if b.Cat == "hls" && b.Name == "estimate" {
+			c.recordHLS(b, e, dur)
+		}
+	case PhaseInstant:
+		c.instant(e)
+	case PhaseCounter:
+		if _, ok := c.counters[e.Name]; !ok {
+			c.ctrOrd = append(c.ctrOrd, e.Name)
+		}
+		c.counters[e.Name] = asInt(e.Args["value"])
+	}
+}
+
+func (c *Collector) recordHLS(b, e Event, dur int64) {
+	// Cache hits cost no synthesis; only fresh estimations rank. The
+	// cache disposition is known at span open, so it rides the begin.
+	if s, _ := b.Args["cache"].(string); s != "fresh" {
+		return
+	}
+	point, _ := b.Args["point"].(string)
+	feasible, _ := e.Args["feasible"].(bool)
+	c.hls = append(c.hls, hlsSpan{
+		durNS:    dur,
+		point:    point,
+		synthMin: asFloat(e.Args["synth_min"]),
+		feasible: feasible,
+	})
+}
+
+func (c *Collector) instant(e Event) {
+	switch {
+	case e.Cat == "tuner" && e.Name == "select":
+		arm, _ := e.Args["arm"].(string)
+		a := c.arm(arm)
+		a.selections++
+		a.lastAUC = asFloat(e.Args["auc"])
+	case e.Cat == "tuner" && e.Name == "reward":
+		arm, _ := e.Args["arm"].(string)
+		if nb, _ := e.Args["new_best"].(bool); nb {
+			c.arm(arm).wins++
+		}
+	case e.Cat == "dse" && e.Name == "entropy":
+		c.entropy = append(c.entropy, asFloat(e.Args["h"]))
+	case e.Cat == "dse" && e.Name == "incumbent":
+		c.incumbents++
+		c.finalBest = asFloat(e.Args["objective"])
+	}
+}
+
+func (c *Collector) arm(name string) *armAgg {
+	a := c.arms[name]
+	if a == nil {
+		a = &armAgg{}
+		c.arms[name] = a
+		c.armOrd = append(c.armOrd, name)
+	}
+	return a
+}
+
+// Close implements Sink.
+func (c *Collector) Close() error { return nil }
+
+// topK is how many slow HLS estimations the report lists.
+const topK = 5
+
+// Render formats the collected run as the `-summary` text report.
+func (c *Collector) Render() string {
+	var b strings.Builder
+	b.WriteString("trace summary\n")
+
+	if len(c.stageOrd) > 0 {
+		b.WriteString("\nper-stage real time (spans aggregated by stage; nested stages overlap):\n")
+		ord := append([]string(nil), c.stageOrd...)
+		sort.SliceStable(ord, func(i, j int) bool {
+			return c.stages[ord[i]].totalNS > c.stages[ord[j]].totalNS
+		})
+		for _, key := range ord {
+			agg := c.stages[key]
+			fmt.Fprintf(&b, "  %-22s %10.3fms  x%d\n", key, float64(agg.totalNS)/1e6, agg.count)
+		}
+	}
+
+	if len(c.hls) > 0 {
+		b.WriteString("\nslowest fresh HLS estimations (real time):\n")
+		ranked := append([]hlsSpan(nil), c.hls...)
+		sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].durNS > ranked[j].durNS })
+		if len(ranked) > topK {
+			ranked = ranked[:topK]
+		}
+		for _, h := range ranked {
+			fmt.Fprintf(&b, "  %8.3fms  synth=%5.1fmin feasible=%-5v %s\n",
+				float64(h.durNS)/1e6, h.synthMin, h.feasible, h.point)
+		}
+	}
+
+	if len(c.armOrd) > 0 {
+		b.WriteString("\nbandit arms (selections / new-best rewards / last AUC):\n")
+		for _, name := range c.armOrd {
+			a := c.arms[name]
+			fmt.Fprintf(&b, "  %-24s %6d %6d %8.3f\n", name, a.selections, a.wins, a.lastAUC)
+		}
+	}
+
+	if len(c.entropy) > 0 {
+		fmt.Fprintf(&b, "\nentropy window (%d samples feeding the stopper): %s\n",
+			len(c.entropy), Sparkline(c.entropy, 64))
+	}
+	if c.incumbents > 0 {
+		fmt.Fprintf(&b, "incumbent updates: %d (final objective %.6g)\n", c.incumbents, c.finalBest)
+	}
+
+	if len(c.ctrOrd) > 0 {
+		b.WriteString("\ncounters:\n")
+		ord := append([]string(nil), c.ctrOrd...)
+		sort.Strings(ord)
+		for _, name := range ord {
+			fmt.Fprintf(&b, "  %-24s %d\n", name, c.counters[name])
+		}
+	}
+	return b.String()
+}
+
+// sparkChars are the eight block glyphs a sparkline quantizes into.
+var sparkChars = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a fixed-width unicode curve (bucketed by
+// mean when len(values) > width).
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 64
+	}
+	buckets := values
+	if len(values) > width {
+		buckets = make([]float64, width)
+		for i := range buckets {
+			lo := i * len(values) / width
+			hi := (i + 1) * len(values) / width
+			if hi <= lo {
+				hi = lo + 1
+			}
+			var sum float64
+			for _, v := range values[lo:hi] {
+				sum += v
+			}
+			buckets[i] = sum / float64(hi-lo)
+		}
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range buckets {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	var b strings.Builder
+	for _, v := range buckets {
+		idx := 0
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(sparkChars)-1))
+		}
+		b.WriteRune(sparkChars[idx])
+	}
+	return b.String()
+}
+
+// asFloat coerces JSON-decoded or native numeric args.
+func asFloat(v any) float64 {
+	switch v := v.(type) {
+	case float64:
+		return v
+	case int64:
+		return float64(v)
+	case int:
+		return float64(v)
+	}
+	return math.NaN()
+}
+
+func asInt(v any) int64 {
+	switch v := v.(type) {
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	case int:
+		return int64(v)
+	}
+	return 0
+}

@@ -77,3 +77,33 @@ func (b *AUCBandit) exploration(i int) float64 {
 	}
 	return b.c * math.Sqrt(2*math.Log(float64(b.total+1))/float64(b.uses[i]))
 }
+
+// ArmStat is one technique's introspection snapshot: how often it was
+// credited, its current AUC score, and the exploration bonus Select
+// would add — the numbers behind a trace's bandit arm table.
+type ArmStat struct {
+	Uses        int
+	Window      int // rewards currently inside the sliding window
+	AUC         float64
+	Exploration float64
+	Score       float64 // AUC + Exploration, the Select objective
+}
+
+// Stats snapshots every arm (indexed like the technique slice).
+func (b *AUCBandit) Stats() []ArmStat {
+	out := make([]ArmStat, len(b.history))
+	for i := range b.history {
+		a, e := b.auc(i), b.exploration(i)
+		out[i] = ArmStat{
+			Uses:        b.uses[i],
+			Window:      len(b.history[i]),
+			AUC:         a,
+			Exploration: e,
+			Score:       a + e,
+		}
+	}
+	return out
+}
+
+// AUC exposes one arm's current area-under-curve credit.
+func (b *AUCBandit) AUC(i int) float64 { return b.auc(i) }

@@ -1,0 +1,93 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBanditWindowOne: with a one-slot window, only the latest reward
+// survives eviction — the AUC must flip between 0 and 1 on every reward.
+func TestBanditWindowOne(t *testing.T) {
+	b := NewAUCBandit(2, 1, 0.05)
+	b.Reward(0, true)
+	if got := b.AUC(0); got != 1 {
+		t.Errorf("AUC after win = %v, want 1", got)
+	}
+	b.Reward(0, false)
+	if got := b.AUC(0); got != 0 {
+		t.Errorf("AUC after loss evicted the win = %v, want 0", got)
+	}
+	b.Reward(0, true)
+	if got := b.AUC(0); got != 1 {
+		t.Errorf("AUC after win evicted the loss = %v, want 1", got)
+	}
+	if st := b.Stats()[0]; st.Window != 1 {
+		t.Errorf("window-1 arm holds %d rewards, want 1", st.Window)
+	}
+}
+
+// TestBanditNeverSelectedArm: an arm that has never been rewarded keeps
+// an infinite exploration bonus so Select cannot starve it, and its AUC
+// contribution stays defined (0, not NaN from the 0/0 window).
+func TestBanditNeverSelectedArm(t *testing.T) {
+	b := NewAUCBandit(3, 50, 0.05)
+	// Arms 0 and 1 accumulate history; arm 2 is never touched.
+	for i := 0; i < 20; i++ {
+		b.Reward(0, true)
+		b.Reward(1, false)
+	}
+	if got := b.AUC(2); got != 0 {
+		t.Errorf("untouched arm AUC = %v, want 0", got)
+	}
+	st := b.Stats()[2]
+	if !math.IsInf(st.Exploration, 1) || !math.IsInf(st.Score, 1) {
+		t.Errorf("untouched arm must keep +Inf exploration, got %+v", st)
+	}
+	if got := b.Select(); got != 2 {
+		t.Errorf("Select() = %d, want the starved arm 2", got)
+	}
+}
+
+// TestBanditRewardOnUnselectedArm: Reward can legally credit an arm
+// Select never returned (the driver rewards duplicate proposals without
+// a fresh selection); the window and use counts must track it alone.
+func TestBanditRewardOnUnselectedArm(t *testing.T) {
+	b := NewAUCBandit(2, 3, 0.05)
+	b.Reward(1, true)
+	b.Reward(1, true)
+	st := b.Stats()
+	if st[0].Uses != 0 || st[1].Uses != 2 {
+		t.Errorf("uses = %d,%d, want 0,2", st[0].Uses, st[1].Uses)
+	}
+	if st[1].Window != 2 {
+		t.Errorf("arm 1 window = %d, want 2", st[1].Window)
+	}
+	if got := b.AUC(1); got != 1 {
+		t.Errorf("all-wins AUC = %v, want 1", got)
+	}
+}
+
+// TestBanditEvictionKeepsRecencyWeight: the AUC rank-weights recent
+// slots, so a window holding [loss, win] outscores [win, loss].
+func TestBanditEvictionKeepsRecencyWeight(t *testing.T) {
+	b := NewAUCBandit(2, 2, 0.05)
+	b.Reward(0, false)
+	b.Reward(0, true) // arm 0 window: [loss, win]
+	b.Reward(1, true)
+	b.Reward(1, false) // arm 1 window: [win, loss]
+	w0, w1 := b.AUC(0), b.AUC(1)
+	if !(w0 > w1) {
+		t.Errorf("recent win should outweigh old win: AUC0=%v AUC1=%v", w0, w1)
+	}
+	// Overflow the window: three more losses on arm 0 must fully evict
+	// its win (window 2 holds only the last two rewards).
+	for i := 0; i < 3; i++ {
+		b.Reward(0, false)
+	}
+	if got := b.AUC(0); got != 0 {
+		t.Errorf("win should have been evicted, AUC = %v", got)
+	}
+	if st := b.Stats()[0]; st.Window != 2 || st.Uses != 5 {
+		t.Errorf("after overflow: window=%d uses=%d, want window=2 uses=5", st.Window, st.Uses)
+	}
+}

@@ -3,6 +3,7 @@ package tuner
 import (
 	"math/rand"
 
+	"s2fa/internal/obs"
 	"s2fa/internal/space"
 )
 
@@ -23,6 +24,12 @@ type Driver struct {
 	Techniques []Technique
 	Bandit     *AUCBandit
 	Rng        *rand.Rand
+
+	// Trace, when set, receives per-iteration bandit telemetry (arm
+	// selections with AUC scores, credit rewards) on track TID. Tracing
+	// is read-only: it never draws from Rng or reorders proposals.
+	Trace *obs.Trace
+	TID   int
 
 	ctx *Context
 }
@@ -71,12 +78,26 @@ func (d *Driver) Step(k int) []Result {
 		found := false
 		for attempt := 0; attempt < 16; attempt++ {
 			ti := d.Bandit.Select()
+			if d.Trace != nil {
+				st := d.Bandit.Stats()[ti]
+				d.Trace.EventT(d.TID, "tuner", "select",
+					obs.Str("arm", d.Techniques[ti].Name()),
+					obs.F64("auc", st.AUC),
+					obs.F64("score", st.Score),
+					obs.Int("uses", st.Uses))
+			}
 			pt := d.Techniques[ti].Propose(d.ctx)
 			key := pt.Key()
 			if d.DB.Seen(pt) || inBatch[key] {
 				// Re-proposing an explored point wastes the slot; tell
 				// the bandit so the technique loses credit.
 				d.Bandit.Reward(ti, false)
+				if d.Trace != nil {
+					d.Trace.EventT(d.TID, "tuner", "reward",
+						obs.Str("arm", d.Techniques[ti].Name()),
+						obs.Bool("new_best", false),
+						obs.Bool("duplicate", true))
+				}
 				continue
 			}
 			inBatch[key] = true
@@ -107,6 +128,11 @@ func (d *Driver) Step(k int) []Result {
 		if sl.tech >= 0 {
 			d.Techniques[sl.tech].Feedback(d.ctx, r)
 			d.Bandit.Reward(sl.tech, newBest)
+			if d.Trace != nil {
+				d.Trace.EventT(d.TID, "tuner", "reward",
+					obs.Str("arm", r.Technique),
+					obs.Bool("new_best", newBest))
+			}
 		}
 		out = append(out, r)
 	}
