@@ -41,6 +41,26 @@ func BenchmarkFig3DSETrajectories(b *testing.B) {
 	}
 }
 
+// BenchmarkFig3DSETrajectoriesPar8 is the same regeneration on the
+// concurrent engine with an 8-goroutine evaluation pool (cmd/s2fa -par 8).
+// The result is byte-identical to the sequential run; only wall-clock
+// changes. On a multi-core machine this is the headline speedup of the
+// parallel engine; on one core it measures its overhead.
+func BenchmarkFig3DSETrajectoriesPar8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSuite(1)
+		s.Engine = dse.EngineParallel
+		s.Parallelism = 8
+		r, err := exp.Fig3(s, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Series) != 8 {
+			b.Fatalf("got %d series", len(r.Series))
+		}
+	}
+}
+
 // BenchmarkFig4Speedups regenerates Fig. 4: manual and S2FA design
 // speedups over the JVM for all eight kernels.
 func BenchmarkFig4Speedups(b *testing.B) {

@@ -1,0 +1,218 @@
+package main
+
+// Performance baseline mode: `-bench FILE` measures the Fig. 3
+// regeneration on both DSE engines plus the pipeline-stage micros and
+// writes them as JSON; `-bench-check FILE` re-measures and fails on
+// regression against the committed baseline. Wall-clock comparisons are
+// only meaningful on matching hardware, so every gate is conditional:
+//
+//   - speedup >= minSpeedup is enforced only when the current machine
+//     has at least 4 CPUs (a 1-core runner cannot speed anything up);
+//   - the >20% regression gates apply only when the committed baseline
+//     was recorded on a machine with the same CPU count.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/b2c"
+	"s2fa/internal/dse"
+	"s2fa/internal/exp"
+	"s2fa/internal/fpga"
+	"s2fa/internal/hls"
+	"s2fa/internal/kdsl"
+	"s2fa/internal/merlin"
+	"s2fa/internal/space"
+)
+
+const (
+	benchParallelism = 8
+	minSpeedup       = 2.0
+	regressionSlack  = 1.20 // fail when current > committed * this
+)
+
+type benchReport struct {
+	GoVersion string `json:"go_version"`
+	Cores     int    `json:"cores"`
+	// Fig3SequentialMS / Fig3ParallelMS are the wall-clock of one full
+	// Fig. 3 regeneration (8 apps, S2FA + vanilla DSE, JVM baselines) on
+	// each engine; Speedup is their ratio.
+	Fig3SequentialMS float64 `json:"fig3_sequential_ms"`
+	Fig3ParallelMS   float64 `json:"fig3_par8_ms"`
+	ParallelPool     int     `json:"parallel_pool"`
+	Speedup          float64 `json:"speedup"`
+	// StageMicros are per-stage single-threaded microbenchmarks (us/op),
+	// mirroring the Benchmark* micros in bench_test.go.
+	StageMicros map[string]float64 `json:"stage_micros"`
+}
+
+// timeIt measures fn in us/op, iterating until ~200ms of samples.
+func timeIt(fn func()) float64 {
+	fn() // warm caches
+	var n int
+	start := time.Now()
+	for time.Since(start) < 200*time.Millisecond {
+		fn()
+		n++
+	}
+	return float64(time.Since(start).Microseconds()) / float64(n)
+}
+
+func fig3MS(seed int64, engine dse.Engine, pool int) (float64, string, error) {
+	s := exp.NewSuite(seed)
+	s.Engine = engine
+	s.Parallelism = pool
+	start := time.Now()
+	r, err := exp.Fig3(s, nil)
+	if err != nil {
+		return 0, "", err
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, r.Render(), nil
+}
+
+func measure(seed int64) (*benchReport, error) {
+	rep := &benchReport{
+		GoVersion:    runtime.Version(),
+		Cores:        runtime.NumCPU(),
+		ParallelPool: benchParallelism,
+		StageMicros:  map[string]float64{},
+	}
+
+	seqMS, seqOut, err := fig3MS(seed, dse.EngineSequential, 0)
+	if err != nil {
+		return nil, err
+	}
+	parMS, parOut, err := fig3MS(seed, dse.EngineParallel, benchParallelism)
+	if err != nil {
+		return nil, err
+	}
+	if seqOut != parOut {
+		return nil, fmt.Errorf("parallel Fig. 3 output diverged from sequential — determinism bug, timings are meaningless")
+	}
+	rep.Fig3SequentialMS = seqMS
+	rep.Fig3ParallelMS = parMS
+	rep.Speedup = seqMS / parMS
+
+	srcs := make([]string, 0, 8)
+	for _, a := range apps.All() {
+		srcs = append(srcs, a.Source)
+	}
+	rep.StageMicros["frontend"] = timeIt(func() {
+		for _, src := range srcs {
+			if _, err := kdsl.CompileSource(src); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rep.StageMicros["b2c"] = timeIt(func() {
+		for _, a := range apps.All() {
+			c, _ := a.Class()
+			if _, err := b2c.Compile(c); err != nil {
+				panic(err)
+			}
+		}
+	})
+
+	a := apps.Get("S-W")
+	k, err := a.Kernel()
+	if err != nil {
+		return nil, err
+	}
+	dev := fpga.VU9P()
+	sp := space.Identify(k)
+	ann, err := merlin.Annotate(k, sp.Directives(sp.PerformanceSeed()))
+	if err != nil {
+		return nil, err
+	}
+	rep.StageMicros["space_identify"] = timeIt(func() { space.Identify(k) })
+	rep.StageMicros["hls_estimate"] = timeIt(func() { hls.Estimate(ann, dev, int64(a.Tasks), hls.Options{}) })
+	rep.StageMicros["merlin_annotate"] = timeIt(func() {
+		if _, err := merlin.Annotate(k, sp.Directives(sp.PerformanceSeed())); err != nil {
+			panic(err)
+		}
+	})
+	return rep, nil
+}
+
+func writeBench(path string, seed int64) error {
+	rep, err := measure(seed)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: fig3 %.0fms sequential, %.0fms par%d (%.2fx) on %d cores\n",
+		path, rep.Fig3SequentialMS, rep.Fig3ParallelMS, rep.ParallelPool, rep.Speedup, rep.Cores)
+	return nil
+}
+
+func checkBench(path string, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var committed benchReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	cur, err := measure(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline  (%d cores, %s): fig3 %.0fms seq, %.0fms par%d, %.2fx\n",
+		committed.Cores, committed.GoVersion, committed.Fig3SequentialMS,
+		committed.Fig3ParallelMS, committed.ParallelPool, committed.Speedup)
+	fmt.Printf("this run  (%d cores, %s): fig3 %.0fms seq, %.0fms par%d, %.2fx\n",
+		cur.Cores, cur.GoVersion, cur.Fig3SequentialMS,
+		cur.Fig3ParallelMS, cur.ParallelPool, cur.Speedup)
+
+	var failures []string
+	if cur.Cores >= 4 && cur.Speedup < minSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"parallel engine speedup %.2fx < required %.1fx on %d cores",
+			cur.Speedup, minSpeedup, cur.Cores))
+	}
+	if cur.Cores < 4 {
+		fmt.Printf("skipping the %.1fx speedup gate: only %d CPU(s) available\n", minSpeedup, cur.Cores)
+	}
+	if committed.Cores == cur.Cores {
+		gate := func(name string, committed, current float64) {
+			if committed > 0 && current > committed*regressionSlack {
+				failures = append(failures, fmt.Sprintf(
+					"%s regressed: %.1f -> %.1f (>%.0f%%)",
+					name, committed, current, (regressionSlack-1)*100))
+			}
+		}
+		gate("fig3_sequential_ms", committed.Fig3SequentialMS, cur.Fig3SequentialMS)
+		gate("fig3_par8_ms", committed.Fig3ParallelMS, cur.Fig3ParallelMS)
+		names := make([]string, 0, len(committed.StageMicros))
+		for name := range committed.StageMicros {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			gate("stage "+name+" (us/op)", committed.StageMicros[name], cur.StageMicros[name])
+		}
+	} else {
+		fmt.Printf("skipping the >%.0f%% regression gates: baseline was recorded on %d cores, this machine has %d\n",
+			(regressionSlack-1)*100, committed.Cores, cur.Cores)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "s2fa-bench: FAIL:", f)
+		}
+		return fmt.Errorf("%d performance gate(s) failed", len(failures))
+	}
+	fmt.Println("all performance gates passed")
+	return nil
+}

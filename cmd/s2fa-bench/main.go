@@ -9,6 +9,9 @@
 //	s2fa-bench                  # everything
 //	s2fa-bench -exp fig4        # one experiment
 //	s2fa-bench -seed 3          # different (still deterministic) run
+//	s2fa-bench -par 8           # concurrent DSE engine (same output, faster)
+//	s2fa-bench -bench BENCH_pr4.json        # record the performance baseline
+//	s2fa-bench -bench-check BENCH_pr4.json  # re-measure, fail on regression
 package main
 
 import (
@@ -16,17 +19,39 @@ import (
 	"fmt"
 	"os"
 
+	"s2fa/internal/dse"
 	"s2fa/internal/exp"
 )
 
 func main() {
 	var (
-		which = flag.String("exp", "all", "experiment: fig3 | fig4 | table1 | table2 | ablation | components | all")
-		seed  = flag.Int64("seed", 1, "random seed (reproducible)")
+		which      = flag.String("exp", "all", "experiment: fig3 | fig4 | table1 | table2 | ablation | components | all")
+		seed       = flag.Int64("seed", 1, "random seed (reproducible)")
+		par        = flag.Int("par", 0, "run DSE evaluations on N goroutines (0 = sequential reference engine; results are byte-identical either way)")
+		benchOut   = flag.String("bench", "", "measure the performance baseline (Fig. 3 on both engines + stage micros) and write it to this JSON file")
+		benchCheck = flag.String("bench-check", "", "re-measure the baseline and fail on regression against this committed JSON file")
 	)
 	flag.Parse()
 
+	if *benchOut != "" || *benchCheck != "" {
+		var err error
+		if *benchOut != "" {
+			err = writeBench(*benchOut, *seed)
+		} else {
+			err = checkBench(*benchCheck, *seed)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "s2fa-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	s := exp.NewSuite(*seed)
+	if *par > 0 {
+		s.Engine = dse.EngineParallel
+		s.Parallelism = *par
+	}
 	run := func(name string, f func() (string, error)) {
 		if *which != "all" && *which != name {
 			return

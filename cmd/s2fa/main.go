@@ -38,6 +38,7 @@ func main() {
 		srcPath     = flag.String("src", "", "path to a kernel class source file")
 		appName     = flag.String("app", "", "built-in workload name (PR, KMeans, KNN, LR, SVM, LLS, AES, S-W)")
 		dseMode     = flag.String("dse", "s2fa", "exploration mode: s2fa | vanilla | trivial")
+		par         = flag.Int("par", 0, "run DSE evaluations on N goroutines (0 = sequential reference engine; results are byte-identical either way)")
 		tasks       = flag.Int("tasks", 4096, "batch size the design is optimized for")
 		seed        = flag.Int64("seed", 1, "random seed (reproducible runs)")
 		lintOnly    = flag.Bool("lint", false, "run the static verifier on the generated kernel, print findings, and exit (status 1 on errors)")
@@ -109,17 +110,22 @@ func main() {
 	fw.Seed = *seed
 	fw.Tasks = *tasks
 	fw.Trace = tr
+	var cfg dse.Config
 	switch *dseMode {
 	case "s2fa":
+		cfg = dse.S2FAConfig(*seed)
 	case "vanilla":
-		cfg := dse.VanillaConfig(*seed)
-		fw.DSE = &cfg
+		cfg = dse.VanillaConfig(*seed)
 	case "trivial":
-		cfg := dse.TrivialStopConfig(*seed)
-		fw.DSE = &cfg
+		cfg = dse.TrivialStopConfig(*seed)
 	default:
 		fatal(fmt.Errorf("unknown -dse mode %q", *dseMode))
 	}
+	if *par > 0 {
+		cfg.Engine = dse.EngineParallel
+		cfg.Parallelism = *par
+	}
+	fw.DSE = &cfg
 
 	// The file label prefixed to §3.3 diagnostics (file:line:col).
 	fileLabel := *srcPath

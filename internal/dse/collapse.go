@@ -1,6 +1,8 @@
 package dse
 
 import (
+	"sync"
+
 	"s2fa/internal/cir"
 	"s2fa/internal/fpga"
 	"s2fa/internal/obs"
@@ -24,11 +26,17 @@ import (
 // traffic model behind the width conditions below.
 func rangeCollapseEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, inner tuner.Evaluator, counter *int, tr *obs.Trace) tuner.Evaluator {
 	eq := newWidthEquiv(k, sp, dev)
+	// The mutex covers cache/seen/counter so the wrapper stays safe if
+	// callers ever share it across goroutines (the width-equivalence
+	// table itself is read-only after construction). The engines only
+	// call it from the scheduling goroutine, so it is uncontended there.
+	var mu sync.Mutex
 	cache := map[string]tuner.Result{}
 	seen := map[string]bool{}
 	return func(pt space.Point) tuner.Result {
 		key := eq.canonicalKey(pt)
 		ptKey := pt.Key()
+		mu.Lock()
 		if r, ok := cache[key]; ok {
 			r.Point = pt
 			if seen[ptKey] {
@@ -44,11 +52,15 @@ func rangeCollapseEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, in
 					tr.Count("dse.collapsed", 1)
 				}
 			}
+			mu.Unlock()
 			return r
 		}
 		seen[ptKey] = true
+		mu.Unlock()
 		r := inner(pt)
+		mu.Lock()
 		cache[key] = r
+		mu.Unlock()
 		return r
 	}
 }

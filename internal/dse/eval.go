@@ -19,16 +19,84 @@ func NewEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int64, opt
 	return NewTracedEvaluator(k, sp, dev, n, opt, nil)
 }
 
+// NewPureEvaluator is the uncached design-point evaluator: every call
+// runs the full Merlin + estimator pipeline and charges fresh synthesis
+// minutes. It is a pure function of the point (given fixed
+// kernel/space/device/options) and touches no shared mutable state, so
+// the concurrent engine's worker pool calls it from many goroutines at
+// once; memoization is layered on top by the engines (NewTracedEvaluator
+// for the sequential path, the replay evaluator for the parallel one).
+func NewPureEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int64, opt hls.Options) tuner.Evaluator {
+	return func(pt space.Point) tuner.Result {
+		r, _ := pureEval(k, sp, dev, n, opt, pt)
+		return r
+	}
+}
+
+// pureEval evaluates one point with no cache and no tracing. The bool
+// reports whether Merlin rejected the point before estimation, which the
+// traced wrappers surface in their span args. Rejected results carry a
+// nil Meta; estimated ones always carry their hls.Report.
+func pureEval(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int64, opt hls.Options, pt space.Point) (tuner.Result, bool) {
+	d := sp.Directives(pt)
+	ann, err := merlin.Annotate(k, d)
+	if err != nil {
+		return tuner.Result{
+			Point:     pt,
+			Objective: rejectPenalty,
+			Feasible:  false,
+			Minutes:   1, // rejected before synthesis
+		}, true
+	}
+	rep := hls.Estimate(ann, dev, n, opt)
+	obj := rep.Seconds()
+	if !rep.Feasible {
+		// Graded penalty: infeasible points are never accepted
+		// as incumbents, but the learning techniques still see a
+		// gradient toward the feasible region (less overflow =
+		// smaller penalty), which is how real HLS autotuners
+		// escape all-infeasible starting populations.
+		obj = infeasiblePenalty * (1 + rep.MaxUtil())
+	}
+	return tuner.Result{
+		Point:     pt,
+		Objective: obj,
+		Feasible:  rep.Feasible,
+		Minutes:   rep.SynthMinutes,
+		Meta:      rep,
+	}, false
+}
+
 // NewTracedEvaluator is NewEvaluator with an "hls"/"estimate" span around
 // every invocation: cache hits close immediately with cache=hit, fresh
 // estimations carry the Merlin + estimator work and close with the
 // synthesis minutes and feasibility verdict. With tr == nil it behaves —
-// and costs — exactly like NewEvaluator.
+// and costs — exactly like NewEvaluator. The memo table is the sharded
+// hls.Cache, so the evaluator is safe for concurrent callers; with a
+// single caller its hit/miss sequence is identical to the old plain-map
+// implementation.
 func NewTracedEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int64, opt hls.Options, tr *obs.Trace) tuner.Evaluator {
-	cache := map[string]tuner.Result{}
+	cache := hls.NewCache[tuner.Result](hls.DefaultCacheShards)
 	return func(pt space.Point) tuner.Result {
 		key := pt.Key()
-		if r, ok := cache[key]; ok {
+		r, cached := cache.GetOrCompute(key, func() tuner.Result {
+			var span *obs.Span
+			if tr != nil {
+				span = tr.Begin("hls", "estimate",
+					obs.Str("point", key), obs.Str("cache", "fresh"))
+				tr.Count("hls.estimations", 1)
+			}
+			res, rejected := pureEval(k, sp, dev, n, opt, pt)
+			if rejected {
+				span.End(obs.Str("merlin", "rejected"),
+					obs.F64("synth_min", res.Minutes), obs.Bool("feasible", false))
+			} else {
+				span.End(obs.F64("synth_min", res.Minutes),
+					obs.Bool("feasible", res.Feasible))
+			}
+			return res
+		})
+		if cached {
 			r.Point = pt
 			r.Minutes = 0 // cached HLS report, no synthesis re-run
 			if tr != nil {
@@ -37,49 +105,8 @@ func NewTracedEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int6
 				hit.End(obs.F64("synth_min", 0), obs.Bool("feasible", r.Feasible))
 				tr.Count("hls.cache_hits", 1)
 			}
-			return r
 		}
-		var span *obs.Span
-		if tr != nil {
-			span = tr.Begin("hls", "estimate",
-				obs.Str("point", key), obs.Str("cache", "fresh"))
-			tr.Count("hls.estimations", 1)
-		}
-		d := sp.Directives(pt)
-		ann, err := merlin.Annotate(k, d)
-		var res tuner.Result
-		if err != nil {
-			res = tuner.Result{
-				Point:     pt,
-				Objective: rejectPenalty,
-				Feasible:  false,
-				Minutes:   1, // rejected before synthesis
-			}
-			span.End(obs.Str("merlin", "rejected"),
-				obs.F64("synth_min", res.Minutes), obs.Bool("feasible", false))
-		} else {
-			rep := hls.Estimate(ann, dev, n, opt)
-			obj := rep.Seconds()
-			if !rep.Feasible {
-				// Graded penalty: infeasible points are never accepted
-				// as incumbents, but the learning techniques still see a
-				// gradient toward the feasible region (less overflow =
-				// smaller penalty), which is how real HLS autotuners
-				// escape all-infeasible starting populations.
-				obj = infeasiblePenalty * (1 + rep.MaxUtil())
-			}
-			res = tuner.Result{
-				Point:     pt,
-				Objective: obj,
-				Feasible:  rep.Feasible,
-				Minutes:   rep.SynthMinutes,
-				Meta:      rep,
-			}
-			span.End(obs.F64("synth_min", rep.SynthMinutes),
-				obs.Bool("feasible", rep.Feasible))
-		}
-		cache[key] = res
-		return res
+		return r
 	}
 }
 

@@ -124,6 +124,16 @@ func DefaultPartitionConfig() PartitionConfig {
 // ordered by promise (ascending mean latency of training samples in the
 // leaf), which is the order the FCFS scheduler serves them in.
 func BuildPartitions(s *space.Space, k *cir.Kernel, eval tuner.Evaluator, cfg PartitionConfig, seed int64) []Partition {
+	return buildPartitions(s, k, eval, cfg, seed, nil)
+}
+
+// buildPartitions is BuildPartitions with an optional prefetch hook: the
+// full training-point list is generated up front (point generation never
+// depends on evaluation results, so the random stream is unchanged) and
+// announced to prefetch before the in-order evaluations begin. The
+// parallel engine uses the hook to warm its evaluation pool so the ~100
+// training estimations overlap instead of running back to back.
+func buildPartitions(s *space.Space, k *cir.Kernel, eval tuner.Evaluator, cfg PartitionConfig, seed int64, prefetch func(space.Point)) []Partition {
 	rng := rand.New(rand.NewSource(seed))
 	rules := CandidateRules(s, k)
 	if len(rules) == 0 {
@@ -135,17 +145,12 @@ func BuildPartitions(s *space.Space, k *cir.Kernel, eval tuner.Evaluator, cfg Pa
 	// rules" of §4.3.1 comes from applications with similar loop
 	// hierarchies, whose good configurations cluster near the feasible
 	// region).
-	samples := make([]treeSample, 0, cfg.TrainingSamples+2)
-	addPoint := func(pt space.Point) {
-		r := eval(pt)
-		samples = append(samples, treeSample{pt: pt, obj: r.Objective})
-	}
-	addPoint(s.AreaSeed())
-	addPoint(s.PerformanceSeed())
+	pts := make([]space.Point, 0, cfg.TrainingSamples+2)
+	pts = append(pts, s.AreaSeed(), s.PerformanceSeed())
 	area := s.AreaSeed()
 	for i := 0; i < cfg.TrainingSamples; i++ {
 		if i%2 == 0 {
-			addPoint(s.RandomPoint(rng))
+			pts = append(pts, s.RandomPoint(rng))
 			continue
 		}
 		// Local walk around the conservative seed: mutate a few factors.
@@ -154,7 +159,17 @@ func BuildPartitions(s *space.Space, k *cir.Kernel, eval tuner.Evaluator, cfg Pa
 			pp := &s.Params[rng.Intn(len(s.Params))]
 			pt[pp.Name] = pp.Random(rng)
 		}
-		addPoint(pt)
+		pts = append(pts, pt)
+	}
+	if prefetch != nil {
+		for _, pt := range pts {
+			prefetch(pt)
+		}
+	}
+	samples := make([]treeSample, 0, len(pts))
+	for _, pt := range pts {
+		r := eval(pt)
+		samples = append(samples, treeSample{pt: pt, obj: r.Objective})
 	}
 	// Clamp unbounded penalties so variance stays informative.
 	var worstFinite float64 = 1

@@ -1,6 +1,8 @@
 package dse
 
 import (
+	"sync"
+
 	"s2fa/internal/cir"
 	"s2fa/internal/lint"
 	"s2fa/internal/obs"
@@ -24,10 +26,15 @@ const pruneMinutes = 0.001
 // skips.
 func staticPruneEvaluator(k *cir.Kernel, sp *space.Space, inner tuner.Evaluator, counter *int, tr *obs.Trace) tuner.Evaluator {
 	chk := lint.NewChecker(k)
+	// The checker is read-only after construction; the mutex only guards
+	// the skip counter so the wrapper is safe for concurrent callers.
+	var mu sync.Mutex
 	return func(pt space.Point) tuner.Result {
 		d := sp.Directives(pt)
 		if chk.Directives(d.Loops, d.BitWidths).HasErrors() {
+			mu.Lock()
 			*counter++
+			mu.Unlock()
 			if tr != nil {
 				tr.Event("dse", "prune", obs.Str("point", pt.Key()))
 				tr.Count("dse.pruned", 1)

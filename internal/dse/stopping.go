@@ -2,6 +2,7 @@ package dse
 
 import (
 	"math"
+	"sort"
 
 	"s2fa/internal/space"
 	"s2fa/internal/tuner"
@@ -120,13 +121,21 @@ func (e *EntropyStopper) Observe(r tuner.Result, newBest bool) bool {
 
 // entropy computes H(D_i) = -sum_j p_j log p_j over the normalized
 // conditional uphill probabilities, with Laplace smoothing so untried
-// factors keep residual uncertainty.
+// factors keep residual uncertainty. Factors are visited in sorted name
+// order: float summation is order-sensitive, and Go map iteration order
+// varies per run, so a fixed order is what makes H(D_i) — and therefore
+// the stop decision — reproducible across runs and engines.
 func (e *EntropyStopper) entropy() float64 {
 	const eps = 0.05
+	names := make([]string, 0, len(e.attempts))
+	for name := range e.attempts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var ps []float64
 	var sum float64
-	for name, att := range e.attempts {
-		p := (e.uphill[name] + eps) / (att + 2*eps)
+	for _, name := range names {
+		p := (e.uphill[name] + eps) / (e.attempts[name] + 2*eps)
 		ps = append(ps, p)
 		sum += p
 	}

@@ -11,6 +11,7 @@ import (
 	"s2fa/internal/hls"
 	"s2fa/internal/merlin"
 	"s2fa/internal/space"
+	"s2fa/internal/tuner"
 )
 
 // Suite runs and caches the per-workload artifacts every experiment
@@ -21,9 +22,23 @@ import (
 type Suite struct {
 	Seed   int64
 	Device *fpga.Device
+	// Engine selects the DSE execution engine for every run the suite
+	// performs; Parallelism sizes the evaluation pool for
+	// dse.EngineParallel. Results are byte-identical across engines —
+	// these only trade wall-clock time.
+	Engine      dse.Engine
+	Parallelism int
 
+	// Locking is two-level so independent apps can be computed
+	// concurrently (Warm): mu guards only the slot directory, each
+	// slot's mutex serializes work on one app.
 	mu    sync.Mutex
-	cache map[string]*AppResult
+	cache map[string]*appSlot
+}
+
+type appSlot struct {
+	mu sync.Mutex
+	r  *AppResult
 }
 
 // AppResult bundles everything the experiments need for one workload.
@@ -63,7 +78,7 @@ func (r *AppResult) ManualSpeedup() float64 {
 
 // NewSuite builds a suite on the VU9P device.
 func NewSuite(seed int64) *Suite {
-	return &Suite{Seed: seed, Device: fpga.VU9P(), cache: map[string]*AppResult{}}
+	return &Suite{Seed: seed, Device: fpga.VU9P(), cache: map[string]*appSlot{}}
 }
 
 // Modes selects which DSE runs Result performs.
@@ -73,10 +88,19 @@ type Modes struct {
 }
 
 // Result computes (or returns cached) artifacts for the named app.
+// Calls for different apps may run concurrently (see Warm); work on one
+// app is serialized.
 func (s *Suite) Result(name string, modes Modes) (*AppResult, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	r := s.cache[name]
+	slot := s.cache[name]
+	if slot == nil {
+		slot = &appSlot{}
+		s.cache[name] = slot
+	}
+	s.mu.Unlock()
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	r := slot.r
 	if r == nil {
 		a := apps.Get(name)
 		if a == nil {
@@ -91,14 +115,13 @@ func (s *Suite) Result(name string, modes Modes) (*AppResult, error) {
 			return nil, err
 		}
 		r = &AppResult{App: a, Kernel: k, Space: space.Identify(k), JVMSeconds: jvm}
-		s.cache[name] = r
+		slot.r = r
 	}
 
 	if r.S2FA == nil {
-		eval := dse.NewEvaluator(r.Kernel, r.Space, s.Device, int64(r.App.Tasks), hls.Options{})
 		cfg := dse.S2FAConfig(s.Seed)
 		cfg.Device = s.Device
-		r.S2FA = dse.Run(r.Kernel, r.Space, eval, cfg)
+		r.S2FA = dse.Run(r.Kernel, r.Space, s.evaluator(r), s.configure(cfg))
 		if rep, ok := dse.Report(r.S2FA.Best); ok {
 			r.BestReport = rep
 		}
@@ -111,14 +134,61 @@ func (s *Suite) Result(name string, modes Modes) (*AppResult, error) {
 	}
 	if modes.Vanilla && r.Vanilla == nil {
 		// Stock OpenTuner sees no gradient in the infeasible region.
-		eval := dse.FlatInfeasible(dse.NewEvaluator(r.Kernel, r.Space, s.Device, int64(r.App.Tasks), hls.Options{}))
-		r.Vanilla = dse.Run(r.Kernel, r.Space, eval, dse.VanillaConfig(s.Seed))
+		eval := dse.FlatInfeasible(s.evaluator(r))
+		r.Vanilla = dse.Run(r.Kernel, r.Space, eval, s.configure(dse.VanillaConfig(s.Seed)))
 	}
 	if modes.Trivial && r.Trivial == nil {
-		eval := dse.NewEvaluator(r.Kernel, r.Space, s.Device, int64(r.App.Tasks), hls.Options{})
-		r.Trivial = dse.Run(r.Kernel, r.Space, eval, dse.TrivialStopConfig(s.Seed))
+		r.Trivial = dse.Run(r.Kernel, r.Space, s.evaluator(r), s.configure(dse.TrivialStopConfig(s.Seed)))
 	}
 	return r, nil
+}
+
+// Warm precomputes the named apps' artifacts concurrently — one
+// goroutine per app — when the suite runs the parallel engine; with the
+// sequential engine it is a no-op, keeping the reference path
+// single-threaded. Every app's computation is fully independent (own
+// kernel, space, caches, RNG streams), so the results are byte-identical
+// to computing them one by one; later Result calls are cache hits.
+func (s *Suite) Warm(appNames []string, modes Modes) error {
+	if s.Engine != dse.EngineParallel {
+		return nil
+	}
+	if len(appNames) == 0 {
+		appNames = AppNames()
+	}
+	errs := make([]error, len(appNames))
+	var wg sync.WaitGroup
+	for i, name := range appNames {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			_, errs[i] = s.Result(name, modes)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// configure stamps the suite's engine selection onto a DSE config.
+func (s *Suite) configure(cfg dse.Config) dse.Config {
+	cfg.Engine = s.Engine
+	cfg.Parallelism = s.Parallelism
+	return cfg
+}
+
+// evaluator builds the engine-appropriate evaluator for one app: the
+// memoizing evaluator for the sequential engine, the pure (uncached)
+// one for the parallel engine, which layers its own replay memoization.
+func (s *Suite) evaluator(r *AppResult) tuner.Evaluator {
+	if s.Engine == dse.EngineParallel {
+		return dse.NewPureEvaluator(r.Kernel, r.Space, s.Device, int64(r.App.Tasks), hls.Options{})
+	}
+	return dse.NewEvaluator(r.Kernel, r.Space, s.Device, int64(r.App.Tasks), hls.Options{})
 }
 
 // AppNames returns the workloads in Table 2 order.

@@ -1,0 +1,66 @@
+package kdsl_test
+
+import (
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/bytecode"
+	"s2fa/internal/kdsl"
+)
+
+// FuzzKdslParse throws arbitrary source text at the kernel-DSL frontend.
+// The contract under fuzzing:
+//
+//   - Parse and Compile report malformed input as errors, never panics.
+//   - Anything the frontend accepts is well-formed enough for the rest
+//     of the pipeline: the compiled class passes the bytecode verifier,
+//     and its methods disassemble without panicking.
+//
+// The corpus is seeded with all eight paper workloads plus a handful of
+// minimal and deliberately broken kernels, so mutation starts from both
+// sides of the accept boundary.
+func FuzzKdslParse(f *testing.F) {
+	for _, a := range apps.All() {
+		f.Add(a.Source)
+	}
+	f.Add("")
+	f.Add("class K { val id = \"k\" }")
+	f.Add(`class Min {
+  val id: String = "min"
+  def call(x: Int): Int = {
+    x + 1
+  }
+}`)
+	f.Add(`class Bad {
+  val id: String = "bad"
+  def call(x: Int): Int = {
+    while (true) { }
+    x
+  }
+}`)
+	f.Add("class Unterminated { def call(x: Int): Int = { x ")
+	f.Add("def call() = }{")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		def, err := kdsl.Parse(src)
+		if err != nil {
+			return
+		}
+		cls, err := kdsl.Compile(def)
+		if err != nil {
+			return
+		}
+		// Accepted input: the frontend's output must satisfy the verifier
+		// it feeds — a frontend bug that emits malformed bytecode would
+		// otherwise only surface deep inside the C generator.
+		if err := bytecode.VerifyClassStructural(cls); err != nil {
+			t.Fatalf("frontend accepted source but emitted unverifiable bytecode: %v\nsource:\n%s", err, src)
+		}
+		_ = bytecode.DisassembleClass(cls)
+		// CompileSource is the public entry the CLI uses; it must agree
+		// with the two-step path on acceptance.
+		if _, err := kdsl.CompileSource(src); err != nil {
+			t.Fatalf("Parse+Compile accepted but CompileSource rejected: %v", err)
+		}
+	})
+}

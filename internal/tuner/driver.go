@@ -65,14 +65,25 @@ func (d *Driver) InjectSeed(pt space.Point) Result {
 	return r
 }
 
-// Step proposes and evaluates up to k distinct new design points,
-// returning their results in proposal order.
-func (d *Driver) Step(k int) []Result {
-	type slot struct {
-		tech int
-		pt   space.Point
-	}
-	var batch []slot
+// Proposal is one not-yet-evaluated design point selected by Propose,
+// remembering which technique it must be credited to on Commit (tech is
+// -1 for the uniform random fallback).
+type Proposal struct {
+	Tech  int
+	Point space.Point
+}
+
+// Propose selects up to k distinct new design points without evaluating
+// them: the bandit picks techniques, duplicate proposals are penalized,
+// and the uniform fallback fills the remainder. The caller evaluates
+// the points (possibly concurrently, on other goroutines) and feeds the
+// results back through Commit in proposal order. Propose/Commit is the
+// decomposition the concurrent DSE engine relies on: each scheduler
+// worker owns its Driver exclusively, so proposal (which draws from
+// this driver's Rng and mutates its bandit) stays isolated per worker
+// while only the pure evaluation work is shared across goroutines.
+func (d *Driver) Propose(k int) []Proposal {
+	var batch []Proposal
 	inBatch := map[string]bool{}
 	for len(batch) < k {
 		found := false
@@ -101,7 +112,7 @@ func (d *Driver) Step(k int) []Result {
 				continue
 			}
 			inBatch[key] = true
-			batch = append(batch, slot{tech: ti, pt: pt})
+			batch = append(batch, Proposal{Tech: ti, Point: pt})
 			found = true
 			break
 		}
@@ -112,28 +123,42 @@ func (d *Driver) Step(k int) []Result {
 				break // space exhausted (tiny test spaces)
 			}
 			inBatch[pt.Key()] = true
-			batch = append(batch, slot{tech: -1, pt: pt})
+			batch = append(batch, Proposal{Tech: -1, Point: pt})
 		}
 	}
+	return batch
+}
 
+// Commit records the evaluation result of one proposal: technique
+// attribution, result database, feedback, and bandit credit. It returns
+// the annotated result (Technique filled in) and whether it set a new
+// driver-local best.
+func (d *Driver) Commit(p Proposal, r Result) (Result, bool) {
+	if p.Tech >= 0 {
+		r.Technique = d.Techniques[p.Tech].Name()
+	} else {
+		r.Technique = "random-fill"
+	}
+	newBest := d.DB.Add(r)
+	if p.Tech >= 0 {
+		d.Techniques[p.Tech].Feedback(d.ctx, r)
+		d.Bandit.Reward(p.Tech, newBest)
+		if d.Trace != nil {
+			d.Trace.EventT(d.TID, "tuner", "reward",
+				obs.Str("arm", r.Technique),
+				obs.Bool("new_best", newBest))
+		}
+	}
+	return r, newBest
+}
+
+// Step proposes and evaluates up to k distinct new design points,
+// returning their results in proposal order.
+func (d *Driver) Step(k int) []Result {
+	batch := d.Propose(k)
 	out := make([]Result, 0, len(batch))
-	for _, sl := range batch {
-		r := d.Eval(sl.pt)
-		if sl.tech >= 0 {
-			r.Technique = d.Techniques[sl.tech].Name()
-		} else {
-			r.Technique = "random-fill"
-		}
-		newBest := d.DB.Add(r)
-		if sl.tech >= 0 {
-			d.Techniques[sl.tech].Feedback(d.ctx, r)
-			d.Bandit.Reward(sl.tech, newBest)
-			if d.Trace != nil {
-				d.Trace.EventT(d.TID, "tuner", "reward",
-					obs.Str("arm", r.Technique),
-					obs.Bool("new_best", newBest))
-			}
-		}
+	for _, p := range batch {
+		r, _ := d.Commit(p, d.Eval(p.Point))
 		out = append(out, r)
 	}
 	return out
