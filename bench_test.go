@@ -220,6 +220,45 @@ func BenchmarkJVMInterpreter(b *testing.B) {
 	}
 }
 
+// BenchmarkJVMBaseline measures the single-thread JVM baseline on every
+// workload under both engines: the switch-dispatch interpreter and the
+// closure-compiled template JIT. Outputs and Counts are bit-identical
+// across engines (internal/apps TestJITDifferentialAllApps); this
+// measures the wall-clock the suite stops spending on its largest
+// serial cost center.
+func BenchmarkJVMBaseline(b *testing.B) {
+	for _, a := range apps.All() {
+		a := a
+		cls, err := a.Class()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		tasks := a.Gen(rng, 8)
+		b.Run(a.Name+"/interp", func(b *testing.B) {
+			vm := jvmsim.New(cls)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := vm.CallBatch(tasks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(a.Name+"/jit", func(b *testing.B) {
+			vm, err := jvmsim.NewJIT(cls)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := vm.CallBatch(tasks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkKernelEvaluator measures the HLS-C evaluator on KMeans tasks
 // (functional FPGA emulation speed).
 func BenchmarkKernelEvaluator(b *testing.B) {
@@ -269,6 +308,31 @@ func BenchmarkSerialization(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := layout.Serialize(tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSerializationReuse is BenchmarkSerialization through a
+// reused Encoder (the runtime's steady-state offload path): the encode
+// buffers are grown once and rewritten per batch.
+func BenchmarkSerializationReuse(b *testing.B) {
+	a := apps.Get("S-W")
+	cls, err := a.Class()
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := a.Kernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	tasks := a.Gen(rng, 128)
+	layout := blaze.Layout{Class: cls, Kernel: k}
+	enc := layout.NewEncoder()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(tasks); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,19 +1,26 @@
 package main
 
 // Performance baseline mode: `-bench FILE` measures the Fig. 3
-// regeneration on both DSE engines plus the pipeline-stage micros and
-// writes them as JSON; `-bench-check FILE` re-measures and fails on
+// regeneration on both DSE engines and both JVM-baseline engines
+// (closure-compiled JIT vs interpreter) plus the pipeline-stage micros
+// and writes them as JSON; `-bench-check FILE` re-measures and fails on
 // regression against the committed baseline. Wall-clock comparisons are
 // only meaningful on matching hardware, so every gate is conditional:
 //
-//   - speedup >= minSpeedup is enforced only when the current machine
-//     has at least 4 CPUs (a 1-core runner cannot speed anything up);
+//   - speedup >= minSpeedup and the JIT >= minJITSpeedup gate are
+//     enforced only when the current machine has at least 4 CPUs (the
+//     PR 4 convention: timing gates are meaningless on starved runners);
 //   - the >20% regression gates apply only when the committed baseline
 //     was recorded on a machine with the same CPU count.
+//
+// Besides wall-clock, the mode cross-checks determinism: the Fig. 3 and
+// Fig. 4 renders must be byte-identical across the sequential engine,
+// the parallel engine, and with the JVM-baseline JIT on or off.
 
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -25,6 +32,7 @@ import (
 	"s2fa/internal/exp"
 	"s2fa/internal/fpga"
 	"s2fa/internal/hls"
+	"s2fa/internal/jvmsim"
 	"s2fa/internal/kdsl"
 	"s2fa/internal/merlin"
 	"s2fa/internal/space"
@@ -33,7 +41,10 @@ import (
 const (
 	benchParallelism = 8
 	minSpeedup       = 2.0
-	regressionSlack  = 1.20 // fail when current > committed * this
+	// minJITSpeedup gates the closure-compiled JVM engine against the
+	// interpreter on the S-W batch (the heaviest baseline workload).
+	minJITSpeedup   = 3.0
+	regressionSlack = 1.20 // fail when current > committed * this
 )
 
 type benchReport struct {
@@ -41,11 +52,24 @@ type benchReport struct {
 	Cores     int    `json:"cores"`
 	// Fig3SequentialMS / Fig3ParallelMS are the wall-clock of one full
 	// Fig. 3 regeneration (8 apps, S2FA + vanilla DSE, JVM baselines) on
-	// each engine; Speedup is their ratio.
+	// each DSE engine with the JVM-baseline JIT on; Speedup is their
+	// ratio. Fig3SeqNoJITMS is the sequential run with the baselines
+	// interpreted — the pre-JIT reference wall-clock.
 	Fig3SequentialMS float64 `json:"fig3_sequential_ms"`
+	Fig3SeqNoJITMS   float64 `json:"fig3_seq_nojit_ms"`
 	Fig3ParallelMS   float64 `json:"fig3_par8_ms"`
 	ParallelPool     int     `json:"parallel_pool"`
 	Speedup          float64 `json:"speedup"`
+	// JVMBaselineInterpMS / JVMBaselineJITMS are the wall-clock of the
+	// suite's JVM-baseline calibration (all 8 apps) on each engine; the
+	// share fields express them as a percentage of the corresponding
+	// Fig. 3 regeneration — the serial cost center the JIT shrinks.
+	JVMBaselineInterpMS float64 `json:"jvm_baseline_interp_ms"`
+	JVMBaselineJITMS    float64 `json:"jvm_baseline_jit_ms"`
+	JVMShareBeforePct   float64 `json:"jvm_share_before_pct"`
+	JVMShareAfterPct    float64 `json:"jvm_share_after_pct"`
+	// JITSpeedupSW is interpreter/JIT wall-clock on the S-W task batch.
+	JITSpeedupSW float64 `json:"jit_speedup_sw"`
 	// StageMicros are per-stage single-threaded microbenchmarks (us/op),
 	// mirroring the Benchmark* micros in bench_test.go.
 	StageMicros map[string]float64 `json:"stage_micros"`
@@ -63,16 +87,68 @@ func timeIt(fn func()) float64 {
 	return float64(time.Since(start).Microseconds()) / float64(n)
 }
 
-func fig3MS(seed int64, engine dse.Engine, pool int) (float64, string, error) {
+// fig3MS regenerates Fig. 3 (timed) and Fig. 4 (on the same warm suite,
+// untimed) and returns the Fig. 3 wall-clock plus both renders
+// concatenated — the determinism witness compared across engines.
+func fig3MS(seed int64, engine dse.Engine, pool int, jit bool) (float64, string, error) {
 	s := exp.NewSuite(seed)
 	s.Engine = engine
 	s.Parallelism = pool
+	s.JIT = jit
 	start := time.Now()
 	r, err := exp.Fig3(s, nil)
 	if err != nil {
 		return 0, "", err
 	}
-	return float64(time.Since(start).Microseconds()) / 1000, r.Render(), nil
+	ms := float64(time.Since(start).Microseconds()) / 1000
+	f4, err := exp.Fig4(s)
+	if err != nil {
+		return 0, "", err
+	}
+	return ms, r.Render() + "\n" + f4.Render(), nil
+}
+
+// jvmBaselineMS times the suite's per-app JVM-baseline calibration (the
+// sample batch each AppResult executes) across all 8 workloads.
+func jvmBaselineMS(jit bool) (float64, error) {
+	start := time.Now()
+	for _, a := range apps.All() {
+		if _, err := exp.JVMSecondsForEngine(a, a.Tasks, jit, nil); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+// jitSpeedupSW measures interpreter vs closure-compiled wall-clock on
+// the S-W task batch (the BenchmarkJVMBaseline/S-W pairing).
+func jitSpeedupSW() (float64, error) {
+	a := apps.Get("S-W")
+	cls, err := a.Class()
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(5))
+	tasks := a.Gen(rng, 8)
+	vmI := jvmsim.New(cls)
+	interp := timeIt(func() {
+		if _, err := vmI.CallBatch(tasks); err != nil {
+			panic(err)
+		}
+	})
+	vmJ, err := jvmsim.NewJIT(cls)
+	if err != nil {
+		return 0, err
+	}
+	jit := timeIt(func() {
+		if _, err := vmJ.CallBatch(tasks); err != nil {
+			panic(err)
+		}
+	})
+	if jit <= 0 {
+		return 0, fmt.Errorf("jit batch measured at %.1fus", jit)
+	}
+	return interp / jit, nil
 }
 
 func measure(seed int64) (*benchReport, error) {
@@ -83,20 +159,48 @@ func measure(seed int64) (*benchReport, error) {
 		StageMicros:  map[string]float64{},
 	}
 
-	seqMS, seqOut, err := fig3MS(seed, dse.EngineSequential, 0)
+	seqMS, seqOut, err := fig3MS(seed, dse.EngineSequential, 0, true)
 	if err != nil {
 		return nil, err
 	}
-	parMS, parOut, err := fig3MS(seed, dse.EngineParallel, benchParallelism)
+	noJITMS, noJITOut, err := fig3MS(seed, dse.EngineSequential, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	parMS, parOut, err := fig3MS(seed, dse.EngineParallel, benchParallelism, true)
 	if err != nil {
 		return nil, err
 	}
 	if seqOut != parOut {
-		return nil, fmt.Errorf("parallel Fig. 3 output diverged from sequential — determinism bug, timings are meaningless")
+		return nil, fmt.Errorf("parallel Fig. 3/4 output diverged from sequential — determinism bug, timings are meaningless")
+	}
+	if seqOut != noJITOut {
+		return nil, fmt.Errorf("Fig. 3/4 output diverged between JVM engines — the JIT broke cost accounting, timings are meaningless")
 	}
 	rep.Fig3SequentialMS = seqMS
+	rep.Fig3SeqNoJITMS = noJITMS
 	rep.Fig3ParallelMS = parMS
 	rep.Speedup = seqMS / parMS
+
+	interpMS, err := jvmBaselineMS(false)
+	if err != nil {
+		return nil, err
+	}
+	jitMS, err := jvmBaselineMS(true)
+	if err != nil {
+		return nil, err
+	}
+	rep.JVMBaselineInterpMS = interpMS
+	rep.JVMBaselineJITMS = jitMS
+	if noJITMS > 0 {
+		rep.JVMShareBeforePct = 100 * interpMS / noJITMS
+	}
+	if seqMS > 0 {
+		rep.JVMShareAfterPct = 100 * jitMS / seqMS
+	}
+	if rep.JITSpeedupSW, err = jitSpeedupSW(); err != nil {
+		return nil, err
+	}
 
 	srcs := make([]string, 0, 8)
 	for _, a := range apps.All() {
@@ -151,8 +255,10 @@ func writeBench(path string, seed int64) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: fig3 %.0fms sequential, %.0fms par%d (%.2fx) on %d cores\n",
-		path, rep.Fig3SequentialMS, rep.Fig3ParallelMS, rep.ParallelPool, rep.Speedup, rep.Cores)
+	fmt.Printf("wrote %s: fig3 %.0fms sequential (%.0fms interpreted), %.0fms par%d (%.2fx) on %d cores\n",
+		path, rep.Fig3SequentialMS, rep.Fig3SeqNoJITMS, rep.Fig3ParallelMS, rep.ParallelPool, rep.Speedup, rep.Cores)
+	fmt.Printf("JVM baseline: %.0fms interpreted (%.0f%% of fig3) -> %.0fms jit (%.0f%%), S-W speedup %.2fx\n",
+		rep.JVMBaselineInterpMS, rep.JVMShareBeforePct, rep.JVMBaselineJITMS, rep.JVMShareAfterPct, rep.JITSpeedupSW)
 	return nil
 }
 
@@ -169,21 +275,28 @@ func checkBench(path string, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("baseline  (%d cores, %s): fig3 %.0fms seq, %.0fms par%d, %.2fx\n",
+	fmt.Printf("baseline  (%d cores, %s): fig3 %.0fms seq, %.0fms par%d, %.2fx; jit S-W %.2fx\n",
 		committed.Cores, committed.GoVersion, committed.Fig3SequentialMS,
-		committed.Fig3ParallelMS, committed.ParallelPool, committed.Speedup)
-	fmt.Printf("this run  (%d cores, %s): fig3 %.0fms seq, %.0fms par%d, %.2fx\n",
+		committed.Fig3ParallelMS, committed.ParallelPool, committed.Speedup, committed.JITSpeedupSW)
+	fmt.Printf("this run  (%d cores, %s): fig3 %.0fms seq, %.0fms par%d, %.2fx; jit S-W %.2fx\n",
 		cur.Cores, cur.GoVersion, cur.Fig3SequentialMS,
-		cur.Fig3ParallelMS, cur.ParallelPool, cur.Speedup)
+		cur.Fig3ParallelMS, cur.ParallelPool, cur.Speedup, cur.JITSpeedupSW)
 
 	var failures []string
-	if cur.Cores >= 4 && cur.Speedup < minSpeedup {
-		failures = append(failures, fmt.Sprintf(
-			"parallel engine speedup %.2fx < required %.1fx on %d cores",
-			cur.Speedup, minSpeedup, cur.Cores))
-	}
-	if cur.Cores < 4 {
-		fmt.Printf("skipping the %.1fx speedup gate: only %d CPU(s) available\n", minSpeedup, cur.Cores)
+	if cur.Cores >= 4 {
+		if cur.Speedup < minSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"parallel engine speedup %.2fx < required %.1fx on %d cores",
+				cur.Speedup, minSpeedup, cur.Cores))
+		}
+		if cur.JITSpeedupSW < minJITSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"JVM JIT speedup %.2fx < required %.1fx on S-W (%d cores)",
+				cur.JITSpeedupSW, minJITSpeedup, cur.Cores))
+		}
+	} else {
+		fmt.Printf("skipping the %.1fx parallel and %.1fx JIT speedup gates: only %d CPU(s) available\n",
+			minSpeedup, minJITSpeedup, cur.Cores)
 	}
 	if committed.Cores == cur.Cores {
 		gate := func(name string, committed, current float64) {
@@ -195,6 +308,7 @@ func checkBench(path string, seed int64) error {
 		}
 		gate("fig3_sequential_ms", committed.Fig3SequentialMS, cur.Fig3SequentialMS)
 		gate("fig3_par8_ms", committed.Fig3ParallelMS, cur.Fig3ParallelMS)
+		gate("jvm_baseline_jit_ms", committed.JVMBaselineJITMS, cur.JVMBaselineJITMS)
 		names := make([]string, 0, len(committed.StageMicros))
 		for name := range committed.StageMicros {
 			names = append(names, name)

@@ -28,6 +28,7 @@ import (
 	"s2fa/internal/cir"
 	"s2fa/internal/core"
 	"s2fa/internal/dse"
+	"s2fa/internal/exp"
 	"s2fa/internal/kdsl"
 	"s2fa/internal/lint"
 	"s2fa/internal/obs"
@@ -41,6 +42,7 @@ func main() {
 		par         = flag.Int("par", 0, "run DSE evaluations on N goroutines (0 = sequential reference engine; results are byte-identical either way)")
 		tasks       = flag.Int("tasks", 4096, "batch size the design is optimized for")
 		seed        = flag.Int64("seed", 1, "random seed (reproducible runs)")
+		jit         = flag.Bool("jit", true, "execute the JVM baseline through the closure-compiled engine (-jit=false interprets; results are byte-identical either way)")
 		lintOnly    = flag.Bool("lint", false, "run the static verifier on the generated kernel, print findings, and exit (status 1 on errors)")
 		explain     = flag.Bool("explain", false, "print the abstract interpreter's fact report (§3.3 violations with kdsl positions, purity, value ranges) and exit (status 1 on violations)")
 		dumpBC      = flag.Bool("dump-bytecode", false, "print the compiled bytecode")
@@ -213,6 +215,22 @@ func main() {
 	}
 	fmt.Printf("best design: %v\n", build.Best)
 	fmt.Printf("estimated kernel time for %d tasks: %.6fs\n", *tasks, build.Best.Seconds())
+	// For built-in workloads, report the Fig. 4 comparison point: the
+	// modeled single-thread JVM executor time and the resulting speedup.
+	if a := apps.Get(*appName); a != nil {
+		engine := "interpreter"
+		if *jit {
+			engine = "jit"
+		}
+		jvmSec, err := exp.JVMSecondsForEngine(a, *tasks, *jit, tr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("JVM baseline (single-thread executor, %s): %.6fs\n", engine, jvmSec)
+		if s := build.Best.Seconds(); s > 0 {
+			fmt.Printf("speedup over JVM: %.2fx\n", jvmSec/s)
+		}
+	}
 	if *dumpBest {
 		fmt.Println("--- chosen design (annotated HLS C) ---")
 		fmt.Println(build.BestHLSSource())

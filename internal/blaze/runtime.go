@@ -21,7 +21,21 @@ type Accelerator struct {
 	ID     string
 	Layout Layout
 	Design *fpga.Design
+
+	// encPool reuses batch encoders (grow-once serialize buffers, see
+	// Layout.NewEncoder) across offloads. Pooled because transformations
+	// on one registered accelerator may run concurrently.
+	encPool sync.Pool
 }
+
+func (acc *Accelerator) encoder() *Encoder {
+	if e, ok := acc.encPool.Get().(*Encoder); ok {
+		return e
+	}
+	return acc.Layout.NewEncoder()
+}
+
+func (acc *Accelerator) release(e *Encoder) { acc.encPool.Put(e) }
 
 // Manager is the Blaze node accelerator manager: a registry from
 // accelerator ID (the `val id` of the kernel class, Code 1) to deployed
@@ -172,7 +186,9 @@ func (a *AccRDD) reduceAcc(vm *jvmsim.VM, tasks []jvmsim.Val) (jvmsim.Val, Stats
 	if why := a.mgr.purityGate(vm.Class); why != "" {
 		return a.fallbackReduce(vm, tasks, why)
 	}
-	bufs, stats, err := a.execKernel(acc, tasks)
+	enc := acc.encoder()
+	defer acc.release(enc)
+	bufs, stats, err := a.execKernel(acc, enc, tasks)
 	if err != nil {
 		return a.fallbackReduce(vm, tasks, "accelerator error: "+err.Error())
 	}
@@ -204,7 +220,9 @@ func (a *AccRDD) closeSpan(span *obs.Span, st Stats, err error) {
 }
 
 func (a *AccRDD) offload(acc *Accelerator, tasks []jvmsim.Val) ([]jvmsim.Val, Stats, error) {
-	bufs, stats, err := a.execKernel(acc, tasks)
+	enc := acc.encoder()
+	defer acc.release(enc)
+	bufs, stats, err := a.execKernel(acc, enc, tasks)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -215,11 +233,12 @@ func (a *AccRDD) offload(acc *Accelerator, tasks []jvmsim.Val) ([]jvmsim.Val, St
 	return results, stats, nil
 }
 
-// execKernel runs serialization, functional kernel emulation, and the
-// platform timing model.
-func (a *AccRDD) execKernel(acc *Accelerator, tasks []jvmsim.Val) (map[string][]cir.Value, Stats, error) {
+// execKernel runs serialization (through the caller's pooled encoder,
+// whose buffers back the returned map until the encoder is released),
+// functional kernel emulation, and the platform timing model.
+func (a *AccRDD) execKernel(acc *Accelerator, enc *Encoder, tasks []jvmsim.Val) (map[string][]cir.Value, Stats, error) {
 	n := len(tasks)
-	bufs, err := acc.Layout.Serialize(tasks)
+	bufs, err := enc.Encode(tasks)
 	if err != nil {
 		return nil, Stats{}, err
 	}
@@ -250,18 +269,19 @@ func (a *AccRDD) execKernel(acc *Accelerator, tasks []jvmsim.Val) (map[string][]
 }
 
 func (a *AccRDD) fallbackMap(vm *jvmsim.VM, tasks []jvmsim.Val, why string) ([]jvmsim.Val, Stats, error) {
+	// Opportunistically execute through the closure-compiled kernel: the
+	// JIT preserves outputs, Counts, and errors bit-for-bit, so the
+	// fallback's results and modeled SimTime are unchanged — only the
+	// host-side wall clock spent simulating the JVM shrinks.
+	jit := vm.TryJIT()
 	if tr := a.mgr.Trace; tr != nil {
 		tr.Event("blaze", "fallback",
-			obs.Str("acc", vm.Class.ID), obs.Str("cause", why))
+			obs.Str("acc", vm.Class.ID), obs.Str("cause", why), obs.Bool("jit", jit))
 		tr.Count("blaze.fallbacks", 1)
 	}
-	out := make([]jvmsim.Val, len(tasks))
-	for i, t := range tasks {
-		v, err := vm.Call(t)
-		if err != nil {
-			return nil, Stats{}, fmt.Errorf("blaze: JVM fallback failed: %w", err)
-		}
-		out[i] = v
+	out, err := vm.CallBatch(tasks)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("blaze: JVM fallback failed: %w", err)
 	}
 	cm := jvmsim.DefaultCostModel()
 	return out, Stats{Fallback: why, Tasks: len(tasks), SimTime: cm.Duration(vm.Counts)}, nil

@@ -49,11 +49,43 @@ func (l *Layout) outputParams() []cir.Param {
 
 // Serialize reorganizes per-task JVM input objects into the kernel's flat
 // input buffers (the generated Scala method of paper §3.2, Challenge 3).
+// Each call allocates fresh buffers the caller owns; batch-loop callers
+// (the runtime's offload path) use an Encoder to reuse storage instead.
 func (l *Layout) Serialize(tasks []jvmsim.Val) (map[string][]cir.Value, error) {
-	ins := l.inputParams()
+	return l.NewEncoder().Encode(tasks)
+}
+
+// Encoder serializes task batches into kernel input buffers while
+// reusing its backing storage across batches: each input buffer is
+// grown once to the largest batch seen and resliced afterwards, so
+// steady-state offloads allocate nothing but the small per-call map
+// header. Not safe for concurrent use — the runtime pools encoders per
+// accelerator.
+type Encoder struct {
+	l    *Layout
+	bufs map[string][]cir.Value
+}
+
+// NewEncoder returns an encoder with empty backing storage.
+func (l *Layout) NewEncoder() *Encoder {
+	return &Encoder{l: l, bufs: make(map[string][]cir.Value)}
+}
+
+// Encode serializes per-task JVM input objects into the kernel's flat
+// input buffers. The returned slices are owned by the encoder and valid
+// only until its next Encode call (every element is rewritten per
+// batch); callers that need caller-owned buffers use Layout.Serialize.
+func (e *Encoder) Encode(tasks []jvmsim.Val) (map[string][]cir.Value, error) {
+	ins := e.l.inputParams()
 	bufs := make(map[string][]cir.Value, len(ins))
 	for _, p := range ins {
-		bufs[p.Name] = make([]cir.Value, len(tasks)*p.Length)
+		need := len(tasks) * p.Length
+		buf := e.bufs[p.Name]
+		if cap(buf) < need {
+			buf = make([]cir.Value, need)
+			e.bufs[p.Name] = buf
+		}
+		bufs[p.Name] = buf[:need]
 	}
 	for t, task := range tasks {
 		fields := []jvmsim.Val{task}

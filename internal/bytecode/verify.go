@@ -35,19 +35,15 @@ func verify(m *Method, legality bool) error {
 	if n == 0 {
 		return fmt.Errorf("bytecode: %s: empty code", m.Name)
 	}
-	leaders := map[int]bool{0: true}
 	for i, in := range m.Code {
 		switch in.Op {
 		case OpGoto, OpBrFalse, OpBrTrue:
 			if in.Target < 0 || in.Target >= n {
 				return fmt.Errorf("bytecode: %s@%d: branch target %d out of range", m.Name, i, in.Target)
 			}
-			leaders[in.Target] = true
-			if i+1 < n {
-				leaders[i+1] = true
-			}
 		}
 	}
+	leaders := Leaders(m)
 
 	var stack []TypeDesc
 	push := func(t TypeDesc) { stack = append(stack, t) }

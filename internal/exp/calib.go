@@ -10,20 +10,32 @@ import (
 
 	"s2fa/internal/apps"
 	"s2fa/internal/jvmsim"
+	"s2fa/internal/obs"
 )
 
 // Calibration constants: the few free parameters of the whole performance
 // model live here (DESIGN.md "Calibration"). Everything else is derived.
 const (
-	// JVMSampleTasks is the number of tasks actually interpreted to
-	// measure per-task JVM cost; totals scale linearly (workloads are
+	// JVMSampleTasks is the number of tasks actually executed to measure
+	// per-task JVM cost; totals scale linearly (workloads are
 	// data-independent in instruction count to first order).
 	JVMSampleTasks = 24
 )
 
 // JVMSecondsFor models the single-threaded Spark executor time for n
-// tasks of the app by interpreting a sample batch and scaling.
+// tasks of the app by executing a sample batch and scaling. It runs the
+// closure-compiled engine; the modeled seconds depend only on Counts,
+// which the JIT preserves bit-for-bit (the differential property in
+// internal/apps), so the value is identical either way.
 func JVMSecondsFor(a *apps.App, n int) (float64, error) {
+	return JVMSecondsForEngine(a, n, true, nil)
+}
+
+// JVMSecondsForEngine is JVMSecondsFor with the execution engine
+// explicit (jit=false interprets, the pre-JIT reference path) and an
+// optional trace receiving the per-app baseline span and compile
+// telemetry.
+func JVMSecondsForEngine(a *apps.App, n int, jit bool, tr *obs.Trace) (float64, error) {
 	cls, err := a.Class()
 	if err != nil {
 		return 0, err
@@ -35,11 +47,25 @@ func JVMSecondsFor(a *apps.App, n int) (float64, error) {
 	rng := rand.New(rand.NewSource(2026))
 	tasks := a.Gen(rng, sample)
 	vm := jvmsim.New(cls)
-	for _, task := range tasks {
-		if _, err := vm.Call(task); err != nil {
+	if jit {
+		sp := tr.Begin("jvm", "jit.compile", obs.Str("app", a.Name))
+		err := vm.EnableJIT()
+		st, _ := vm.JITStats()
+		sp.End(obs.Int("ops", st.Ops), obs.Int("fused", st.Fused))
+		if err != nil {
 			return 0, err
 		}
+		tr.Count("jvmsim.jit.compiles", 1)
+		tr.Count("jvmsim.jit.fused", int64(st.Fused))
 	}
+	sp := tr.Begin("jvm", "baseline", obs.Str("app", a.Name),
+		obs.Int("tasks", sample), obs.Bool("jit", vm.JITEnabled()))
+	_, err = vm.CallBatch(tasks)
+	sp.End()
+	if err != nil {
+		return 0, err
+	}
+	tr.Count("jvmsim.tasks", int64(sample))
 	cm := jvmsim.DefaultCostModel()
 	perTask := cm.Nanoseconds(vm.Counts) / float64(sample)
 	return perTask * float64(n) / 1e9, nil

@@ -10,6 +10,7 @@ import (
 	"s2fa/internal/fpga"
 	"s2fa/internal/hls"
 	"s2fa/internal/merlin"
+	"s2fa/internal/obs"
 	"s2fa/internal/space"
 	"s2fa/internal/tuner"
 )
@@ -28,6 +29,14 @@ type Suite struct {
 	// these only trade wall-clock time.
 	Engine      dse.Engine
 	Parallelism int
+	// JIT selects the closure-compiled engine for the per-app JVM
+	// baselines (default on, see NewSuite). Like Engine, it only trades
+	// wall-clock: the JIT preserves Counts bit-for-bit, so JVMSeconds —
+	// and every figure derived from it — is byte-identical either way.
+	JIT bool
+	// Trace, when non-nil, receives per-app baseline spans and JIT
+	// compile counters.
+	Trace *obs.Trace
 
 	// Locking is two-level so independent apps can be computed
 	// concurrently (Warm): mu guards only the slot directory, each
@@ -76,9 +85,10 @@ func (r *AppResult) ManualSpeedup() float64 {
 	return r.JVMSeconds / r.ManualReport.Seconds()
 }
 
-// NewSuite builds a suite on the VU9P device.
+// NewSuite builds a suite on the VU9P device. The JVM baselines run
+// closure-compiled; set JIT to false for the interpreter reference path.
 func NewSuite(seed int64) *Suite {
-	return &Suite{Seed: seed, Device: fpga.VU9P(), cache: map[string]*appSlot{}}
+	return &Suite{Seed: seed, Device: fpga.VU9P(), JIT: true, cache: map[string]*appSlot{}}
 }
 
 // Modes selects which DSE runs Result performs.
@@ -110,7 +120,7 @@ func (s *Suite) Result(name string, modes Modes) (*AppResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		jvm, err := JVMSecondsFor(a, a.Tasks)
+		jvm, err := JVMSecondsForEngine(a, a.Tasks, s.JIT, s.Trace)
 		if err != nil {
 			return nil, err
 		}

@@ -75,24 +75,71 @@ func (c *Counts) Add(o Counts) {
 type VM struct {
 	Class  *bytecode.Class
 	Counts Counts
-	// MaxSteps bounds one invocation (default 500M).
+	// MaxSteps bounds one invocation. Zero means DefaultMaxSteps; the
+	// effective budget is resolved in exactly one place (budget), shared
+	// by the interpreter and the compiled (JIT) execution path so both
+	// charge the step budget identically.
 	MaxSteps int64
 	// Trace, when non-nil, is invoked before each instruction executes
 	// with the live frame (method, pc, operand stack, locals). Used by
 	// the absint differential soundness harness; the hook must not
-	// mutate the slices.
+	// mutate the slices. A VM with a Trace hook always interprets — the
+	// compiled path has no per-instruction observation point.
 	Trace func(m *bytecode.Method, pc int, stack []Val, locals []Val)
+
+	// prog, when non-nil, is the closure-compiled form of Class; Call,
+	// Reduce, and Invoke execute through it (unless Trace is set).
+	// frCall/frReduce are the reusable frame arenas — one per method,
+	// valid because the instruction set has no method calls, so
+	// invocations never nest.
+	prog     *Program
+	frCall   *frame
+	frReduce *frame
+}
+
+// DefaultMaxSteps is the per-invocation step budget applied when
+// VM.MaxSteps is zero. One "step" is one executed bytecode instruction;
+// fused superinstructions in the compiled path charge one step per
+// fused component, so interpreter and JIT exhaust the budget at the
+// same instruction.
+const DefaultMaxSteps = 500_000_000
+
+// budget resolves the effective per-invocation step budget. This is the
+// single place the DefaultMaxSteps fallback is applied; both execution
+// engines read the budget through it.
+func (vm *VM) budget() int64 {
+	if vm.MaxSteps > 0 {
+		return vm.MaxSteps
+	}
+	return DefaultMaxSteps
 }
 
 // New returns a VM for the class.
 func New(c *bytecode.Class) *VM {
-	return &VM{Class: c, MaxSteps: 500_000_000}
+	return &VM{Class: c}
 }
 
 // Call invokes the class's call method.
 func (vm *VM) Call(in Val) (Val, error) {
 	vm.Counts.Invokes++
 	return vm.Invoke(vm.Class.Call, []Val{in})
+}
+
+// CallBatch invokes the class's call method on every task in order,
+// returning the per-task outputs. Semantically identical to calling
+// Call in a loop; on a JIT-enabled VM the reusable frame arena makes
+// this the compile-once/run-many fast path (zero per-task allocation
+// beyond what the kernel itself allocates).
+func (vm *VM) CallBatch(in []Val) ([]Val, error) {
+	out := make([]Val, len(in))
+	for i, t := range in {
+		v, err := vm.Call(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // Reduce invokes the class's reduce method.
@@ -104,8 +151,22 @@ func (vm *VM) Reduce(a, b Val) (Val, error) {
 	return vm.Invoke(vm.Class.Reduce, []Val{a, b})
 }
 
-// Invoke executes a method with the given arguments.
+// Invoke executes a method with the given arguments, through the
+// compiled program when one is enabled (and no Trace hook demands
+// per-instruction interpretation), otherwise through the interpreter.
+// Both paths produce byte-identical outputs, Counts, and errors.
 func (vm *VM) Invoke(m *bytecode.Method, args []Val) (Val, error) {
+	if vm.prog != nil && vm.Trace == nil {
+		if cm, fr := vm.compiled(m); cm != nil {
+			return vm.invokeCompiled(cm, fr, args)
+		}
+	}
+	return vm.interpret(m, args)
+}
+
+// interpret executes a method on the reference switch-dispatch
+// interpreter.
+func (vm *VM) interpret(m *bytecode.Method, args []Val) (Val, error) {
 	if len(args) != len(m.Params) {
 		return Val{}, fmt.Errorf("jvmsim: %s expects %d args, got %d", m.Name, len(m.Params), len(args))
 	}
@@ -121,9 +182,10 @@ func (vm *VM) Invoke(m *bytecode.Method, args []Val) (Val, error) {
 
 	pc := 0
 	var steps int64
+	maxSteps := vm.budget()
 	for {
 		steps++
-		if steps > vm.MaxSteps {
+		if steps > maxSteps {
 			return Val{}, fmt.Errorf("jvmsim: %s exceeded step budget", m.Name)
 		}
 		if pc < 0 || pc >= len(m.Code) {
@@ -273,12 +335,21 @@ func (vm *VM) Invoke(m *bytecode.Method, args []Val) (Val, error) {
 // kernels (charAt, boxing) and cost more than JIT-vectorizable numeric
 // arrays.
 func (vm *VM) countArrayOp(k cir.Kind) {
-	switch k {
-	case cir.Char, cir.Bool, cir.Short:
+	if isByteArrayKind(k) {
 		vm.Counts.ByteArrayOps++
-	default:
+	} else {
 		vm.Counts.ArrayOps++
 	}
+}
+
+// isByteArrayKind is the bucketing predicate shared by the interpreter
+// and the JIT (which resolves it at compile time per instruction).
+func isByteArrayKind(k cir.Kind) bool {
+	switch k {
+	case cir.Char, cir.Bool, cir.Short:
+		return true
+	}
+	return false
 }
 
 func binOp(in bytecode.Instr, l, r cir.Value) (cir.Value, error) {
