@@ -50,6 +50,10 @@ const (
 type benchReport struct {
 	GoVersion string `json:"go_version"`
 	Cores     int    `json:"cores"`
+	// MaxProcs records GOMAXPROCS at measurement time: a container quota
+	// or explicit cap can leave it well below Cores, which changes what
+	// the parallel-engine numbers mean when comparing runs.
+	MaxProcs int `json:"gomaxprocs"`
 	// Fig3SequentialMS / Fig3ParallelMS are the wall-clock of one full
 	// Fig. 3 regeneration (8 apps, S2FA + vanilla DSE, JVM baselines) on
 	// each DSE engine with the JVM-baseline JIT on; Speedup is their
@@ -155,6 +159,7 @@ func measure(seed int64) (*benchReport, error) {
 	rep := &benchReport{
 		GoVersion:    runtime.Version(),
 		Cores:        runtime.NumCPU(),
+		MaxProcs:     runtime.GOMAXPROCS(0),
 		ParallelPool: benchParallelism,
 		StageMicros:  map[string]float64{},
 	}

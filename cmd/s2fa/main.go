@@ -27,6 +27,7 @@ import (
 	"s2fa/internal/bytecode"
 	"s2fa/internal/cir"
 	"s2fa/internal/core"
+	"s2fa/internal/depend"
 	"s2fa/internal/dse"
 	"s2fa/internal/exp"
 	"s2fa/internal/kdsl"
@@ -155,6 +156,7 @@ func main() {
 		if len(facts.Violations()) > 0 {
 			os.Exit(1)
 		}
+		fmt.Print(dependReport(cls, fileLabel))
 		return
 	}
 	if *lintOnly {
@@ -242,6 +244,35 @@ func main() {
 		fmt.Println("--- run summary ---")
 		fmt.Print(collector.Render())
 	}
+}
+
+// dependReport renders the exact dependence analysis behind every
+// legality verdict, II bound, and DSE collapse for the compiled kernel:
+// the per-loop verdict table (witness access pairs carry kdsl positions)
+// followed by "why would this factor be rejected?" guidance probing the
+// most aggressive directives on each loop. Kernels the C generator
+// rejects return nothing — the §3.3 report above already covers them.
+func dependReport(cls *bytecode.Class, fileLabel string) string {
+	kernel, err := b2c.Compile(cls)
+	if err != nil {
+		return ""
+	}
+	dep := depend.Analyze(kernel)
+	var b strings.Builder
+	b.WriteString("\n")
+	b.WriteString(dep.Table())
+	fmt.Fprintf(&b, "  (witness positions are %s:line:col)\n", fileLabel)
+	var notes []string
+	for _, id := range dep.Order {
+		notes = append(notes, dep.ExplainFactor(id, cir.LoopOpt{Parallel: 16, Pipeline: cir.PipeOn})...)
+	}
+	if len(notes) > 0 {
+		b.WriteString("directive guidance (probing parallel 16 + pipeline on every loop):\n")
+		for _, n := range notes {
+			fmt.Fprintf(&b, "  %s\n", n)
+		}
+	}
+	return b.String()
 }
 
 // unknownAppMessage is the -app rejection text: the bad name plus every

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/kdsl"
+)
 
 // TestUnknownAppMessage pins the -app rejection text: every valid
 // workload name, in Table 2 order, so a typo is a one-screen fix.
@@ -8,5 +14,29 @@ func TestUnknownAppMessage(t *testing.T) {
 	const want = `unknown app "Foo" (valid workloads: PR, KMeans, KNN, LR, SVM, LLS, AES, S-W)`
 	if got := unknownAppMessage("Foo"); got != want {
 		t.Errorf("unknownAppMessage(\"Foo\"):\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestDependReportSW checks the -explain dependence section on the
+// Smith-Waterman workload: the verdict table names the H recurrence with
+// a sourced witness pair, and the guidance explains why parallel lanes
+// on the cell loops need the wavefront pipeline.
+func TestDependReportSW(t *testing.T) {
+	cls, err := kdsl.CompileSource(apps.Get("S-W").Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dependReport(cls, "S-W.kdsl")
+	for _, want := range []string{
+		"loop dependence verdicts",
+		"witness:",
+		"(witness positions are S-W.kdsl:line:col)",
+		"directive guidance",
+		"parallel 16 on L2: lanes contend on H",
+		"lanes serialize, no speedup unless wavefront",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dependReport missing %q in:\n%s", want, out)
+		}
 	}
 }

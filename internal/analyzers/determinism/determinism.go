@@ -1,0 +1,404 @@
+// Package determinism is a stdlib-only source linter guarding the
+// reproducibility contract of the search and estimation hot paths: every
+// DSE outcome, HLS report, and tuner decision must be a pure function of
+// (kernel, configuration, seed). Three construct classes break that
+// contract silently, so they are banned in the hot-path packages:
+//
+//   - time.Now — wall-clock reads leak scheduling noise into results;
+//   - global math/rand — the package-level generator is shared, unseeded
+//     state (rand.New(rand.NewSource(seed)) is the sanctioned form);
+//   - ranging over a map — Go randomizes iteration order per run, so any
+//     order-sensitive loop body diverges between otherwise equal runs.
+//
+// A site that is provably harmless (order-independent map updates,
+// telemetry that never feeds back into results) is suppressed with a
+// line comment containing "determinism:allow <reason>" on the flagged
+// line or the line above it — the reason is part of the code review
+// surface, exactly like a staticcheck //lint:ignore.
+//
+// The analysis is deliberately one-sided, like the dependence analysis
+// it rides alongside: it only reports a map-range when the ranged
+// expression's map-ness is provable from declared types (local
+// declarations, struct fields, named types, single-result functions,
+// across every package in the module), so it may miss an obfuscated
+// site but never cries wolf on a slice.
+package determinism
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Finding is one determinism violation.
+type Finding struct {
+	Pos    token.Position
+	Rule   string // "time-now" | "global-rand" | "map-range"
+	Detail string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Detail)
+}
+
+// tables holds the module-wide declared-type index the map inference
+// resolves through. Name collisions are handled conservatively: a name
+// counts as a map only when every declaration of that name is one.
+type tables struct {
+	named   map[string][]ast.Expr // type name -> underlying type
+	fields  map[string][]ast.Expr // struct field name -> field type
+	results map[string][]ast.Expr // function/method name -> sole result type
+}
+
+// Check parses every Go package under root to build the type tables,
+// then lints the target directories (given relative to root). Test files
+// contribute types but are not themselves linted — the ban protects
+// shipped hot paths.
+func Check(root string, targets []string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs := map[string][]*ast.File{} // dir -> parsed non-test files
+	tb := &tables{
+		named:   map[string][]ast.Expr{},
+		fields:  map[string][]ast.Expr{},
+		results: map[string][]ast.Expr{},
+	}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("parsing %s: %w", path, perr)
+		}
+		dir := filepath.Dir(path)
+		pkgs[dir] = append(pkgs[dir], f)
+		tb.index(f)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Finding
+	for _, target := range targets {
+		dir := filepath.Join(root, target)
+		files := pkgs[dir]
+		if len(files) == 0 {
+			return nil, fmt.Errorf("target %s: no Go files parsed", target)
+		}
+		for _, f := range files {
+			out = append(out, lintFile(fset, f, tb)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// index records the file's type declarations into the tables.
+func (t *tables) index(f *ast.File) {
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.GenDecl:
+			if d.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range d.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				t.named[ts.Name.Name] = append(t.named[ts.Name.Name], ts.Type)
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					for _, fld := range st.Fields.List {
+						for _, n := range fld.Names {
+							t.fields[n.Name] = append(t.fields[n.Name], fld.Type)
+						}
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			if d.Type.Results == nil || len(d.Type.Results.List) != 1 || len(d.Type.Results.List[0].Names) > 1 {
+				continue
+			}
+			t.results[d.Name.Name] = append(t.results[d.Name.Name], d.Type.Results.List[0].Type)
+		}
+	}
+}
+
+const maxResolveDepth = 8
+
+// isMapType reports whether the type expression provably denotes a map.
+func (t *tables) isMapType(e ast.Expr, depth int) bool {
+	if depth > maxResolveDepth {
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.MapType:
+		return true
+	case *ast.ParenExpr:
+		return t.isMapType(x.X, depth+1)
+	case *ast.Ident:
+		return t.allNamedAreMaps(x.Name, depth)
+	case *ast.SelectorExpr:
+		// pkg.Type: resolve by the bare type name across the module.
+		return t.allNamedAreMaps(x.Sel.Name, depth)
+	}
+	return false
+}
+
+func (t *tables) allNamedAreMaps(name string, depth int) bool {
+	defs := t.named[name]
+	if len(defs) == 0 {
+		return false
+	}
+	for _, d := range defs {
+		if !t.isMapType(d, depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// allOf reports whether every entry under name in table resolves to a
+// map type (and at least one exists).
+func (t *tables) allOf(table map[string][]ast.Expr, name string) bool {
+	defs := table[name]
+	if len(defs) == 0 {
+		return false
+	}
+	for _, d := range defs {
+		if !t.isMapType(d, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// lintFile checks one file of a target package.
+func lintFile(fset *token.FileSet, f *ast.File, tb *tables) []Finding {
+	timeName, randName := importNames(f)
+	allowed := allowLines(fset, f)
+	var out []Finding
+	report := func(n ast.Node, rule, detail string) {
+		pos := fset.Position(n.Pos())
+		if allowed[pos.Line] || allowed[pos.Line-1] {
+			return
+		}
+		out = append(out, Finding{Pos: pos, Rule: rule, Detail: detail})
+	}
+
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				pkg, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				switch {
+				case timeName != "" && pkg.Name == timeName && sel.Sel.Name == "Now":
+					report(x, "time-now", "wall-clock read in a hot path; thread the virtual clock or trace timestamps through telemetry instead")
+				case randName != "" && pkg.Name == randName && !seededRandCtor(sel.Sel.Name):
+					report(x, "global-rand", fmt.Sprintf("rand.%s uses the shared global generator; derive from rand.New(rand.NewSource(seed))", sel.Sel.Name))
+				}
+			case *ast.RangeStmt:
+				if rangedIsMap(x.X, fd, tb) {
+					report(x, "map-range", "iteration order over a map varies per run; iterate a sorted key slice or annotate why order cannot matter")
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// seededRandCtor lists the math/rand selectors that construct seeded
+// generators rather than touching the global one.
+func seededRandCtor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf":
+		return true
+	}
+	return false
+}
+
+// importNames resolves the local names binding the time and math/rand
+// packages in this file ("" when not imported).
+func importNames(f *ast.File) (timeName, randName string) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		local := ""
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		switch path {
+		case "time":
+			if local == "" {
+				local = "time"
+			}
+			timeName = local
+		case "math/rand", "math/rand/v2":
+			if local == "" {
+				local = "rand"
+			}
+			randName = local
+		}
+	}
+	return
+}
+
+// allowLines collects the line numbers carrying a determinism:allow
+// annotation.
+func allowLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "determinism:allow") {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// rangedIsMap reports whether the ranged expression provably has map
+// type, resolving local declarations inside fd and falling back to the
+// module tables for fields, named types, and function results.
+func rangedIsMap(e ast.Expr, fd *ast.FuncDecl, tb *tables) bool {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return rangedIsMap(x.X, fd, tb)
+	case *ast.CompositeLit:
+		return x.Type != nil && tb.isMapType(x.Type, 0)
+	case *ast.Ident:
+		return localIsMap(x.Name, fd, tb)
+	case *ast.SelectorExpr:
+		// Obj.Field: flag only when every field of that name in the
+		// module is map-typed. A package-qualified variable also lands
+		// here and resolves through the same (empty) field table — the
+		// one-sided default is silence.
+		return tb.allOf(tb.fields, x.Sel.Name)
+	case *ast.CallExpr:
+		switch fn := x.Fun.(type) {
+		case *ast.Ident:
+			if fn.Name == "make" && len(x.Args) > 0 {
+				return tb.isMapType(x.Args[0], 0)
+			}
+			return tb.allOf(tb.results, fn.Name)
+		case *ast.SelectorExpr:
+			return tb.allOf(tb.results, fn.Sel.Name)
+		}
+	}
+	return false
+}
+
+// localIsMap scans fd for evidence that the named local (or parameter,
+// or receiver) is map-typed.
+func localIsMap(name string, fd *ast.FuncDecl, tb *tables) bool {
+	for _, fl := range []*ast.FieldList{fd.Recv, fd.Type.Params, fd.Type.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, fld := range fl.List {
+			for _, n := range fld.Names {
+				if n.Name == name && tb.isMapType(fld.Type, 0) {
+					return true
+				}
+			}
+		}
+	}
+	isMap := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != name || i >= len(x.Rhs) {
+					continue
+				}
+				if mapValued(x.Rhs[i], tb) {
+					isMap = true
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, n := range vs.Names {
+					if n.Name != name {
+						continue
+					}
+					if vs.Type != nil && tb.isMapType(vs.Type, 0) {
+						isMap = true
+					}
+					if i < len(vs.Values) && mapValued(vs.Values[i], tb) {
+						isMap = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return isMap
+}
+
+// mapValued reports whether the expression provably evaluates to a map.
+func mapValued(e ast.Expr, tb *tables) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return x.Type != nil && tb.isMapType(x.Type, 0)
+	case *ast.CallExpr:
+		switch fn := x.Fun.(type) {
+		case *ast.Ident:
+			if fn.Name == "make" && len(x.Args) > 0 {
+				return tb.isMapType(x.Args[0], 0)
+			}
+			return tb.allOf(tb.results, fn.Name)
+		case *ast.SelectorExpr:
+			return tb.allOf(tb.results, fn.Sel.Name)
+		}
+	}
+	return false
+}

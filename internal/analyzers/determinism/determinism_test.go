@@ -1,0 +1,275 @@
+package determinism
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write lays out a synthetic one-package module under a temp root and
+// returns the root.
+func write(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func rules(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+func TestFlagsTimeNow(t *testing.T) {
+	root := write(t, map[string]string{"p/a.go": `package p
+
+import "time"
+
+func f() int64 { return time.Now().UnixNano() }
+`})
+	fs, err := Check(root, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Rule != "time-now" {
+		t.Fatalf("want one time-now finding, got %v", fs)
+	}
+}
+
+func TestTimeNowAllowAnnotation(t *testing.T) {
+	root := write(t, map[string]string{"p/a.go": `package p
+
+import "time"
+
+func f() int64 {
+	//determinism:allow telemetry-only timestamp, never feeds back into results
+	return time.Now().UnixNano()
+}
+
+func g() int64 {
+	return time.Now().UnixNano() //determinism:allow same-line form
+}
+`})
+	fs, err := Check(root, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("annotated time.Now must be suppressed, got %v", fs)
+	}
+}
+
+func TestFlagsGlobalRandButNotSeededCtors(t *testing.T) {
+	root := write(t, map[string]string{"p/a.go": `package p
+
+import "math/rand"
+
+func bad() int { return rand.Intn(7) + int(rand.Int63()) }
+
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+`})
+	fs, err := Check(root, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("want the two global-rand findings only, got %v", fs)
+	}
+	for _, f := range fs {
+		if f.Rule != "global-rand" {
+			t.Errorf("unexpected rule %s", f.Rule)
+		}
+	}
+}
+
+func TestRandImportAlias(t *testing.T) {
+	root := write(t, map[string]string{"p/a.go": `package p
+
+import mrand "math/rand"
+
+func f() int { return mrand.Intn(3) }
+`})
+	fs, err := Check(root, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Rule != "global-rand" {
+		t.Fatalf("aliased math/rand must still be resolved, got %v", fs)
+	}
+}
+
+func TestFlagsMapRangeLocalForms(t *testing.T) {
+	root := write(t, map[string]string{"p/a.go": `package p
+
+func f(param map[string]int) int {
+	n := 0
+	for range param { // param: map-typed parameter
+		n++
+	}
+	made := make(map[int]bool)
+	for range made { // made: make(map...)
+		n++
+	}
+	lit := map[string]bool{"x": true}
+	for range lit { // lit: map literal
+		n++
+	}
+	var decl map[int]int
+	for range decl { // decl: var with explicit map type
+		n++
+	}
+	s := []int{1, 2}
+	for range s { // slice: must NOT be flagged
+		n++
+	}
+	return n
+}
+`})
+	fs, err := Check(root, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(fs); got != 4 {
+		t.Fatalf("want 4 map-range findings (param, make, literal, var), got %d: %v", got, fs)
+	}
+	for _, f := range fs {
+		if f.Rule != "map-range" {
+			t.Errorf("unexpected rule %s", f.Rule)
+		}
+	}
+}
+
+func TestMapRangeThroughNamedTypesAndFields(t *testing.T) {
+	// The ranged expression resolves across packages: q declares the
+	// named map type and a struct carrying it; p ranges over the field.
+	root := write(t, map[string]string{
+		"q/types.go": `package q
+
+type Point map[string]int
+
+type Result struct {
+	Point     Point
+	Objective float64
+}
+`,
+		"p/a.go": `package p
+
+import "example/q"
+
+func f(r q.Result) int {
+	n := 0
+	for range r.Point { // field of cross-package named map type
+		n++
+	}
+	return n
+}
+`,
+	})
+	fs, err := Check(root, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || fs[0].Rule != "map-range" {
+		t.Fatalf("field of named map type must be flagged, got %v", fs)
+	}
+}
+
+func TestMapRangeFieldNameCollisionStaysSilent(t *testing.T) {
+	// Two structs share a field name but only one is a map: the
+	// one-sided contract demands silence rather than a false positive.
+	root := write(t, map[string]string{"p/a.go": `package p
+
+type A struct{ Data map[string]int }
+
+type B struct{ Data []int }
+
+func f(a A) int {
+	n := 0
+	for range a.Data {
+		n++
+	}
+	return n
+}
+`})
+	fs, err := Check(root, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("ambiguous field name must not be flagged, got %v", fs)
+	}
+}
+
+func TestMapRangeFromFunctionResult(t *testing.T) {
+	root := write(t, map[string]string{"p/a.go": `package p
+
+func build() map[string]int { return map[string]int{} }
+
+func f() int {
+	n := 0
+	m := build()
+	for range m { // local assigned from a map-returning function
+		n++
+	}
+	for range build() { // ranging the call directly
+		n++
+	}
+	return n
+}
+`})
+	fs, err := Check(root, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 2 {
+		t.Fatalf("want 2 map-range findings, got %v", fs)
+	}
+}
+
+func TestMapRangeAllowAnnotation(t *testing.T) {
+	root := write(t, map[string]string{"p/a.go": `package p
+
+func f(m map[string]int) int {
+	n := 0
+	//determinism:allow order-independent: the body only counts entries
+	for range m {
+		n++
+	}
+	return n
+}
+`})
+	fs, err := Check(root, []string{"p"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("annotated map range must be suppressed, got %v", fs)
+	}
+}
+
+// TestHotPathsClean is the live gate: the real DSE/HLS/tuner packages
+// must have no unannotated findings, exactly what CI enforces via
+// cmd/determinism.
+func TestHotPathsClean(t *testing.T) {
+	fs, err := Check("../../..", []string{"internal/dse", "internal/hls", "internal/tuner"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("hot-path violation: %s", f)
+	}
+}

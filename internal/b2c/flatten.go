@@ -359,7 +359,7 @@ func (f *flattener) indexByTask(b cir.Block) cir.Block {
 			if ln, ok := offsets[e.Arr]; ok {
 				idx = addTaskOffset(idx, ln, taskRef)
 			}
-			return &cir.Index{K: e.K, Arr: e.Arr, Idx: idx}
+			return &cir.Index{K: e.K, Arr: e.Arr, Idx: idx, Pos: e.Pos}
 		case *cir.Unary:
 			return &cir.Unary{Op: e.Op, X: rewriteExpr(e.X)}
 		case *cir.Binary:
@@ -509,7 +509,7 @@ func renameArray(b cir.Block, from, to string) cir.Block {
 			if arr == from {
 				arr = to
 			}
-			return &cir.Index{K: e.K, Arr: arr, Idx: rewriteExpr(e.Idx)}
+			return &cir.Index{K: e.K, Arr: arr, Idx: rewriteExpr(e.Idx), Pos: e.Pos}
 		case *cir.Unary:
 			return &cir.Unary{Op: e.Op, X: rewriteExpr(e.X)}
 		case *cir.Binary:

@@ -91,6 +91,16 @@ func newLifter(cls *bytecode.Class, m *bytecode.Method, g *cfg) *lifter {
 	return lf
 }
 
+// posAt converts the bytecode line-number-table entry for pc into a cir
+// source position (zero Pos when the table has no entry).
+func (lf *lifter) posAt(pc int) cir.Pos {
+	p := lf.m.PosAt(pc)
+	if !p.Valid() {
+		return cir.Pos{}
+	}
+	return cir.Pos{Line: p.Line, Col: p.Col}
+}
+
 // localName returns the source-level name of a local slot.
 func (lf *lifter) localName(slot int) string {
 	if slot < len(lf.m.LocalNames) && lf.m.LocalNames[slot] != "" {
@@ -175,7 +185,7 @@ func (lf *lifter) liftBlock(b *bblock) (*lifted, error) {
 			if err != nil {
 				return nil, err
 			}
-			push(&cir.Index{K: in.Kind, Arr: name, Idx: idx})
+			push(&cir.Index{K: in.Kind, Arr: name, Idx: idx, Pos: lf.posAt(pc)})
 		case bytecode.OpAStore:
 			val, err := pop()
 			if err != nil {
@@ -195,7 +205,7 @@ func (lf *lifter) liftBlock(b *bblock) (*lifted, error) {
 			}
 			elemK := in.Kind
 			out.stmts = append(out.stmts, &cir.Assign{
-				LHS: &cir.Index{K: elemK, Arr: name, Idx: idx},
+				LHS: &cir.Index{K: elemK, Arr: name, Idx: idx, Pos: lf.posAt(pc)},
 				RHS: val,
 			})
 		case bytecode.OpArrayLen:

@@ -1,5 +1,7 @@
 package cir
 
+import "strconv"
+
 // BinOp enumerates binary operators. The set matches what the restricted
 // JVM bytecode front-end can produce.
 type BinOp uint8
@@ -121,12 +123,35 @@ type VarRef struct {
 	Name string
 }
 
+// Pos is a kdsl source position carried from the bytecode line-number
+// table through the bytecode-to-C compiler. The zero value means
+// "synthesized" (no source position).
+type Pos struct {
+	Line, Col int
+}
+
+// Valid reports whether the position refers to real source.
+func (p Pos) Valid() bool { return p.Line > 0 }
+
+func (p Pos) String() string {
+	if !p.Valid() {
+		return "?"
+	}
+	if p.Col > 0 {
+		return strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Col)
+	}
+	return strconv.Itoa(p.Line)
+}
+
 // Index reads or designates an element of a named array (parameter buffer,
-// local static array, or constant global).
+// local static array, or constant global). Pos is the kdsl source
+// position of the access (zero when the access was synthesized by a
+// transformation).
 type Index struct {
 	K   Kind
 	Arr string
 	Idx Expr
+	Pos Pos
 }
 
 // Unary applies a unary operator.

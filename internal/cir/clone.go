@@ -79,7 +79,7 @@ func CloneExpr(e Expr) Expr {
 	case *VarRef:
 		return &VarRef{K: e.K, Name: e.Name}
 	case *Index:
-		return &Index{K: e.K, Arr: e.Arr, Idx: CloneExpr(e.Idx)}
+		return &Index{K: e.K, Arr: e.Arr, Idx: CloneExpr(e.Idx), Pos: e.Pos}
 	case *Unary:
 		return &Unary{Op: e.Op, X: CloneExpr(e.X)}
 	case *Binary:
@@ -112,7 +112,7 @@ func SubstVar(e Expr, from string, to Expr) Expr {
 		}
 		return CloneExpr(e)
 	case *Index:
-		return &Index{K: e.K, Arr: e.Arr, Idx: SubstVar(e.Idx, from, to)}
+		return &Index{K: e.K, Arr: e.Arr, Idx: SubstVar(e.Idx, from, to), Pos: e.Pos}
 	case *Unary:
 		return &Unary{Op: e.Op, X: SubstVar(e.X, from, to)}
 	case *Binary:

@@ -1,0 +1,263 @@
+package depend
+
+import "s2fa/internal/cir"
+
+// boundCap saturates interval arithmetic: any magnitude beyond it is
+// treated as unbounded, which is always sound (a lost bound can only make
+// the analysis more conservative, never less).
+const boundCap = int64(1) << 40
+
+// ival is an integer interval with optional infinities. The zero value is
+// the unbounded interval (-inf, +inf).
+type ival struct {
+	lo, hi       int64
+	hasLo, hasHi bool
+}
+
+func point(v int64) ival { return ival{lo: v, hi: v, hasLo: true, hasHi: true} }
+
+func (a ival) add(b ival) ival {
+	var out ival
+	if a.hasLo && b.hasLo {
+		out.lo, out.hasLo = satAdd(a.lo, b.lo)
+	}
+	if a.hasHi && b.hasHi {
+		out.hi, out.hasHi = satAdd(a.hi, b.hi)
+	}
+	return out
+}
+
+// scale multiplies the interval by k (negating swaps the bounds).
+func (a ival) scale(k int64) ival {
+	if k == 0 {
+		return point(0)
+	}
+	lo, hi, hasLo, hasHi := a.lo, a.hi, a.hasLo, a.hasHi
+	if k < 0 {
+		lo, hi, hasLo, hasHi = hi, lo, hasHi, hasLo
+	}
+	var out ival
+	if hasLo {
+		out.lo, out.hasLo = satMul(lo, k)
+	}
+	if hasHi {
+		out.hi, out.hasHi = satMul(hi, k)
+	}
+	return out
+}
+
+// neg returns the interval of -x for x in a.
+func (a ival) neg() ival { return a.scale(-1) }
+
+func (a ival) contains(v int64) bool {
+	if a.hasLo && v < a.lo {
+		return false
+	}
+	if a.hasHi && v > a.hi {
+		return false
+	}
+	return true
+}
+
+func (a ival) intersect(b ival) ival {
+	out := a
+	if b.hasLo && (!out.hasLo || b.lo > out.lo) {
+		out.lo, out.hasLo = b.lo, true
+	}
+	if b.hasHi && (!out.hasHi || b.hi < out.hi) {
+		out.hi, out.hasHi = b.hi, true
+	}
+	return out
+}
+
+// empty reports whether the interval contains no integers.
+func (a ival) empty() bool { return a.hasLo && a.hasHi && a.lo > a.hi }
+
+// disjoint reports whether two intervals provably share no integer.
+func disjoint(a, b ival) bool {
+	if a.empty() || b.empty() {
+		return true
+	}
+	if a.hasHi && b.hasLo && a.hi < b.lo {
+		return true
+	}
+	if b.hasHi && a.hasLo && b.hi < a.lo {
+		return true
+	}
+	return false
+}
+
+func satAdd(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) || s > boundCap || s < -boundCap {
+		return 0, false
+	}
+	return s, true
+}
+
+func satMul(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || p > boundCap || p < -boundCap {
+		return 0, false
+	}
+	return p, true
+}
+
+// ceilDiv and floorDiv implement exact integer division rounding for
+// either operand sign (q > 0 below).
+func ceilDiv(a, q int64) int64 {
+	if a >= 0 {
+		return (a + q - 1) / q
+	}
+	return -((-a) / q)
+}
+
+func floorDiv(a, q int64) int64 {
+	if a >= 0 {
+		return a / q
+	}
+	return -((-a + q - 1) / q)
+}
+
+// form is a multivariate affine decomposition of an index expression:
+//
+//	idx = sum(ind[v] * v) + sum(syms[s] * s) + cst
+//
+// where v ranges over in-scope induction variables and s over other
+// scalars. ok=false means the expression is not affine (the dependence
+// test then falls back to the conservative Sequential verdict).
+type form struct {
+	ind  map[string]int64
+	syms map[string]int64
+	cst  int64
+	ok   bool
+}
+
+// decompose builds the affine form of e. isInd classifies variable names
+// as induction variables of the enclosing nest.
+func decompose(e cir.Expr, isInd func(string) bool) form {
+	f := form{ind: map[string]int64{}, syms: map[string]int64{}, ok: true}
+	f.walk(e, 1, isInd)
+	return f
+}
+
+func (f *form) walk(e cir.Expr, k int64, isInd func(string) bool) {
+	if !f.ok {
+		return
+	}
+	switch e := e.(type) {
+	case *cir.IntLit:
+		v, ok := satMul(e.Val, k)
+		if !ok {
+			f.ok = false
+			return
+		}
+		f.cst, ok = satAdd(f.cst, v)
+		f.ok = f.ok && ok
+	case *cir.VarRef:
+		m := f.syms
+		if isInd(e.Name) {
+			m = f.ind
+		}
+		c, ok := satAdd(m[e.Name], k)
+		if !ok {
+			f.ok = false
+			return
+		}
+		m[e.Name] = c
+	case *cir.Binary:
+		switch e.Op {
+		case cir.Add:
+			f.walk(e.L, k, isInd)
+			f.walk(e.R, k, isInd)
+		case cir.Sub:
+			f.walk(e.L, k, isInd)
+			f.walk(e.R, -k, isInd)
+		case cir.Mul:
+			if lit, isLit := e.R.(*cir.IntLit); isLit {
+				kk, ok := satMul(k, lit.Val)
+				if !ok {
+					f.ok = false
+					return
+				}
+				f.walk(e.L, kk, isInd)
+			} else if lit, isLit := e.L.(*cir.IntLit); isLit {
+				kk, ok := satMul(k, lit.Val)
+				if !ok {
+					f.ok = false
+					return
+				}
+				f.walk(e.R, kk, isInd)
+			} else {
+				f.ok = false
+			}
+		case cir.Shl:
+			if lit, isLit := e.R.(*cir.IntLit); isLit && lit.Val >= 0 && lit.Val < 40 {
+				kk, ok := satMul(k, int64(1)<<uint(lit.Val))
+				if !ok {
+					f.ok = false
+					return
+				}
+				f.walk(e.L, kk, isInd)
+			} else {
+				f.ok = false
+			}
+		default:
+			f.ok = false
+		}
+	case *cir.Cast:
+		// Index casts are width adjustments of already-integer values;
+		// like the cir affine helper we assume no wraparound (verified
+		// separately by the bounds pass).
+		f.walk(e.X, k, isInd)
+	default:
+		f.ok = false
+	}
+}
+
+// constExpr evaluates an expression built purely from integer literals
+// (e.g. the `256 - 1` initializer of the S-W traceback cursor).
+func constExpr(e cir.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *cir.IntLit:
+		return e.Val, true
+	case *cir.Unary:
+		if e.Op == cir.Neg {
+			v, ok := constExpr(e.X)
+			return -v, ok
+		}
+	case *cir.Binary:
+		l, okL := constExpr(e.L)
+		r, okR := constExpr(e.R)
+		if !okL || !okR {
+			return 0, false
+		}
+		switch e.Op {
+		case cir.Add:
+			return l + r, true
+		case cir.Sub:
+			return l - r, true
+		case cir.Mul:
+			return l * r, true
+		}
+	case *cir.Cast:
+		return constExpr(e.X)
+	}
+	return 0, false
+}
+
+// loopRange returns the value interval of a counted loop's induction
+// variable ([Lo, Hi-1] for the bounds that are compile-time constants).
+func loopRange(l *cir.Loop) ival {
+	var out ival
+	if lo, ok := l.Lo.(*cir.IntLit); ok {
+		out.lo, out.hasLo = lo.Val, true
+	}
+	if hi, ok := l.Hi.(*cir.IntLit); ok {
+		out.hi, out.hasHi = hi.Val-1, true
+	}
+	return out
+}

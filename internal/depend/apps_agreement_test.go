@@ -1,0 +1,42 @@
+package depend_test
+
+import (
+	"fmt"
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/cir"
+	"s2fa/internal/depend"
+)
+
+// TestAgreesWithCirOnApps pins the exact analysis to cir's conservative
+// carried-array heuristic across every workload: on real kernels the two
+// must flag the same arrays per loop (the exact analysis proves more
+// pairs independent, but never an array cir would accept that it
+// rejects, and on these kernels it also discharges no array cir flags —
+// that equality is what keeps the lint race warnings byte-identical).
+func TestAgreesWithCirOnApps(t *testing.T) {
+	for _, name := range apps.Names() {
+		app := apps.Get(name)
+		if app == nil {
+			t.Fatalf("%s: unknown app", name)
+		}
+		k, err := app.Kernel()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		info := cir.Analyze(k)
+		a := depend.Analyze(k)
+		for _, li := range info.All {
+			v := a.Verdict(li.Loop.ID)
+			if v == nil {
+				t.Fatalf("%s %s: no verdict", name, li.Loop.ID)
+			}
+			got := fmt.Sprintf("%v", v.RaceCarried)
+			want := fmt.Sprintf("%v", li.CarriedArrays)
+			if got != want {
+				t.Errorf("%s %s: depend carried %s, cir carried %s", name, li.Loop.ID, got, want)
+			}
+		}
+	}
+}

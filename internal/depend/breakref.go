@@ -1,0 +1,182 @@
+package depend
+
+import "s2fa/internal/cir"
+
+// Break-refinement: the bytecode structurer lowers short-circuit guard
+// chains like
+//
+//	while (ti > 0 && tj > 0 && D[..] != 0 && p >= 0) { ... }
+//
+// into a while(1) body that materializes boolean flags:
+//
+//	$t1 = 0;
+//	if ($t2) { if ((p >= 0)) { $t1 = 1; } }
+//	if (!($t1)) { break; }
+//	... // remainder: $t1 != 0, hence p >= 0 held and p is unmodified
+//
+// For the remainder of the body after such a break-check, every
+// var-vs-literal comparison on the flag's set path still holds, provided
+// the compared scalar was not assigned earlier in the body (the flag is
+// re-derived every iteration, so the implication re-establishes itself).
+// This is what proves the S-W traceback cursor p stays inside its
+// [0, 255] output window and lets the task loop classify as DOALL.
+
+type flagSet struct {
+	conds    []cir.Expr
+	poisoned bool
+}
+
+// breakRefinements maps the top-level index of each recognized
+// break-check in a loop body to the scalar bounds that hold for the
+// remainder of the body.
+func breakRefinements(body cir.Block) map[int][]gbound {
+	resets := map[string]bool{}
+	sets := map[string]*flagSet{}
+	out := map[int][]gbound{}
+	assignedSoFar := map[string]bool{}
+
+	// Total assignment counts validate that a flag is touched only by
+	// its reset and its single set-site anywhere in the body.
+	totalAssigns := map[string]int{}
+	countAssigns(body, totalAssigns)
+
+	for i, s := range body {
+		if a, ok := s.(*cir.Assign); ok {
+			if vr, isV := a.LHS.(*cir.VarRef); isV {
+				if lit, isL := a.RHS.(*cir.IntLit); isL && lit.Val == 0 {
+					resets[vr.Name] = true
+					delete(sets, vr.Name)
+				}
+				assignedSoFar[vr.Name] = true
+			}
+			continue
+		}
+		ifStmt, isIf := s.(*cir.If)
+		if !isIf {
+			assignedIn(cir.Block{s}, assignedSoFar)
+			continue
+		}
+		if flag, ok := breakCheckFlag(ifStmt); ok {
+			if fs := sets[flag]; fs != nil && !fs.poisoned && resets[flag] && totalAssigns[flag] == 2 {
+				var bs []gbound
+				for _, c := range fs.conds {
+					for _, gb := range condBounds(c) {
+						if !assignedSoFar[gb.v] {
+							bs = append(bs, gb)
+						}
+					}
+				}
+				if len(bs) > 0 {
+					out[i] = bs
+				}
+			}
+			assignedIn(cir.Block{s}, assignedSoFar)
+			continue
+		}
+		// Look for single set-sites of reset flags inside this If.
+		for flag := range resets {
+			conds, n := findFlagSets(ifStmt, flag)
+			if n == 0 {
+				continue
+			}
+			if n > 1 || sets[flag] != nil {
+				sets[flag] = &flagSet{poisoned: true}
+				continue
+			}
+			sets[flag] = &flagSet{conds: conds}
+		}
+		assignedIn(cir.Block{s}, assignedSoFar)
+	}
+	return out
+}
+
+// breakCheckFlag matches `if (!(flag)) break;` and `if (flag == 0) break;`.
+func breakCheckFlag(s *cir.If) (string, bool) {
+	if len(s.Then) != 1 || len(s.Else) != 0 {
+		return "", false
+	}
+	if _, isBrk := s.Then[0].(*cir.Break); !isBrk {
+		return "", false
+	}
+	switch c := s.Cond.(type) {
+	case *cir.Unary:
+		if c.Op == cir.Not {
+			if vr, ok := c.X.(*cir.VarRef); ok {
+				return vr.Name, true
+			}
+		}
+	case *cir.Binary:
+		if c.Op == cir.Eq {
+			if vr, ok := c.L.(*cir.VarRef); ok {
+				if lit, isL := c.R.(*cir.IntLit); isL && lit.Val == 0 {
+					return vr.Name, true
+				}
+			}
+			if vr, ok := c.R.(*cir.VarRef); ok {
+				if lit, isL := c.L.(*cir.IntLit); isL && lit.Val == 0 {
+					return vr.Name, true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// findFlagSets locates assignments of a nonzero literal to flag inside a
+// statement, returning the guard conditions on the then-branch path to
+// the (single) set-site. Else-branch descents drop their condition (the
+// implication would be its negation) but keep collecting deeper ones.
+// Any other assignment to the flag poisons the pattern (count bumps past
+// one).
+func findFlagSets(s cir.Stmt, flag string) (conds []cir.Expr, count int) {
+	var walk func(st cir.Stmt, path []cir.Expr)
+	walk = func(st cir.Stmt, path []cir.Expr) {
+		switch st := st.(type) {
+		case *cir.Assign:
+			if vr, ok := st.LHS.(*cir.VarRef); ok && vr.Name == flag {
+				if lit, isL := st.RHS.(*cir.IntLit); isL && lit.Val != 0 {
+					count++
+					conds = append([]cir.Expr(nil), path...)
+				} else {
+					count += 2
+				}
+			}
+		case *cir.If:
+			sub := append(append([]cir.Expr(nil), path...), st.Cond)
+			for _, t := range st.Then {
+				walk(t, sub)
+			}
+			for _, t := range st.Else {
+				walk(t, path)
+			}
+		case *cir.Loop:
+			for _, t := range st.Body {
+				walk(t, nil) // conditions inside a nested loop do not persist
+			}
+		case *cir.While:
+			for _, t := range st.Body {
+				walk(t, nil)
+			}
+		}
+	}
+	walk(s, nil)
+	return conds, count
+}
+
+func countAssigns(b cir.Block, out map[string]int) {
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.Assign:
+			if vr, ok := s.LHS.(*cir.VarRef); ok {
+				out[vr.Name]++
+			}
+		case *cir.If:
+			countAssigns(s.Then, out)
+			countAssigns(s.Else, out)
+		case *cir.Loop:
+			countAssigns(s.Body, out)
+		case *cir.While:
+			countAssigns(s.Body, out)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package depend
+
+import "s2fa/internal/cir"
+
+// ReductionForm recognizes the canonical additive reduction body: the
+// loop contains exactly one assignment acc = acc + e (either operand
+// order) where acc is not otherwise read or written in the body. It
+// returns the accumulator name and the added expression. This is the
+// shared legality predicate behind merlin's tree-reduction transform, the
+// lint race detector, and the dependence verdicts (internal/lint
+// delegates here).
+func ReductionForm(l *cir.Loop) (acc string, addend cir.Expr, ok bool) {
+	var candidate string
+	var cExpr cir.Expr
+	matches := 0
+	for _, s := range l.Body {
+		a, isAssign := s.(*cir.Assign)
+		if !isAssign {
+			continue
+		}
+		lhs, isVar := a.LHS.(*cir.VarRef)
+		if !isVar {
+			continue
+		}
+		bin, isBin := a.RHS.(*cir.Binary)
+		if !isBin || bin.Op != cir.Add {
+			continue
+		}
+		if vr, isV := bin.L.(*cir.VarRef); isV && vr.Name == lhs.Name {
+			candidate, cExpr = lhs.Name, bin.R
+			matches++
+		} else if vr, isV := bin.R.(*cir.VarRef); isV && vr.Name == lhs.Name {
+			candidate, cExpr = lhs.Name, bin.L
+			matches++
+		}
+	}
+	if matches != 1 {
+		return "", nil, false
+	}
+	// The accumulator must appear exactly twice in the body: the LHS and
+	// RHS of the recurrence statement, nowhere else.
+	uses := 0
+	for _, s := range l.Body {
+		uses += StmtMentions(s, candidate)
+	}
+	if uses != 2 {
+		return "", nil, false
+	}
+	return candidate, cExpr, true
+}
+
+// StmtMentions counts occurrences of the named scalar in a statement
+// (reads and writes alike).
+func StmtMentions(s cir.Stmt, name string) int {
+	n := 0
+	var we func(e cir.Expr)
+	we = func(e cir.Expr) {
+		switch e := e.(type) {
+		case *cir.VarRef:
+			if e.Name == name {
+				n++
+			}
+		case *cir.Index:
+			we(e.Idx)
+		case *cir.Unary:
+			we(e.X)
+		case *cir.Binary:
+			we(e.L)
+			we(e.R)
+		case *cir.Cast:
+			we(e.X)
+		case *cir.Cond:
+			we(e.C)
+			we(e.T)
+			we(e.F)
+		case *cir.Call:
+			for _, a := range e.Args {
+				we(a)
+			}
+		}
+	}
+	var ws func(s cir.Stmt)
+	ws = func(s cir.Stmt) {
+		switch s := s.(type) {
+		case *cir.Decl:
+			we(s.Init)
+		case *cir.Assign:
+			we(s.LHS)
+			we(s.RHS)
+		case *cir.If:
+			we(s.Cond)
+			for _, t := range s.Then {
+				ws(t)
+			}
+			for _, t := range s.Else {
+				ws(t)
+			}
+		case *cir.Loop:
+			we(s.Lo)
+			we(s.Hi)
+			for _, t := range s.Body {
+				ws(t)
+			}
+		case *cir.While:
+			we(s.Cond)
+			for _, t := range s.Body {
+				ws(t)
+			}
+		case *cir.Return:
+			we(s.Val)
+		}
+	}
+	ws(s)
+	return n
+}

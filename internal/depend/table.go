@@ -1,0 +1,89 @@
+package depend
+
+import (
+	"fmt"
+	"strings"
+
+	"s2fa/internal/cir"
+)
+
+// Table renders the per-loop verdicts as a deterministic text table,
+// published as a CI artifact next to the DSE trace.
+func (a *Analysis) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s: loop dependence verdicts\n", a.Kernel.Name)
+	for _, id := range a.Order {
+		v := a.Verdicts[id]
+		trip := "?"
+		if v.Trip > 0 {
+			trip = fmt.Sprintf("%d", v.Trip)
+		}
+		fmt.Fprintf(&b, "  %-4s var=%-8s trip=%-6s %s\n", id, v.Var, trip, v.Describe())
+		if v.Pair != nil {
+			fmt.Fprintf(&b, "       witness: %s\n", v.Pair)
+		}
+		if eff := a.EffectiveRace(id); len(eff) < len(v.RaceCarried) {
+			exempt := diffStrings(v.RaceCarried, eff)
+			fmt.Fprintf(&b, "       reduce-output exemption: %s (per-PE partials, tree-combined)\n",
+				strings.Join(exempt, ", "))
+		}
+	}
+	return b.String()
+}
+
+// ExplainFactor produces human diagnostics for the requested directives
+// on one loop, naming the exact dependent access pair that blocks or
+// bounds each factor. Returns nil when nothing is noteworthy.
+func (a *Analysis) ExplainFactor(id string, opt cir.LoopOpt) []string {
+	v := a.Verdicts[id]
+	if v == nil {
+		return nil
+	}
+	var out []string
+	if opt.Parallel > 1 {
+		if eff := a.EffectiveRace(id); len(eff) > 0 {
+			msg := fmt.Sprintf("parallel %d on %s: lanes contend on %s",
+				opt.Parallel, id, strings.Join(eff, ", "))
+			if v.Pair != nil {
+				msg += fmt.Sprintf(" — %s", v.Pair)
+			}
+			msg += "; lanes serialize, no speedup unless wavefront"
+			out = append(out, msg)
+		} else if len(v.ScalarSeq) > 0 {
+			out = append(out, fmt.Sprintf(
+				"parallel %d on %s: scalar recurrence on %s is not in reduction form; lanes serialize",
+				opt.Parallel, id, strings.Join(v.ScalarSeq, ", ")))
+		}
+	}
+	if opt.Pipeline == cir.PipeOn {
+		switch v.Kind {
+		case Sequential:
+			msg := fmt.Sprintf("pipeline on %s: dependence structure unprovable (%s); scheduled serially", id, v.Witness)
+			if v.Pair != nil {
+				msg += fmt.Sprintf(" — %s", v.Pair)
+			}
+			out = append(out, msg)
+		case Pipeline:
+			if v.Pair != nil {
+				out = append(out, fmt.Sprintf(
+					"pipeline on %s: II is bounded by the recurrence %s", id, v.Pair))
+			} else if len(v.ScalarSeq) > 0 {
+				out = append(out, fmt.Sprintf(
+					"pipeline on %s: II is bounded by the scalar recurrence on %s (distance 1)",
+					id, strings.Join(v.ScalarSeq, ", ")))
+			}
+		}
+	}
+	return out
+}
+
+// diffStrings returns members of a not present in b (both sorted-small).
+func diffStrings(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		if !containsStr(b, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,438 @@
+package depend
+
+import "s2fa/internal/cir"
+
+// loopNode is one loop of the nest with the facts the pair tests need.
+type loopNode struct {
+	loop      *cir.Loop
+	vrange    ival            // value range of the induction variable
+	localArrs map[string]bool // arrays declared anywhere in the subtree
+	assigned  map[string]bool // scalars (and loop vars) assigned in the subtree
+	accs      []*access       // subtree array accesses in program order
+}
+
+// access is one recorded array read or write.
+type access struct {
+	arr    string
+	write  bool
+	idx    cir.Expr
+	pos    cir.Pos
+	chain  []*loopNode     // enclosing loops, outermost first
+	bounds map[string]ival // guard-derived scalar bounds valid at this access
+}
+
+// gbound is one scalar constraint extracted from a guard condition.
+type gbound struct {
+	v      string
+	lo, hi int64
+	hasLo  bool
+	hasHi  bool
+}
+
+// gframe is an active guard region (if-then or while body). killed marks
+// scalars reassigned since the guard was evaluated, whose constraints no
+// longer hold.
+type gframe struct {
+	bounds []gbound
+	killed map[string]bool
+}
+
+// scalarFact summarizes every assignment to one scalar across the kernel.
+type scalarFact struct {
+	consts []int64 // literal values ever assigned (incl. implicit zero-init)
+	inc    bool    // has v = v + positive-literal updates
+	dec    bool    // has v = v - positive-literal updates
+	other  bool    // has assignments the range analysis cannot model
+}
+
+type walker struct {
+	stack    []*loopNode
+	frames   []*gframe
+	facts    map[string]*scalarFact
+	nodes    map[string]*loopNode
+	loopVars map[string]bool
+}
+
+func newWalker() *walker {
+	return &walker{
+		facts:    map[string]*scalarFact{},
+		nodes:    map[string]*loopNode{},
+		loopVars: map[string]bool{},
+	}
+}
+
+// collectFacts is the first pass: flow-insensitive scalar value facts.
+func (w *walker) collectFacts(b cir.Block) {
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.Decl:
+			f := w.factFor(s.Name)
+			if s.Init == nil {
+				f.consts = append(f.consts, 0)
+			} else if v, ok := constExpr(s.Init); ok {
+				f.consts = append(f.consts, v)
+			} else {
+				f.other = true
+			}
+		case *cir.Assign:
+			vr, ok := s.LHS.(*cir.VarRef)
+			if !ok {
+				continue
+			}
+			f := w.factFor(vr.Name)
+			if v, isC := constExpr(s.RHS); isC {
+				f.consts = append(f.consts, v)
+				continue
+			}
+			if delta, isUpd := selfUpdate(vr.Name, s.RHS); isUpd {
+				if delta > 0 {
+					f.inc = true
+				} else if delta < 0 {
+					f.dec = true
+				}
+				continue
+			}
+			f.other = true
+		case *cir.If:
+			w.collectFacts(s.Then)
+			w.collectFacts(s.Else)
+		case *cir.Loop:
+			w.loopVars[s.Var] = true
+			w.collectFacts(s.Body)
+		case *cir.While:
+			w.collectFacts(s.Body)
+		}
+	}
+}
+
+func (w *walker) factFor(name string) *scalarFact {
+	f := w.facts[name]
+	if f == nil {
+		f = &scalarFact{}
+		w.facts[name] = f
+	}
+	return f
+}
+
+// selfUpdate matches v = v + c, v = c + v, v = v - c for a literal c and
+// returns the signed delta.
+func selfUpdate(name string, rhs cir.Expr) (int64, bool) {
+	bin, ok := rhs.(*cir.Binary)
+	if !ok {
+		return 0, false
+	}
+	isSelf := func(e cir.Expr) bool {
+		vr, isV := e.(*cir.VarRef)
+		return isV && vr.Name == name
+	}
+	switch bin.Op {
+	case cir.Add:
+		if isSelf(bin.L) {
+			if c, isC := constExpr(bin.R); isC {
+				return c, true
+			}
+		}
+		if isSelf(bin.R) {
+			if c, isC := constExpr(bin.L); isC {
+				return c, true
+			}
+		}
+	case cir.Sub:
+		if isSelf(bin.L) {
+			if c, isC := constExpr(bin.R); isC {
+				return -c, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// globalRange bounds every value the scalar can ever hold, from the
+// flow-insensitive facts. Loop induction variables are excluded (their
+// values come from loop bounds, not assignments).
+func (w *walker) globalRange(name string) ival {
+	if w.loopVars[name] {
+		return ival{}
+	}
+	f := w.facts[name]
+	if f == nil || f.other || len(f.consts) == 0 {
+		return ival{}
+	}
+	lo, hi := f.consts[0], f.consts[0]
+	for _, c := range f.consts[1:] {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	r := ival{lo: lo, hi: hi, hasLo: true, hasHi: true}
+	if f.inc {
+		r.hasHi = false
+	}
+	if f.dec {
+		r.hasLo = false
+	}
+	return r
+}
+
+// boundsAt intersects the scalar's global range with the guard bounds
+// that were valid at the access.
+func (w *walker) boundsAt(a *access, name string) ival {
+	r := w.globalRange(name)
+	if g, ok := a.bounds[name]; ok {
+		r = r.intersect(g)
+	}
+	return r
+}
+
+// Second pass: record accesses with their loop chains and guard bounds.
+
+func (w *walker) walkBlock(b cir.Block) {
+	for _, s := range b {
+		w.walkStmt(s)
+	}
+}
+
+func (w *walker) walkStmt(s cir.Stmt) {
+	switch s := s.(type) {
+	case *cir.Decl:
+		w.walkExpr(s.Init)
+		w.kill(s.Name)
+	case *cir.ArrDecl:
+		for _, n := range w.stack {
+			n.localArrs[s.Name] = true
+		}
+	case *cir.Assign:
+		w.walkExpr(s.RHS)
+		switch lhs := s.LHS.(type) {
+		case *cir.Index:
+			w.walkExpr(lhs.Idx)
+			w.record(lhs.Arr, lhs.Idx, lhs.Pos, true)
+		case *cir.VarRef:
+			w.kill(lhs.Name)
+		}
+	case *cir.If:
+		w.walkExpr(s.Cond)
+		w.pushFrame(s.Cond)
+		w.walkBlock(s.Then)
+		w.popFrame()
+		// The else branch gets no constraints (we do not negate), but
+		// its kills still propagate to outer frames.
+		w.walkBlock(s.Else)
+	case *cir.Loop:
+		w.walkExpr(s.Lo)
+		w.walkExpr(s.Hi)
+		asg := map[string]bool{}
+		assignedIn(s.Body, asg)
+		asg[s.Var] = true
+		w.killAll(asg)
+		n := &loopNode{
+			loop:      s,
+			vrange:    loopRange(s),
+			localArrs: map[string]bool{},
+			assigned:  asg,
+		}
+		w.nodes[s.ID] = n
+		w.stack = append(w.stack, n)
+		w.walkBlock(s.Body)
+		w.stack = w.stack[:len(w.stack)-1]
+	case *cir.While:
+		w.walkExpr(s.Cond)
+		asg := map[string]bool{}
+		assignedIn(s.Body, asg)
+		// Assignments anywhere in the body invalidate outer-frame
+		// constraints for every iteration after the first; the while's
+		// own condition is re-established at the top of each iteration.
+		w.killAll(asg)
+		w.pushFrame(s.Cond)
+		// Break-refinement: after `if (!(flag)) break;` checks of the
+		// structurer's lowered short-circuit chains, the flag's guard
+		// bounds hold for the remainder of each iteration.
+		refs := breakRefinements(s.Body)
+		pushed := 1
+		for i, st := range s.Body {
+			w.walkStmt(st)
+			if bs := refs[i]; len(bs) > 0 {
+				w.frames = append(w.frames, &gframe{bounds: bs, killed: map[string]bool{}})
+				pushed++
+			}
+		}
+		for ; pushed > 0; pushed-- {
+			w.popFrame()
+		}
+	case *cir.Return:
+		w.walkExpr(s.Val)
+	}
+}
+
+func (w *walker) walkExpr(e cir.Expr) {
+	switch e := e.(type) {
+	case nil, *cir.IntLit, *cir.FloatLit, *cir.VarRef:
+	case *cir.Index:
+		w.walkExpr(e.Idx)
+		w.record(e.Arr, e.Idx, e.Pos, false)
+	case *cir.Unary:
+		w.walkExpr(e.X)
+	case *cir.Binary:
+		w.walkExpr(e.L)
+		w.walkExpr(e.R)
+	case *cir.Cast:
+		w.walkExpr(e.X)
+	case *cir.Cond:
+		w.walkExpr(e.C)
+		w.walkExpr(e.T)
+		w.walkExpr(e.F)
+	case *cir.Call:
+		for _, a := range e.Args {
+			w.walkExpr(a)
+		}
+	}
+}
+
+func (w *walker) record(arr string, idx cir.Expr, pos cir.Pos, write bool) {
+	if len(w.stack) == 0 {
+		return
+	}
+	a := &access{
+		arr:    arr,
+		write:  write,
+		idx:    idx,
+		pos:    pos,
+		chain:  append([]*loopNode(nil), w.stack...),
+		bounds: w.activeBounds(),
+	}
+	for _, n := range w.stack {
+		n.accs = append(n.accs, a)
+	}
+}
+
+func (w *walker) activeBounds() map[string]ival {
+	var out map[string]ival
+	for _, fr := range w.frames {
+		for _, gb := range fr.bounds {
+			if fr.killed[gb.v] {
+				continue
+			}
+			if out == nil {
+				out = map[string]ival{}
+			}
+			cur, ok := out[gb.v]
+			if !ok {
+				cur = ival{}
+			}
+			out[gb.v] = cur.intersect(ival{lo: gb.lo, hi: gb.hi, hasLo: gb.hasLo, hasHi: gb.hasHi})
+		}
+	}
+	return out
+}
+
+func (w *walker) pushFrame(cond cir.Expr) {
+	w.frames = append(w.frames, &gframe{
+		bounds: condBounds(cond),
+		killed: map[string]bool{},
+	})
+}
+
+func (w *walker) popFrame() { w.frames = w.frames[:len(w.frames)-1] }
+
+func (w *walker) kill(name string) {
+	for _, fr := range w.frames {
+		fr.killed[name] = true
+	}
+}
+
+func (w *walker) killAll(names map[string]bool) {
+	for _, fr := range w.frames {
+		for name := range names {
+			fr.killed[name] = true
+		}
+	}
+}
+
+// assignedIn collects every scalar assigned or declared in a block,
+// including nested loop induction variables.
+func assignedIn(b cir.Block, out map[string]bool) {
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.Decl:
+			out[s.Name] = true
+		case *cir.Assign:
+			if vr, ok := s.LHS.(*cir.VarRef); ok {
+				out[vr.Name] = true
+			}
+		case *cir.If:
+			assignedIn(s.Then, out)
+			assignedIn(s.Else, out)
+		case *cir.Loop:
+			out[s.Var] = true
+			assignedIn(s.Body, out)
+		case *cir.While:
+			assignedIn(s.Body, out)
+		}
+	}
+}
+
+// condBounds extracts scalar interval constraints from the conjuncts of a
+// guard condition (var-vs-literal comparisons joined by logical or
+// boolean AND).
+func condBounds(cond cir.Expr) []gbound {
+	var out []gbound
+	var walk func(e cir.Expr)
+	walk = func(e cir.Expr) {
+		bin, ok := e.(*cir.Binary)
+		if !ok {
+			return
+		}
+		if bin.Op == cir.LAnd || (bin.Op == cir.And && bin.K == cir.Bool) {
+			walk(bin.L)
+			walk(bin.R)
+			return
+		}
+		if b, ok := compareBound(bin); ok {
+			out = append(out, b)
+		}
+	}
+	walk(cond)
+	return out
+}
+
+// compareBound turns a single comparison into a bound when one side is a
+// scalar and the other a literal constant.
+func compareBound(bin *cir.Binary) (gbound, bool) {
+	vr, isVL := bin.L.(*cir.VarRef)
+	cR, isCR := constExpr(bin.R)
+	if isVL && isCR {
+		switch bin.Op {
+		case cir.Ge:
+			return gbound{v: vr.Name, lo: cR, hasLo: true}, true
+		case cir.Gt:
+			return gbound{v: vr.Name, lo: cR + 1, hasLo: true}, true
+		case cir.Le:
+			return gbound{v: vr.Name, hi: cR, hasHi: true}, true
+		case cir.Lt:
+			return gbound{v: vr.Name, hi: cR - 1, hasHi: true}, true
+		case cir.Eq:
+			return gbound{v: vr.Name, lo: cR, hi: cR, hasLo: true, hasHi: true}, true
+		}
+		return gbound{}, false
+	}
+	vrR, isVR := bin.R.(*cir.VarRef)
+	cL, isCL := constExpr(bin.L)
+	if isVR && isCL {
+		switch bin.Op {
+		case cir.Ge: // c >= v
+			return gbound{v: vrR.Name, hi: cL, hasHi: true}, true
+		case cir.Gt: // c > v
+			return gbound{v: vrR.Name, hi: cL - 1, hasHi: true}, true
+		case cir.Le: // c <= v
+			return gbound{v: vrR.Name, lo: cL, hasLo: true}, true
+		case cir.Lt: // c < v
+			return gbound{v: vrR.Name, lo: cL + 1, hasLo: true}, true
+		case cir.Eq:
+			return gbound{v: vrR.Name, lo: cL, hi: cL, hasLo: true, hasHi: true}, true
+		}
+	}
+	return gbound{}, false
+}

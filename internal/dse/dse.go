@@ -62,6 +62,12 @@ type Outcome struct {
 	// removed before the search started (e.g. flatten on a loop with a
 	// variable-trip sub-loop).
 	PrunedDomainValues int
+	// DependPruned counts evaluations served from a dependence-equivalent
+	// design's HLS report instead of a fresh estimation
+	// (Config.DependPrune): parallel lanes on an unpipelined loop that
+	// provably serializes are a hardware no-op, so the point shares its
+	// parallel=1 sibling's report.
+	DependPruned int
 	// RangeCollapsed counts evaluations served from a width-equivalent
 	// design's HLS report instead of a fresh estimation
 	// (Config.RestrictRanges); the value-range facts prove the model
@@ -142,6 +148,15 @@ type Config struct {
 	// rejected points never reach the HLS estimator (AutoDSE-style static
 	// pruning; outcome counters record both effects).
 	StaticPrune bool
+	// DependPrune guards the evaluator with the exact loop-dependence
+	// verdicts: parallel factors that contradict a proven serialization
+	// (unpipelined lanes contending on carried arrays) are hardware
+	// no-ops — the HLS model binds the serial lanes to one datapath
+	// instance — so such points collapse onto their parallel=1 sibling's
+	// report instead of reaching Merlin + estimation. Like StaticPrune
+	// and RestrictRanges, the search trajectory and best design are
+	// preserved exactly.
+	DependPrune bool
 	// RestrictRanges uses the abstract interpreter's proven value ranges
 	// to collapse interface bit-widths the HLS model cannot distinguish:
 	// equivalent points share one estimation, and the dominated domain
@@ -190,6 +205,7 @@ func S2FAConfig(seed int64) Config {
 		Seed:             seed,
 		MaxEvaluations:   200_000,
 		StaticPrune:      true,
+		DependPrune:      true,
 		RestrictRanges:   true,
 	}
 }
@@ -270,6 +286,13 @@ func wrapEvaluator(k *cir.Kernel, sp *space.Space, eval tuner.Evaluator, cfg Con
 		}
 		_, out.RangeRestrictedValues = space.RestrictFromRanges(sp, dev)
 		eval = rangeCollapseEvaluator(k, sp, dev, eval, &out.RangeCollapsed, cfg.Trace)
+	}
+	if cfg.DependPrune {
+		// Collapse points whose parallel factors contradict a proven loop
+		// serialization onto their parallel=1 siblings before they reach
+		// Merlin + the estimator. Layered inside StaticPrune: a point must
+		// first be legal before its dependence profile is worth consulting.
+		eval = dependPruneEvaluator(k, sp, eval, &out.DependPruned, cfg.Trace)
 	}
 	if cfg.StaticPrune {
 		// Guard the evaluator with the lint legality pass: statically
@@ -585,6 +608,9 @@ func (o *Outcome) Summary() string {
 	if o.PrunedDomainValues > 0 || o.StaticallyPruned > 0 {
 		s += fmt.Sprintf(" statically-pruned=%d(+%d domain values)",
 			o.StaticallyPruned, o.PrunedDomainValues)
+	}
+	if o.DependPruned > 0 {
+		s += fmt.Sprintf(" depend-pruned=%d", o.DependPruned)
 	}
 	if o.RangeCollapsed > 0 || o.RangeRestrictedValues > 0 {
 		s += fmt.Sprintf(" range-collapsed=%d(+%d dominated widths)",

@@ -219,9 +219,10 @@ func newEvalPool(workers int, pure tuner.Evaluator) *evalPool {
 		workers = 1
 	}
 	p := &evalPool{
-		pure:    pure,
-		cache:   hls.NewCache[tuner.Result](hls.DefaultCacheShards),
-		busyNS:  make([]int64, workers),
+		pure:   pure,
+		cache:  hls.NewCache[tuner.Result](hls.DefaultCacheShards),
+		busyNS: make([]int64, workers),
+		//determinism:allow telemetry-only: pool wall time never reaches results (replay is deterministic)
 		started: time.Now(),
 	}
 	p.cond = sync.NewCond(&p.mu)
@@ -240,6 +241,7 @@ func (p *evalPool) prefetch(pt space.Point) {
 		p.mu.Unlock()
 		return
 	}
+	//determinism:allow telemetry-only: queue-wait timing never reaches results
 	p.queue = append(p.queue, poolJob{pt: pt, enq: time.Now()})
 	p.mu.Unlock()
 	p.cond.Signal()
@@ -261,7 +263,7 @@ func (p *evalPool) worker(i int) {
 		p.queue = p.queue[1:]
 		p.mu.Unlock()
 		p.queueWait.Add(time.Since(j.enq).Nanoseconds())
-		t0 := time.Now()
+		t0 := time.Now() //determinism:allow telemetry-only: worker busy time never reaches results
 		// GetOrCompute dedups against other pool workers and against the
 		// merge goroutine computing the same key inline.
 		p.cache.GetOrCompute(j.pt.Key(), func() tuner.Result { return p.pure(j.pt) })
@@ -304,7 +306,7 @@ func (p *evalPool) replayEvaluator(tr *obs.Trace) tuner.Evaluator {
 				obs.Str("point", key), obs.Str("cache", "fresh"))
 			tr.Count("hls.estimations", 1)
 		}
-		t0 := time.Now()
+		t0 := time.Now() //determinism:allow telemetry-only: merge-stall timing never reaches results
 		r, _ := p.cache.GetOrCompute(key, func() tuner.Result { return p.pure(pt) })
 		p.mergeStallNS += time.Since(t0).Nanoseconds()
 		if r.Meta == nil && !r.Feasible {

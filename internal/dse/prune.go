@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"s2fa/internal/cir"
+	"s2fa/internal/depend"
 	"s2fa/internal/lint"
 	"s2fa/internal/obs"
 	"s2fa/internal/space"
@@ -47,5 +48,80 @@ func staticPruneEvaluator(k *cir.Kernel, sp *space.Space, inner tuner.Evaluator,
 			}
 		}
 		return inner(pt)
+	}
+}
+
+// dependPruneEvaluator wraps an evaluator with dependence-verdict
+// collapsing (internal/depend): parallel lanes on an unpipelined loop
+// whose iterations provably contend on carried arrays are a hardware
+// no-op — the scheduler serializes the chain and the binder maps it onto
+// a single datapath instance (hls model.inertLanes), so the HLS report
+// is identical to the parallel=1 sibling's. Each such point maps to the
+// canonical sibling's key: the first evaluation synthesizes, every later
+// equivalent point is served its bit-identical report without touching
+// Merlin + the estimator. Because the served result is exactly what the
+// inner evaluator would have produced, the search trajectory is
+// preserved by construction. Pipelined loops never collapse: carried
+// lanes there execute as a wavefront (Smith-Waterman's profitable
+// design), which the verdicts explicitly permit and the distance-scaled
+// II model rewards. counter tallies first-time points served from a
+// sibling's report.
+func dependPruneEvaluator(k *cir.Kernel, sp *space.Space, inner tuner.Evaluator, counter *int, tr *obs.Trace) tuner.Evaluator {
+	dep := depend.Analyze(k)
+	var serializing []string
+	for _, id := range dep.Order {
+		if dep.Serializing(id) {
+			serializing = append(serializing, id)
+		}
+	}
+	// The mutex covers cache/seen/counter; the verdicts are read-only
+	// after construction.
+	var mu sync.Mutex
+	cache := map[string]tuner.Result{}
+	seen := map[string]bool{}
+	canonicalKey := func(pt space.Point) string {
+		var canon space.Point
+		for _, id := range serializing {
+			if pt[id+".pipeline"] == space.PipeOffVal && pt[id+".parallel"] > 1 {
+				if canon == nil {
+					canon = pt.Clone()
+				}
+				canon[id+".parallel"] = 1
+			}
+		}
+		if canon == nil {
+			return pt.Key()
+		}
+		return canon.Key()
+	}
+	return func(pt space.Point) tuner.Result {
+		key := canonicalKey(pt)
+		ptKey := pt.Key()
+		mu.Lock()
+		if r, ok := cache[key]; ok {
+			r.Point = pt
+			if seen[ptKey] {
+				// Exact repeat: a memoized HLS report costs no synthesis
+				// re-run, mirroring the inner evaluator's cache.
+				r.Minutes = 0
+			} else {
+				seen[ptKey] = true
+				*counter++
+				if tr != nil {
+					tr.Event("dse", "depend-collapse",
+						obs.Str("point", ptKey), obs.Str("canonical", key))
+					tr.Count("dse.depend_pruned", 1)
+				}
+			}
+			mu.Unlock()
+			return r
+		}
+		seen[ptKey] = true
+		mu.Unlock()
+		r := inner(pt)
+		mu.Lock()
+		cache[key] = r
+		mu.Unlock()
+		return r
 	}
 }

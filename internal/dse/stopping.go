@@ -66,6 +66,7 @@ func (e *EntropyStopper) Observe(r tuner.Result, newBest bool) bool {
 		// factor before H(D_i) is meaningful.
 		e.attempts = map[string]float64{}
 		e.uphill = map[string]float64{}
+		//determinism:allow order-independent: zero-inits one entry per key
 		for name := range r.Point {
 			e.attempts[name] = 0
 		}
@@ -82,6 +83,7 @@ func (e *EntropyStopper) Observe(r tuner.Result, newBest bool) bool {
 		// An "uphill" result must improve meaningfully (>1%): endless
 		// sub-percent factor tweaks should not keep the criterion alive.
 		improved := r.Feasible && (math.IsInf(e.prevObj, 1) || r.Objective < e.prevObj*0.99)
+		//determinism:allow order-independent: commutative counter increments on distinct keys
 		for name, v := range r.Point {
 			if e.prevPt[name] != v {
 				e.attempts[name]++
@@ -128,6 +130,7 @@ func (e *EntropyStopper) Observe(r tuner.Result, newBest bool) bool {
 func (e *EntropyStopper) entropy() float64 {
 	const eps = 0.05
 	names := make([]string, 0, len(e.attempts))
+	//determinism:allow collect-then-sort: keys are ordered before any float math
 	for name := range e.attempts {
 		names = append(names, name)
 	}

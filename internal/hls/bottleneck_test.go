@@ -1,0 +1,98 @@
+package hls
+
+import (
+	"testing"
+
+	"s2fa/internal/cir"
+	"s2fa/internal/fpga"
+)
+
+// distKernel builds a two-level nest whose inner loop carries a
+// recurrence A[i] = A[i-stride] + B[i]: the proven dependence distance is
+// the stride.
+func distKernel(stride int64) *cir.Kernel {
+	iv := func(n string) *cir.VarRef { return &cir.VarRef{K: cir.Int, Name: n} }
+	lit := func(v int64) *cir.IntLit { return &cir.IntLit{K: cir.Int, Val: v} }
+	inner := &cir.Loop{
+		ID: "L1", Var: "i", Lo: lit(stride), Hi: lit(256), Step: 1,
+		Body: cir.Block{&cir.Assign{
+			LHS: &cir.Index{K: cir.Int, Arr: "A", Idx: iv("i")},
+			RHS: &cir.Binary{K: cir.Int, Op: cir.Add,
+				L: &cir.Index{K: cir.Int, Arr: "A",
+					Idx: &cir.Binary{K: cir.Int, Op: cir.Sub, L: iv("i"), R: lit(stride)}},
+				R: &cir.Index{K: cir.Int, Arr: "B", Idx: iv("i")}},
+		}},
+	}
+	return &cir.Kernel{
+		Name:       "DIST_kernel",
+		TaskLoopID: "L0",
+		Params: []cir.Param{
+			{Name: "A", Elem: cir.Int, IsArray: true, Length: 256, IsOutput: true},
+			{Name: "B", Elem: cir.Int, IsArray: true, Length: 256},
+		},
+		Body: cir.Block{&cir.Loop{
+			ID: "L0", Var: "_task", Lo: lit(0), Hi: iv("N"), Step: 1,
+			Body: cir.Block{inner},
+		}},
+	}
+}
+
+// TestBottleneckTags pins the structured bottleneck classification on
+// representative shapes.
+func TestBottleneckTags(t *testing.T) {
+	dev := fpga.VU9P()
+
+	t.Run("carried pipeline tags ii-recurrence", func(t *testing.T) {
+		k := kernelOf(t, "S-W")
+		rep := Estimate(annotate(t, k, map[string]cir.LoopOpt{
+			"L1": {Pipeline: cir.PipeOn},
+			"L2": {Pipeline: cir.PipeOn},
+		}, nil), dev, 1024, Options{})
+		if !rep.Feasible {
+			t.Fatalf("infeasible: %s", rep.Reason)
+		}
+		if rep.Bottleneck != "ii-recurrence" {
+			t.Errorf("S-W pipelined cell: bottleneck = %q, want ii-recurrence", rep.Bottleneck)
+		}
+	})
+
+	t.Run("infeasible points carry structural tags", func(t *testing.T) {
+		k := kernelOf(t, "S-W")
+		rep := Estimate(annotate(t, k, map[string]cir.LoopOpt{
+			"L0": {Parallel: 256, Pipeline: cir.PipeOn},
+			"L1": {Parallel: 64, Pipeline: cir.PipeOn},
+			"L2": {Parallel: 64, Pipeline: cir.PipeOn},
+		}, nil), dev, 1024, Options{})
+		if rep.Feasible {
+			t.Fatalf("extreme parallelism accepted")
+		}
+		if rep.Bottleneck != "resource-overflow" && rep.Bottleneck != "routing-congestion" {
+			t.Errorf("infeasible bottleneck = %q", rep.Bottleneck)
+		}
+	})
+
+	t.Run("every feasible report is tagged", func(t *testing.T) {
+		k := kernelOf(t, "AES")
+		rep := Estimate(k, dev, 1024, Options{})
+		if rep.Bottleneck == "" {
+			t.Errorf("untagged report: %v", rep)
+		}
+	})
+}
+
+// TestProvenDistanceRelaxesII: a stride-2 recurrence leaves two
+// independent chains interleaving through the feedback path, so the
+// pipelined loop must run strictly faster than its stride-1 counterpart
+// (same body, same trip window).
+func TestProvenDistanceRelaxesII(t *testing.T) {
+	dev := fpga.VU9P()
+	opts := map[string]cir.LoopOpt{"L1": {Pipeline: cir.PipeOn}}
+	d1 := Estimate(annotate(t, distKernel(1), opts, nil), dev, 64, Options{})
+	d2 := Estimate(annotate(t, distKernel(2), opts, nil), dev, 64, Options{})
+	if !d1.Feasible || !d2.Feasible {
+		t.Fatalf("feasibility: d1=%v d2=%v", d1, d2)
+	}
+	if d2.Cycles >= d1.Cycles {
+		t.Errorf("distance 2 did not relax the II floor: %d -> %d cycles", d1.Cycles, d2.Cycles)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"s2fa/internal/cir"
+	"s2fa/internal/depend"
 	"s2fa/internal/fpga"
 )
 
@@ -23,6 +24,14 @@ type Report struct {
 	// Reason explains infeasibility (resource overflow, routing
 	// congestion, non-constant flatten bounds).
 	Reason string
+	// Bottleneck is a structured tag naming what bound the estimate:
+	// "ii-recurrence" (a carried dependence or scalar recurrence set the
+	// initiation interval), "transcendental" (unsplit long datapath),
+	// "memory-bound" (aggregate DDR bandwidth), "port-contention" (a
+	// single narrow interface port), "compute" (datapath-limited), or —
+	// for infeasible points — "resource-overflow", "routing-congestion",
+	// "flatten-structure".
+	Bottleneck string
 
 	Cycles int64 // total kernel cycles for the evaluated batch
 	TaskII float64
@@ -80,13 +89,14 @@ func (r Report) String() string {
 // kernel over a batch of n tasks on the given device.
 func Estimate(k *cir.Kernel, dev *fpga.Device, n int64, opt Options) Report {
 	info := cir.Analyze(k)
-	m := &model{kernel: k, info: info, dev: dev, n: n, opt: opt}
+	m := &model{kernel: k, info: info, dep: depend.Analyze(k), dev: dev, n: n, opt: opt}
 	return m.run()
 }
 
 type model struct {
 	kernel *cir.Kernel
 	info   *cir.KernelInfo
+	dep    *depend.Analysis
 	dev    *fpga.Device
 	n      int64
 	opt    Options
@@ -94,6 +104,23 @@ type model struct {
 	infeasible     string
 	maxRep         int
 	hasCarriedPipe bool
+	// iiTag names the floor that last raised a stage's initiation
+	// interval ("ii-recurrence", "transcendental", "memory-bound",
+	// "port-contention"); the outermost loop is scheduled last, so its
+	// binding floor wins.
+	iiTag string
+	// portLimited records whether the task-loop memory II came from a
+	// single interface port rather than the aggregate DDR channel.
+	portLimited bool
+}
+
+// raise lifts *ii to v when v is the new binding floor and records which
+// model term did it.
+func (m *model) raise(ii *float64, v float64, tag string) {
+	if v > *ii {
+		*ii = v
+		m.iiTag = tag
+	}
 }
 
 func (m *model) run() Report {
@@ -115,6 +142,7 @@ func (m *model) run() Report {
 	memFloor := float64(m.n) * float64(rep.BytesPerTask) / float64(m.dev.DDRBytesPerCycle)
 	if cycles < memFloor {
 		cycles = memFloor
+		m.iiTag = "memory-bound"
 	}
 	// Without manual stage splitting, HLS schedules the transcendental
 	// datapath (e.g. the LR sigmoid) as one long fused statement with a
@@ -124,6 +152,7 @@ func (m *model) run() Report {
 	if m.info.Roots[0].HasTranscendental && !m.opt.StageSplit {
 		if floor := float64(m.n) * transcMinII; cycles < floor {
 			cycles = floor
+			m.iiTag = "transcendental"
 		}
 	}
 	rep.Cycles = int64(cycles)
@@ -149,10 +178,12 @@ func (m *model) run() Report {
 	case m.infeasible != "":
 		rep.Feasible = false
 		rep.Reason = m.infeasible
+		rep.Bottleneck = "flatten-structure"
 	case rep.MaxUtil() > m.dev.UsableFrac:
 		rep.Feasible = false
 		rep.Reason = fmt.Sprintf("resource overflow: %.0f%% > %.0f%% usable cap",
 			rep.MaxUtil()*100, m.dev.UsableFrac*100)
+		rep.Bottleneck = "resource-overflow"
 	case m.maxRep > 64 && rep.UtilLUT > 0.55:
 		// High duplication with dense logic fails routing (paper §4.3.2:
 		// "parallelism with factor 256 ... infeasible for most designs
@@ -160,8 +191,13 @@ func (m *model) run() Report {
 		// simple enough to keep congestion low).
 		rep.Feasible = false
 		rep.Reason = fmt.Sprintf("routing congestion: replication %d at %.0f%% LUT", m.maxRep, rep.UtilLUT*100)
+		rep.Bottleneck = "routing-congestion"
 	default:
 		rep.Feasible = true
+		rep.Bottleneck = m.iiTag
+		if rep.Bottleneck == "" {
+			rep.Bottleneck = "compute"
+		}
 	}
 	if !rep.Feasible {
 		// Overflowing designs abort during resource mapping, well before
@@ -189,28 +225,50 @@ func (m *model) run() Report {
 	return rep
 }
 
-// carriedArrays returns the arrays through which li carries an effective
-// dependence. Output accumulators of reduce-pattern kernels are exempt at
-// the task loop: Merlin materializes them as per-PE partial accumulators
-// combined by a final tree (the tree-reduction transform), so they do not
-// serialize task pipelining.
-func (m *model) carriedArrays(li *cir.LoopInfo) []string {
-	if li.Loop.ID != m.kernel.TaskLoopID || m.kernel.Pattern != cir.PatternReduce {
-		return li.CarriedArrays
+// carried returns the loop's effective carried arrays (after the
+// reduce-output exemption, straight from the dependence verdicts), the
+// minimum proven dependence distance across them, and whether the verdict
+// is a conservative Sequential (dependence structure unprovable, so
+// iterations must not overlap at all). A distance-d recurrence leaves d
+// independent chains interleaving through the feedback path, so the II
+// floor scales down by d; unproven distances default to 1, the sound
+// minimum.
+func (m *model) carried(li *cir.LoopInfo) (arrs []string, dist float64, seq bool) {
+	id := li.Loop.ID
+	arrs = m.dep.EffectiveRace(id)
+	dist = 1
+	v := m.dep.Verdict(id)
+	if v == nil {
+		return arrs, dist, false
 	}
-	isOutput := map[string]bool{}
-	for _, p := range m.kernel.Params {
-		if p.IsOutput {
-			isOutput[p.Name] = true
+	if len(arrs) > 0 {
+		var d int64
+		for _, a := range arrs {
+			dd, ok := v.ArrDist[a]
+			if !ok || dd < 1 {
+				d = 1
+				break
+			}
+			if d == 0 || dd < d {
+				d = dd
+			}
+		}
+		if d >= 1 {
+			dist = float64(d)
 		}
 	}
-	var out []string
-	for _, a := range li.CarriedArrays {
-		if !isOutput[a] {
-			out = append(out, a)
-		}
-	}
-	return out
+	return arrs, dist, v.Kind == depend.Sequential
+}
+
+// inertLanes reports whether the loop's parallel directive is a hardware
+// no-op: an unpipelined loop whose iterations provably contend on carried
+// arrays executes its lanes strictly in series, and the binder maps a
+// serial chain onto a single datapath instance. The factor then changes
+// neither the schedule nor the area, so a design with parallel=u on such
+// a loop yields a report identical to its parallel=1 sibling — the
+// invariant the DSE dependence collapse relies on.
+func (m *model) inertLanes(li *cir.LoopInfo) bool {
+	return li.Loop.Opt.Pipeline == cir.PipeOff && len(m.dep.EffectiveRace(li.Loop.ID)) > 0
 }
 
 // stage describes one scheduled region: its total latency and its
@@ -275,19 +333,25 @@ func (m *model) pipeLeafStage(li *cir.LoopInfo, trip, u float64) stage {
 	if len(li.ScalarRec) > 0 {
 		// Recurrence-limited II; with unrolling Merlin applies tree
 		// reduction so u elements enter per II.
-		ii = math.Max(ii, seqLat(li.RecOps))
+		m.raise(&ii, seqLat(li.RecOps), "ii-recurrence")
 	}
-	if len(m.carriedArrays(li)) > 0 {
+	if arrs, d, seq := m.carried(li); len(arrs) > 0 {
 		// Stencil-style dependence (e.g. the Smith-Waterman cell): the
 		// feedback path bounds II, and unrolled lanes execute as a
-		// wavefront with register forwarding.
+		// wavefront with register forwarding. A proven distance-d
+		// recurrence relaxes the floor by d; an unprovable structure
+		// serializes iterations outright.
 		m.hasCarriedPipe = true
-		ii = math.Max(ii, seqLat(li.BodyOps)/6)
+		if seq {
+			m.raise(&ii, seqLat(li.BodyOps), "ii-recurrence")
+		} else {
+			m.raise(&ii, seqLat(li.BodyOps)/6/d, "ii-recurrence")
+		}
 	}
 	if li.HasTranscendental && !m.opt.StageSplit {
-		ii = math.Max(ii, transcMinII)
+		m.raise(&ii, transcMinII, "transcendental")
 	}
-	ii = math.Max(ii, m.memII(li, u))
+	m.raiseMem(&ii, li, u)
 	lat := bodyDepth + ii*(effTrip-1)
 	return stage{lat: lat, occ: ii * effTrip, ii: ii}
 }
@@ -309,17 +373,23 @@ func (m *model) dataflowStage(li *cir.LoopInfo, trip, u float64) stage {
 	effTrip := math.Ceil(trip / u)
 	ii := math.Max(1, maxOcc)
 	if len(li.ScalarRec) > 0 {
-		ii = math.Max(ii, seqLat(li.RecOps))
+		m.raise(&ii, seqLat(li.RecOps), "ii-recurrence")
 	}
-	if len(m.carriedArrays(li)) > 0 {
-		// Iterations cannot overlap through a carried array dependence.
+	if arrs, d, seq := m.carried(li); len(arrs) > 0 {
+		// Iterations overlap through a carried array dependence only as
+		// far as the proven distance allows (d+1 concurrent iterations);
+		// unprovable structure forbids overlap entirely.
 		m.hasCarriedPipe = true
-		ii = math.Max(ii, bodyDepth/2)
+		if seq {
+			m.raise(&ii, bodyDepth, "ii-recurrence")
+		} else {
+			m.raise(&ii, bodyDepth/(d+1), "ii-recurrence")
+		}
 	}
 	if li.HasTranscendental && !m.opt.StageSplit {
-		ii = math.Max(ii, transcMinII)
+		m.raise(&ii, transcMinII, "transcendental")
 	}
-	ii = math.Max(ii, m.memII(li, u))
+	m.raiseMem(&ii, li, u)
 	lat := bodyDepth + ii*(effTrip-1)
 	return stage{lat: lat, occ: ii * effTrip, ii: ii}
 }
@@ -333,8 +403,13 @@ func (m *model) seqStage(li *cir.LoopInfo, trip, u float64) stage {
 	}
 	iter := depth(li.BodyOps) + childSum + 2 // loop control overhead
 	effTrip := math.Ceil(trip / u)
-	if len(m.carriedArrays(li)) > 0 {
+	if arrs, _, _ := m.carried(li); len(arrs) > 0 {
 		effTrip = trip // lanes serialize
+		if m.inertLanes(li) {
+			// With the chain serial and no pipeline, the lanes time-share
+			// one datapath instance; the factor is inert end to end.
+			u = 1
+		}
 	}
 	lat := iter*effTrip + 3
 	if len(li.ScalarRec) > 0 && u > 1 {
@@ -362,17 +437,21 @@ func (m *model) flattenStage(li *cir.LoopInfo, trip, u float64) stage {
 	bodyDepth := math.Max(8, 4*math.Log2(work+2)) + chain
 	ii := 1.0
 	if len(li.ScalarRec) > 0 {
-		ii = math.Max(ii, seqLat(li.RecOps))
+		m.raise(&ii, seqLat(li.RecOps), "ii-recurrence")
 	}
 	if li.HasTranscendental && !m.opt.StageSplit {
-		ii = math.Max(ii, transcMinII)
+		m.raise(&ii, transcMinII, "transcendental")
 	}
 	effTrip := math.Ceil(trip / u)
-	if len(m.carriedArrays(li)) > 0 {
+	if arrs, d, seq := m.carried(li); len(arrs) > 0 {
 		m.hasCarriedPipe = true
-		ii = math.Max(ii, bodyDepth/2)
+		if seq {
+			m.raise(&ii, bodyDepth, "ii-recurrence")
+		} else {
+			m.raise(&ii, bodyDepth/(d+1), "ii-recurrence")
+		}
 	}
-	ii = math.Max(ii, m.memII(li, u))
+	m.raiseMem(&ii, li, u)
 	lat := bodyDepth + ii*(effTrip-1)
 	return stage{lat: lat, occ: ii * effTrip, ii: ii}
 }
@@ -431,14 +510,28 @@ func (m *model) interfaceBytesPerCycle() float64 {
 	return total
 }
 
-// memII returns the initiation-interval floor imposed by off-chip
+// raiseMem applies the initiation-interval floor imposed by off-chip
 // interface bandwidth when li is the task loop (inner loops stream from
-// on-chip buffers filled by Merlin-inserted bursts).
-func (m *model) memII(li *cir.LoopInfo, u float64) float64 {
+// on-chip buffers filled by Merlin-inserted bursts), tagging whether a
+// single interface port or the aggregate DDR channel binds.
+func (m *model) raiseMem(ii *float64, li *cir.LoopInfo, u float64) {
 	if li.Loop.ID != m.kernel.TaskLoopID {
-		return 0
+		return
 	}
-	var worst float64
+	perPort, aggregate := m.memCycles(u)
+	if perPort > aggregate {
+		if perPort > *ii {
+			m.portLimited = true
+		}
+		m.raise(ii, perPort, "port-contention")
+		return
+	}
+	m.raise(ii, aggregate, "memory-bound")
+}
+
+// memCycles returns the per-task-iteration transfer cycles bound by the
+// slowest single interface port and by the aggregate DDR channel.
+func (m *model) memCycles(u float64) (perPort, aggregate float64) {
 	var totalBytes float64
 	for _, p := range m.kernel.Params {
 		if !p.IsArray {
@@ -455,14 +548,12 @@ func (m *model) memII(li *cir.LoopInfo, u float64) float64 {
 			bw = p.Elem.Bits()
 		}
 		perCycle := float64(bw) / 8
-		if c := bytes / perCycle; c > worst {
-			worst = c
+		if c := bytes / perCycle; c > perPort {
+			perPort = c
 		}
 	}
-	if c := totalBytes / float64(m.dev.DDRBytesPerCycle); c > worst {
-		worst = c
-	}
-	return worst
+	aggregate = totalBytes / float64(m.dev.DDRBytesPerCycle)
+	return perPort, aggregate
 }
 
 // bytesPerTaskOf returns the streamed off-chip traffic per task. Reduce
@@ -517,6 +608,9 @@ func (m *model) resources() (lut, ff, dsp, bram int) {
 		if li.Trip > 0 && int64(u) > li.Trip {
 			u = int(li.Trip)
 		}
+		if m.inertLanes(li) {
+			u = 1 // serial lanes share one instance; no replication
+		}
 		rep *= u
 		if rep > m.maxRep {
 			m.maxRep = rep
@@ -559,6 +653,7 @@ func (m *model) resources() (lut, ff, dsp, bram int) {
 	if innerBanks < 1 {
 		innerBanks = 1
 	}
+	//determinism:allow order-independent: integer block counts sum commutatively
 	for _, bytes := range m.info.LocalArrays {
 		blocks := (bytes + bram18kBytes - 1) / bram18kBytes
 		if blocks < innerBanks {

@@ -35,6 +35,7 @@ import (
 	"strings"
 
 	"s2fa/internal/cir"
+	"s2fa/internal/depend"
 )
 
 // Severity classifies a finding.
@@ -244,6 +245,7 @@ func annotatedWidths(k *cir.Kernel) map[string]int {
 type Checker struct {
 	k    *cir.Kernel
 	info *cir.KernelInfo
+	dep  *depend.Analysis
 	// flattenVarTrip maps loop ID to the offending sub-loop description
 	// when flatten is statically impossible (a sub-loop without a constant
 	// trip count — counted with symbolic bounds, or a general while).
@@ -261,12 +263,13 @@ func NewChecker(k *cir.Kernel) *Checker {
 	c := &Checker{
 		k:              k,
 		info:           cir.Analyze(k),
+		dep:            depend.Analyze(k),
 		flattenVarTrip: map[string]string{},
 		flattenCarried: map[string]string{},
 		race:           map[string]string{},
 	}
 	for _, li := range c.info.All {
-		if d := raceDetail(li, c.k); d != "" {
+		if d := raceDetail(c.dep, li.Loop.ID); d != "" {
 			c.race[li.Loop.ID] = d
 		}
 	}
@@ -285,6 +288,11 @@ func NewChecker(k *cir.Kernel) *Checker {
 
 // Info exposes the cached kernel analysis.
 func (c *Checker) Info() *cir.KernelInfo { return c.info }
+
+// Depend exposes the cached exact dependence analysis so downstream
+// consumers (HLS estimation, DSE pruning, -explain) reuse one computation
+// per kernel.
+func (c *Checker) Depend() *depend.Analysis { return c.dep }
 
 // subLoopVarTrip reports a descendant counted loop without a constant
 // trip count, which makes flatten (full sub-loop unrolling, paper §4.1)

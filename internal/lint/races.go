@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"s2fa/internal/cir"
+	"s2fa/internal/depend"
 )
 
 // Pass 3: parallel-safety race detection.
@@ -18,148 +19,42 @@ import (
 // design stays *feasible* — which is why race findings are warnings, not
 // errors: pruning them would discard legal (if wasteful, or — for
 // wavefront codes like Smith-Waterman — even profitable) designs.
+//
+// The pass is a shadow of the exact dependence verdicts in
+// internal/depend: EffectiveRace supplies the carried arrays (with the
+// reduce-output exemption applied) and ScalarSeq the non-reducible scalar
+// recurrences. The depend apps-agreement test pins these to cir's
+// conservative heuristic on every workload, which keeps the warning text
+// byte-identical to the pre-verdict implementation.
 
-// ReductionForm recognizes the canonical additive reduction body: the
-// loop contains exactly one assignment acc = acc + e (either operand
-// order) where acc is not otherwise read or written in the body. It
-// returns the accumulator name and the added expression. This is the
-// shared legality predicate behind merlin's tree-reduction transform and
-// the lint race detector.
+// ReductionForm recognizes the canonical additive reduction body. It is
+// the shared legality predicate behind merlin's tree-reduction transform
+// and the lint race detector; the implementation lives in
+// internal/depend.
 func ReductionForm(l *cir.Loop) (acc string, addend cir.Expr, ok bool) {
-	var candidate string
-	var cExpr cir.Expr
-	matches := 0
-	for _, s := range l.Body {
-		a, isAssign := s.(*cir.Assign)
-		if !isAssign {
-			continue
-		}
-		lhs, isVar := a.LHS.(*cir.VarRef)
-		if !isVar {
-			continue
-		}
-		bin, isBin := a.RHS.(*cir.Binary)
-		if !isBin || bin.Op != cir.Add {
-			continue
-		}
-		if vr, isV := bin.L.(*cir.VarRef); isV && vr.Name == lhs.Name {
-			candidate, cExpr = lhs.Name, bin.R
-			matches++
-		} else if vr, isV := bin.R.(*cir.VarRef); isV && vr.Name == lhs.Name {
-			candidate, cExpr = lhs.Name, bin.L
-			matches++
-		}
-	}
-	if matches != 1 {
-		return "", nil, false
-	}
-	// The accumulator must appear exactly twice in the body: the LHS and
-	// RHS of the recurrence statement, nowhere else.
-	uses := 0
-	for _, s := range l.Body {
-		uses += StmtMentions(s, candidate)
-	}
-	if uses != 2 {
-		return "", nil, false
-	}
-	return candidate, cExpr, true
+	return depend.ReductionForm(l)
 }
 
 // StmtMentions counts occurrences of the named scalar in a statement
-// (reads and writes alike).
+// (reads and writes alike). Delegates to internal/depend.
 func StmtMentions(s cir.Stmt, name string) int {
-	n := 0
-	var we func(e cir.Expr)
-	we = func(e cir.Expr) {
-		switch e := e.(type) {
-		case *cir.VarRef:
-			if e.Name == name {
-				n++
-			}
-		case *cir.Index:
-			we(e.Idx)
-		case *cir.Unary:
-			we(e.X)
-		case *cir.Binary:
-			we(e.L)
-			we(e.R)
-		case *cir.Cast:
-			we(e.X)
-		case *cir.Cond:
-			we(e.C)
-			we(e.T)
-			we(e.F)
-		case *cir.Call:
-			for _, a := range e.Args {
-				we(a)
-			}
-		}
-	}
-	var ws func(s cir.Stmt)
-	ws = func(s cir.Stmt) {
-		switch s := s.(type) {
-		case *cir.Decl:
-			we(s.Init)
-		case *cir.Assign:
-			we(s.LHS)
-			we(s.RHS)
-		case *cir.If:
-			we(s.Cond)
-			for _, t := range s.Then {
-				ws(t)
-			}
-			for _, t := range s.Else {
-				ws(t)
-			}
-		case *cir.Loop:
-			we(s.Lo)
-			we(s.Hi)
-			for _, t := range s.Body {
-				ws(t)
-			}
-		case *cir.While:
-			we(s.Cond)
-			for _, t := range s.Body {
-				ws(t)
-			}
-		case *cir.Return:
-			we(s.Val)
-		}
-	}
-	ws(s)
-	return n
+	return depend.StmtMentions(s, name)
 }
 
 // raceDetail describes the loop's carried dependence that is not covered
 // by the reduction transform, or "" when parallel lanes are
-// race-free/reducible. Mirrors the HLS estimator's exemption: output
-// accumulators of reduce-pattern kernels at the task loop become per-PE
-// partials combined by a final tree, so they never race.
-func raceDetail(li *cir.LoopInfo, k *cir.Kernel) string {
-	carried := li.CarriedArrays
-	if li.Loop.ID == k.TaskLoopID && k.Pattern == cir.PatternReduce {
-		isOutput := map[string]bool{}
-		for _, p := range k.Params {
-			if p.IsOutput {
-				isOutput[p.Name] = true
-			}
-		}
-		var kept []string
-		for _, a := range carried {
-			if !isOutput[a] {
-				kept = append(kept, a)
-			}
-		}
-		carried = kept
+// race-free/reducible, reading straight off the dependence verdicts.
+func raceDetail(dep *depend.Analysis, id string) string {
+	v := dep.Verdict(id)
+	if v == nil {
+		return ""
 	}
 	var parts []string
-	if len(carried) > 0 {
-		parts = append(parts, fmt.Sprintf("carried array dependence through %s", strings.Join(carried, ", ")))
+	if eff := dep.EffectiveRace(id); len(eff) > 0 {
+		parts = append(parts, fmt.Sprintf("carried array dependence through %s", strings.Join(eff, ", ")))
 	}
-	if len(li.ScalarRec) > 0 {
-		if acc, _, ok := ReductionForm(li.Loop); !(ok && len(li.ScalarRec) == 1 && li.ScalarRec[0] == acc) {
-			parts = append(parts, fmt.Sprintf("scalar recurrence on %s not in reduction form", strings.Join(li.ScalarRec, ", ")))
-		}
+	if len(v.ScalarSeq) > 0 {
+		parts = append(parts, fmt.Sprintf("scalar recurrence on %s not in reduction form", strings.Join(v.ScalarSeq, ", ")))
 	}
 	return strings.Join(parts, "; ")
 }
