@@ -20,6 +20,8 @@ import (
 // hotPaths are the packages whose outputs must be pure functions of
 // (kernel, configuration, seed).
 var hotPaths = []string{
+	"internal/access",
+	"internal/depend",
 	"internal/dse",
 	"internal/hls",
 	"internal/tuner",

@@ -74,9 +74,25 @@ type benchReport struct {
 	JVMShareAfterPct    float64 `json:"jvm_share_after_pct"`
 	// JITSpeedupSW is interpreter/JIT wall-clock on the S-W task batch.
 	JITSpeedupSW float64 `json:"jit_speedup_sw"`
+	// Scaling is the -cores sweep: one full Fig. 3 regeneration per pool
+	// size from 1 to GOMAXPROCS, each verified byte-identical to the
+	// sequential render. It is the in-repo data behind the parallel
+	// engine's speedup gate — on a multi-core runner the curve shows
+	// where the replay-ordered merge stops scaling. Empty unless the
+	// sweep was requested.
+	Scaling []scalePoint `json:"scaling,omitempty"`
 	// StageMicros are per-stage single-threaded microbenchmarks (us/op),
 	// mirroring the Benchmark* micros in bench_test.go.
 	StageMicros map[string]float64 `json:"stage_micros"`
+}
+
+// scalePoint is one pool size of the -cores scaling sweep.
+type scalePoint struct {
+	Pool int `json:"pool"`
+	// MS is the Fig. 3 regeneration wall-clock at this pool size;
+	// Speedup is the sequential engine's wall-clock divided by it.
+	MS      float64 `json:"ms"`
+	Speedup float64 `json:"speedup"`
 }
 
 // timeIt measures fn in us/op, iterating until ~200ms of samples.
@@ -155,7 +171,7 @@ func jitSpeedupSW() (float64, error) {
 	return interp / jit, nil
 }
 
-func measure(seed int64) (*benchReport, error) {
+func measure(seed int64, sweepCores bool) (*benchReport, error) {
 	rep := &benchReport{
 		GoVersion:    runtime.Version(),
 		Cores:        runtime.NumCPU(),
@@ -186,6 +202,19 @@ func measure(seed int64) (*benchReport, error) {
 	rep.Fig3SeqNoJITMS = noJITMS
 	rep.Fig3ParallelMS = parMS
 	rep.Speedup = seqMS / parMS
+
+	if sweepCores {
+		for pool := 1; pool <= rep.MaxProcs; pool++ {
+			ms, out, err := fig3MS(seed, dse.EngineParallel, pool, true)
+			if err != nil {
+				return nil, err
+			}
+			if out != seqOut {
+				return nil, fmt.Errorf("pool-%d Fig. 3/4 output diverged from sequential — determinism bug, the scaling curve is meaningless", pool)
+			}
+			rep.Scaling = append(rep.Scaling, scalePoint{Pool: pool, MS: ms, Speedup: seqMS / ms})
+		}
+	}
 
 	interpMS, err := jvmBaselineMS(false)
 	if err != nil {
@@ -248,8 +277,8 @@ func measure(seed int64) (*benchReport, error) {
 	return rep, nil
 }
 
-func writeBench(path string, seed int64) error {
-	rep, err := measure(seed)
+func writeBench(path string, seed int64, sweepCores bool) error {
+	rep, err := measure(seed, sweepCores)
 	if err != nil {
 		return err
 	}
@@ -264,10 +293,18 @@ func writeBench(path string, seed int64) error {
 		path, rep.Fig3SequentialMS, rep.Fig3SeqNoJITMS, rep.Fig3ParallelMS, rep.ParallelPool, rep.Speedup, rep.Cores)
 	fmt.Printf("JVM baseline: %.0fms interpreted (%.0f%% of fig3) -> %.0fms jit (%.0f%%), S-W speedup %.2fx\n",
 		rep.JVMBaselineInterpMS, rep.JVMShareBeforePct, rep.JVMBaselineJITMS, rep.JVMShareAfterPct, rep.JITSpeedupSW)
+	printScaling(rep.Scaling)
 	return nil
 }
 
-func checkBench(path string, seed int64) error {
+// printScaling renders the -cores sweep one pool per line.
+func printScaling(curve []scalePoint) {
+	for _, p := range curve {
+		fmt.Printf("scaling: pool %2d  %8.0fms  %.2fx\n", p.Pool, p.MS, p.Speedup)
+	}
+}
+
+func checkBench(path string, seed int64, sweepCores bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -276,10 +313,11 @@ func checkBench(path string, seed int64) error {
 	if err := json.Unmarshal(data, &committed); err != nil {
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
-	cur, err := measure(seed)
+	cur, err := measure(seed, sweepCores)
 	if err != nil {
 		return err
 	}
+	printScaling(cur.Scaling)
 	fmt.Printf("baseline  (%d cores, %s): fig3 %.0fms seq, %.0fms par%d, %.2fx; jit S-W %.2fx\n",
 		committed.Cores, committed.GoVersion, committed.Fig3SequentialMS,
 		committed.Fig3ParallelMS, committed.ParallelPool, committed.Speedup, committed.JITSpeedupSW)

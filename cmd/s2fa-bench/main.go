@@ -31,15 +31,16 @@ func main() {
 		jit        = flag.Bool("jit", true, "execute the JVM baselines through the closure-compiled engine (-jit=false interprets; results are byte-identical either way)")
 		benchOut   = flag.String("bench", "", "measure the performance baseline (Fig. 3 on both engines + stage micros) and write it to this JSON file")
 		benchCheck = flag.String("bench-check", "", "re-measure the baseline and fail on regression against this committed JSON file")
+		cores      = flag.Bool("cores", false, "with -bench/-bench-check: sweep the parallel DSE pool from 1 to GOMAXPROCS and record the per-core scaling curve in the JSON report")
 	)
 	flag.Parse()
 
 	if *benchOut != "" || *benchCheck != "" {
 		var err error
 		if *benchOut != "" {
-			err = writeBench(*benchOut, *seed)
+			err = writeBench(*benchOut, *seed, *cores)
 		} else {
-			err = checkBench(*benchCheck, *seed)
+			err = checkBench(*benchCheck, *seed, *cores)
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "s2fa-bench:", err)

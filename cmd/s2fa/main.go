@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"s2fa/internal/absint"
+	"s2fa/internal/access"
 	"s2fa/internal/apps"
 	"s2fa/internal/b2c"
 	"s2fa/internal/bytecode"
@@ -157,6 +158,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(dependReport(cls, fileLabel))
+		fmt.Print(accessReport(cls, fileLabel))
 		return
 	}
 	if *lintOnly {
@@ -268,6 +270,32 @@ func dependReport(cls *bytecode.Class, fileLabel string) string {
 	}
 	if len(notes) > 0 {
 		b.WriteString("directive guidance (probing parallel 16 + pipeline on every loop):\n")
+		for _, n := range notes {
+			fmt.Fprintf(&b, "  %s\n", n)
+		}
+	}
+	return b.String()
+}
+
+// accessReport renders the static memory-access classification behind
+// the DDR bandwidth model, the bank-port lane caps, and the
+// access-driven DSE collapse: the per-loop access table (class, stride,
+// footprint, reuse — site positions carry kdsl coordinates) followed by
+// "why is this kernel memory-bound?" guidance naming gather buffers and
+// port-capped loops. Kernels the C generator rejects return nothing —
+// the §3.3 report above already covers them.
+func accessReport(cls *bytecode.Class, fileLabel string) string {
+	kernel, err := b2c.Compile(cls)
+	if err != nil {
+		return ""
+	}
+	acc := access.Analyze(kernel)
+	var b strings.Builder
+	b.WriteString("\n")
+	b.WriteString(acc.Table())
+	fmt.Fprintf(&b, "  (site positions are %s:line:col)\n", fileLabel)
+	if notes := acc.Guidance(); len(notes) > 0 {
+		b.WriteString("why is this kernel memory-bound?\n")
 		for _, n := range notes {
 			fmt.Fprintf(&b, "  %s\n", n)
 		}

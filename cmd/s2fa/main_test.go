@@ -17,6 +17,33 @@ func TestUnknownAppMessage(t *testing.T) {
 	}
 }
 
+// TestAccessReportSW checks the -explain memory section on the
+// Smith-Waterman workload: the access table classifies the cell loop's
+// H traversal as burst with the 32-lane port cap attached, names the
+// strided row hop on the outer loop, and the guidance explains the
+// traceback gathers and the BRAM port ceiling.
+func TestAccessReportSW(t *testing.T) {
+	cls, err := kdsl.CompileSource(apps.Get("S-W").Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := accessReport(cls, "S-W.kdsl")
+	for _, want := range []string{
+		"memory access patterns",
+		"L2 [port-cap 32 lanes]",
+		"H          local  class=burst     stride=1",
+		"class=strided   stride=129",
+		"(site positions are S-W.kdsl:line:col)",
+		"why is this kernel memory-bound?",
+		"indirect subscripts still serialize",
+		"loop L2: on-chip bank ports cap useful parallel lanes at 32",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("accessReport missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 // TestDependReportSW checks the -explain dependence section on the
 // Smith-Waterman workload: the verdict table names the H recurrence with
 // a sourced witness pair, and the guidance explains why parallel lanes

@@ -1,0 +1,402 @@
+package access
+
+import (
+	"testing"
+
+	"s2fa/internal/cir"
+)
+
+func intLit(v int64) *cir.IntLit { return &cir.IntLit{K: cir.Int, Val: v} }
+func vref(n string) *cir.VarRef  { return &cir.VarRef{K: cir.Int, Name: n} }
+func idx(arr string, e cir.Expr) *cir.Index {
+	return &cir.Index{K: cir.Int, Arr: arr, Idx: e}
+}
+func add(l, r cir.Expr) *cir.Binary { return &cir.Binary{K: cir.Int, Op: cir.Add, L: l, R: r} }
+func sub(l, r cir.Expr) *cir.Binary { return &cir.Binary{K: cir.Int, Op: cir.Sub, L: l, R: r} }
+func mul(l, r cir.Expr) *cir.Binary { return &cir.Binary{K: cir.Int, Op: cir.Mul, L: l, R: r} }
+
+func loop(id, v string, lo, hi int64, body ...cir.Stmt) *cir.Loop {
+	return &cir.Loop{ID: id, Var: v, Lo: intLit(lo), Hi: intLit(hi), Step: 1, Body: body}
+}
+
+func kern(body ...cir.Stmt) *cir.Kernel {
+	return &cir.Kernel{Name: "T", Body: body}
+}
+
+// siteFor returns the unique site on the named array, failing if the
+// kernel touches it zero or several times.
+func siteFor(t *testing.T, a *Analysis, arr string) *Site {
+	t.Helper()
+	var found *Site
+	for _, s := range a.Sites {
+		if s.Array != arr {
+			continue
+		}
+		if found != nil {
+			t.Fatalf("multiple sites on %s", arr)
+		}
+		found = s
+	}
+	if found == nil {
+		t.Fatalf("no site on %s", arr)
+	}
+	return found
+}
+
+func wantClaim(t *testing.T, s *Site, loopID string, class Class, stride int64) {
+	t.Helper()
+	cl, ok := s.Claims[loopID]
+	if !ok {
+		t.Fatalf("site %s has no claim for loop %s", s.Array, loopID)
+	}
+	if cl.Class != class || cl.Stride != stride {
+		t.Fatalf("site %s wrt %s: got %s stride=%d, want %s stride=%d",
+			s.Array, loopID, cl.Class, cl.Stride, class, stride)
+	}
+}
+
+// TestEdgeTable is the classifier edge-case matrix: each row is one
+// subscript shape and its required per-loop claim. Claims are the
+// one-sided contract surface — a wrong row here is a soundness bug, not
+// a quality bug — so the table leans on corners the real workloads
+// don't exercise.
+func TestEdgeTable(t *testing.T) {
+	t.Run("unit stride is burst", func(t *testing.T) {
+		k := kern(loop("L0", "i", 0, 128,
+			&cir.Assign{LHS: idx("A", vref("i")), RHS: intLit(1)},
+		))
+		s := siteFor(t, Analyze(k), "A")
+		wantClaim(t, s, "L0", Burst, 1)
+		if !s.Write || s.Class() != Burst {
+			t.Fatalf("headline class = %s write=%v, want burst write", s.Class(), s.Write)
+		}
+	})
+
+	t.Run("negative stride is strided, not burst", func(t *testing.T) {
+		// A(100 - i): the address walks backwards one element per
+		// iteration. Reverse streams are still strided claims (coeff -1),
+		// never burst — the AXI engine only bursts ascending runs.
+		k := kern(loop("L0", "i", 0, 100,
+			&cir.Assign{LHS: idx("A", sub(intLit(100), vref("i"))), RHS: intLit(1)},
+		))
+		s := siteFor(t, Analyze(k), "A")
+		wantClaim(t, s, "L0", Strided, -1)
+		if cl := s.Claims["L0"]; cl.Coeff != -1 {
+			t.Fatalf("coeff = %d, want -1", cl.Coeff)
+		}
+	})
+
+	t.Run("loop-invariant subscript is invariant", func(t *testing.T) {
+		k := kern(loop("L0", "i", 0, 64, loop("L1", "j", 0, 64,
+			&cir.Assign{LHS: idx("A", vref("i")), RHS: idx("B", intLit(7))},
+		)))
+		a := Analyze(k)
+		wantClaim(t, siteFor(t, a, "A"), "L1", Invariant, 0)
+		wantClaim(t, siteFor(t, a, "B"), "L0", Invariant, 0)
+		wantClaim(t, siteFor(t, a, "B"), "L1", Invariant, 0)
+	})
+
+	t.Run("row-major 2-D walk: burst inner, strided outer", func(t *testing.T) {
+		// A(i*64 + j): the canonical row-major traversal. The inner loop
+		// streams a row (burst); the outer loop hops a full row width.
+		k := kern(loop("L0", "i", 0, 64, loop("L1", "j", 0, 64,
+			&cir.Assign{LHS: idx("A", add(mul(vref("i"), intLit(64)), vref("j"))), RHS: intLit(1)},
+		)))
+		s := siteFor(t, Analyze(k), "A")
+		wantClaim(t, s, "L1", Burst, 1)
+		wantClaim(t, s, "L0", Strided, 64)
+		if s.Class() != Burst {
+			t.Fatalf("headline class = %s, want burst (innermost loop wins)", s.Class())
+		}
+	})
+
+	t.Run("column-major 2-D walk: strided inner, burst outer", func(t *testing.T) {
+		// A(j*64 + i): same hull, transposed traversal. The inner loop now
+		// jumps a row width per iteration — the layout mistake the access
+		// table exists to surface.
+		k := kern(loop("L0", "i", 0, 64, loop("L1", "j", 0, 64,
+			&cir.Assign{LHS: idx("A", add(mul(vref("j"), intLit(64)), vref("i"))), RHS: intLit(1)},
+		)))
+		s := siteFor(t, Analyze(k), "A")
+		wantClaim(t, s, "L1", Strided, 64)
+		wantClaim(t, s, "L0", Burst, 1)
+		if s.Class() != Strided {
+			t.Fatalf("headline class = %s, want strided", s.Class())
+		}
+	})
+
+	t.Run("two-induction subscript with non-unit coefficients", func(t *testing.T) {
+		k := kern(loop("L0", "i", 0, 32, loop("L1", "j", 0, 32,
+			&cir.Assign{LHS: idx("A", add(mul(vref("i"), intLit(3)), mul(vref("j"), intLit(5)))), RHS: intLit(1)},
+		)))
+		s := siteFor(t, Analyze(k), "A")
+		wantClaim(t, s, "L0", Strided, 3)
+		wantClaim(t, s, "L1", Strided, 5)
+	})
+
+	t.Run("loaded subscript is gather for every loop", func(t *testing.T) {
+		k := kern(loop("L0", "i", 0, 128,
+			&cir.Assign{LHS: idx("A", idx("B", vref("i"))), RHS: intLit(1)},
+		))
+		a := Analyze(k)
+		s := siteFor(t, a, "A")
+		if !s.DataDep || s.Class() != Gather {
+			t.Fatalf("A(B(i)): DataDep=%v class=%s, want gather", s.DataDep, s.Class())
+		}
+		wantClaim(t, s, "L0", Gather, 0)
+		// The subscript expression B(i) is itself a well-behaved burst read.
+		wantClaim(t, siteFor(t, a, "B"), "L0", Burst, 1)
+	})
+
+	t.Run("taint flows through scalar copies", func(t *testing.T) {
+		k := kern(loop("L0", "i", 0, 128,
+			&cir.Assign{LHS: vref("t"), RHS: idx("B", vref("i"))},
+			&cir.Assign{LHS: vref("u"), RHS: add(vref("t"), intLit(1))},
+			&cir.Assign{LHS: idx("A", vref("u")), RHS: intLit(1)},
+		))
+		if s := siteFor(t, Analyze(k), "A"); s.Class() != Gather {
+			t.Fatalf("A(u) with u = B(i)+1: class = %s, want gather", s.Class())
+		}
+	})
+
+	t.Run("taint flows through control dependence", func(t *testing.T) {
+		// t is only ever assigned constants, but which constant depends on
+		// loaded data — the subscript is still data-dependent.
+		k := kern(loop("L0", "i", 0, 128,
+			&cir.If{Cond: idx("B", vref("i")), Then: cir.Block{
+				&cir.Assign{LHS: vref("t"), RHS: intLit(1)},
+			}},
+			&cir.Assign{LHS: idx("A", vref("t")), RHS: intLit(1)},
+		))
+		if s := siteFor(t, Analyze(k), "A"); s.Class() != Gather {
+			t.Fatalf("control-tainted subscript: class = %s, want gather", s.Class())
+		}
+	})
+
+	t.Run("mutated scalar in subscript demotes to unknown", func(t *testing.T) {
+		k := kern(loop("L0", "i", 0, 128,
+			&cir.Assign{LHS: vref("s"), RHS: add(vref("s"), intLit(1))},
+			&cir.Assign{LHS: idx("A", add(vref("i"), vref("s"))), RHS: intLit(1)},
+		))
+		if s := siteFor(t, Analyze(k), "A"); s.Class() != Unknown {
+			t.Fatalf("A(i+s) with mutated s: class = %s, want unknown", s.Class())
+		}
+	})
+
+	t.Run("run-wide constant scalar folds into the residual", func(t *testing.T) {
+		// off is declared once at top level and never reassigned: it shifts
+		// every address by the same amount, so the progression claim holds.
+		k := kern(
+			&cir.Decl{Name: "off", K: cir.Int, Init: intLit(40)},
+			loop("L0", "i", 0, 64,
+				&cir.Assign{LHS: idx("A", add(vref("i"), vref("off"))), RHS: intLit(1)},
+			))
+		wantClaim(t, siteFor(t, Analyze(k), "A"), "L0", Burst, 1)
+	})
+
+	t.Run("mutated loop variable voids its own claim", func(t *testing.T) {
+		k := kern(loop("L0", "i", 0, 128,
+			&cir.Assign{LHS: idx("A", vref("i")), RHS: intLit(1)},
+			&cir.Assign{LHS: vref("i"), RHS: add(vref("i"), intLit(1))},
+		))
+		if s := siteFor(t, Analyze(k), "A"); s.Class() != Unknown {
+			t.Fatalf("A(i) with i mutated in body: class = %s, want unknown", s.Class())
+		}
+	})
+
+	t.Run("non-affine subscript is unknown", func(t *testing.T) {
+		k := kern(loop("L0", "i", 0, 128,
+			&cir.Assign{LHS: idx("A", mul(vref("i"), vref("i"))), RHS: intLit(1)},
+		))
+		s := siteFor(t, Analyze(k), "A")
+		if s.DataDep || s.AffineOK || s.Class() != Unknown {
+			t.Fatalf("A(i*i): DataDep=%v AffineOK=%v class=%s, want plain unknown",
+				s.DataDep, s.AffineOK, s.Class())
+		}
+	})
+}
+
+// TestFootprints pins the interval-hull footprint: full extents, partial
+// windows, and clamping against the declared array length.
+func TestFootprints(t *testing.T) {
+	find := func(t *testing.T, a *Analysis, loopID, arr string) *LoopArray {
+		t.Helper()
+		for _, la := range a.Loops[loopID] {
+			if la.Array == arr {
+				return la
+			}
+		}
+		t.Fatalf("loop %s has no summary for %s", loopID, arr)
+		return nil
+	}
+
+	t.Run("full row-major hull", func(t *testing.T) {
+		k := kern(loop("L0", "i", 0, 64, loop("L1", "j", 0, 64,
+			&cir.Assign{LHS: idx("A", add(mul(vref("i"), intLit(64)), vref("j"))), RHS: intLit(1)},
+		)))
+		a := Analyze(k)
+		la := find(t, a, "L0", "A")
+		if !la.FootprintKnown || la.Footprint != 64*64 {
+			t.Fatalf("outer footprint = %d (known=%v), want 4096", la.Footprint, la.FootprintKnown)
+		}
+		// One inner-loop execution still ranges i over its declared extent:
+		// the hull is per-loop-subtree, deliberately an overestimate.
+		if inner := find(t, a, "L1", "A"); inner.Reuse != "stream" {
+			t.Fatalf("inner reuse = %q, want stream", inner.Reuse)
+		}
+	})
+
+	t.Run("declared length clamps the hull", func(t *testing.T) {
+		k := kern(
+			&cir.ArrDecl{Name: "A", Elem: cir.Int, Len: 100},
+			loop("L0", "i", 0, 256,
+				&cir.Assign{LHS: idx("A", vref("i")), RHS: intLit(1)},
+			))
+		la := find(t, Analyze(k), "L0", "A")
+		if !la.FootprintKnown || la.Footprint != 100 {
+			t.Fatalf("clamped footprint = %d (known=%v), want 100", la.Footprint, la.FootprintKnown)
+		}
+		if la.Kind != ArrLocal {
+			t.Fatalf("kind = %s, want local", la.Kind)
+		}
+	})
+
+	t.Run("gather access spoils the footprint", func(t *testing.T) {
+		k := kern(loop("L0", "i", 0, 64,
+			&cir.Assign{LHS: idx("A", vref("i")), RHS: intLit(1)},
+			&cir.Assign{LHS: idx("A", idx("B", vref("i"))), RHS: intLit(2)},
+		))
+		la := find(t, Analyze(k), "L0", "A")
+		if la.FootprintKnown {
+			t.Fatalf("footprint known (%d elems) despite a gather site", la.Footprint)
+		}
+		if la.Worst != Gather || la.Reuse != "mixed" {
+			t.Fatalf("worst=%s reuse=%q, want gather/mixed", la.Worst, la.Reuse)
+		}
+	})
+}
+
+// TestPortCap pins the bank-port lane bound: budget 128 element-ports,
+// divided by the direct per-iteration pressure on the hottest local
+// array; params and invariant sites are exempt, as is the task loop.
+func TestPortCap(t *testing.T) {
+	body := func(n int) []cir.Stmt {
+		var out []cir.Stmt
+		acc := cir.Expr(intLit(0))
+		for s := 0; s < n; s++ {
+			acc = add(acc, idx("H", add(vref("j"), intLit(int64(s)))))
+		}
+		out = append(out, &cir.Assign{LHS: idx("H", vref("j")), RHS: acc})
+		return out
+	}
+
+	k := &cir.Kernel{
+		Name:       "T",
+		TaskLoopID: "T0",
+		Body: cir.Block{
+			&cir.ArrDecl{Name: "H", Elem: cir.Int, Len: 4096},
+			loop("T0", "t", 0, 16, loop("L1", "j", 0, 64, body(3)...)),
+		},
+	}
+	a := Analyze(k)
+	// 3 reads + 1 write = 4 direct sites on H: 128/4 = 32 lanes.
+	if c := a.PortCap("L1"); c != 32 {
+		t.Fatalf("PortCap(L1) = %d, want 32", c)
+	}
+	// The task loop replicates private arrays per PE and is never capped.
+	if c := a.PortCap("T0"); c != 0 {
+		t.Fatalf("PortCap(T0) = %d, want 0 (uncapped)", c)
+	}
+
+	// Interface buffers ride AXI, not BRAM ports: a param-only loop is
+	// uncapped no matter the pressure.
+	kp := &cir.Kernel{
+		Name:   "T",
+		Params: []cir.Param{{Name: "P", Elem: cir.Int, IsArray: true, Length: 4096}},
+		Body: cir.Block{
+			loop("L0", "i", 0, 64,
+				&cir.Assign{LHS: idx("P", vref("i")), RHS: add(idx("P", vref("i")), idx("P", add(vref("i"), intLit(1))))},
+			),
+		},
+	}
+	if c := Analyze(kp).PortCap("L0"); c != 0 {
+		t.Fatalf("param-only PortCap = %d, want 0", c)
+	}
+}
+
+// TestParamProfile pins the DDR model inputs: staging spans drop the
+// task-loop term, gather-only buffers are unstageable, and access counts
+// follow trip products.
+func TestParamProfile(t *testing.T) {
+	t.Run("task term drops out of the staging span", func(t *testing.T) {
+		// P(t*64 + j): each task streams its private 64-element window.
+		k := &cir.Kernel{
+			Name:       "T",
+			TaskLoopID: "T0",
+			Params:     []cir.Param{{Name: "P", Elem: cir.Int, IsArray: true, Length: 64 * 16}},
+			Body: cir.Block{
+				loop("T0", "t", 0, 16, loop("L1", "j", 0, 64,
+					&cir.Assign{LHS: vref("x"), RHS: idx("P", add(mul(vref("t"), intLit(64)), vref("j")))},
+				)),
+			},
+		}
+		p := Analyze(k).Param("P")
+		if p == nil || !p.Stageable || p.StageElems != 64 {
+			t.Fatalf("profile = %+v, want stageable span 64", p)
+		}
+		if p.Accesses != 64 {
+			t.Fatalf("accesses/task = %d, want 64", p.Accesses)
+		}
+	})
+
+	t.Run("gather-only buffer is unstageable", func(t *testing.T) {
+		k := &cir.Kernel{
+			Name:       "T",
+			TaskLoopID: "T0",
+			Params:     []cir.Param{{Name: "P", Elem: cir.Int, IsArray: true, Length: 1024}},
+			Body: cir.Block{
+				loop("T0", "t", 0, 16, loop("L1", "j", 0, 64,
+					&cir.Assign{LHS: vref("x"), RHS: idx("P", idx("B", vref("j")))},
+				)),
+			},
+		}
+		p := Analyze(k).Param("P")
+		if p == nil || p.Stageable || p.Worst != Gather {
+			t.Fatalf("profile = %+v, want unstageable gather", p)
+		}
+		if p.WorstSite == nil || p.WorstSite.Array != "P" {
+			t.Fatalf("WorstSite = %+v, want the P gather site", p.WorstSite)
+		}
+	})
+
+	t.Run("untouched buffer stays stageable whole", func(t *testing.T) {
+		k := &cir.Kernel{
+			Name:   "T",
+			Params: []cir.Param{{Name: "P", Elem: cir.Int, IsArray: true, Length: 256}},
+			Body:   cir.Block{loop("L0", "i", 0, 4, &cir.Assign{LHS: vref("x"), RHS: intLit(0)})},
+		}
+		p := Analyze(k).Param("P")
+		if p == nil || !p.Stageable || p.StageElems != 256 || p.Worst != Invariant {
+			t.Fatalf("profile = %+v, want whole-buffer invariant staging", p)
+		}
+	})
+
+	t.Run("while bodies charge the nominal trip", func(t *testing.T) {
+		k := &cir.Kernel{
+			Name:       "T",
+			TaskLoopID: "T0",
+			Params:     []cir.Param{{Name: "P", Elem: cir.Int, IsArray: true, Length: 1024}},
+			Body: cir.Block{
+				loop("T0", "t", 0, 16,
+					&cir.While{Cond: vref("go"), Body: cir.Block{
+						&cir.Assign{LHS: vref("x"), RHS: idx("P", idx("B", vref("x")))},
+					}},
+				),
+			},
+		}
+		p := Analyze(k).Param("P")
+		if p == nil || p.Accesses != 16 {
+			t.Fatalf("accesses/task = %+v, want the nominal 16 per while level", p)
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package access_test
+
+import (
+	"testing"
+
+	"s2fa/internal/access"
+	"s2fa/internal/apps"
+	"s2fa/internal/b2c"
+	"s2fa/internal/kdsl"
+)
+
+// FuzzClassifier throws arbitrary kdsl source at the full frontend and
+// checks the access classifier's internal contract on whatever kernels
+// survive compilation:
+//
+//   - Analyze never panics and is deterministic (two runs render the
+//     same table).
+//   - Claim algebra holds: a gather site claims Gather everywhere, a
+//     non-affine site claims nothing stronger than Unknown, Burst means
+//     stride exactly 1, Invariant means a zero coefficient, and every
+//     affine claim's stride is Coeff * Step of its loop.
+//
+// The trace property in internal/apps checks the claims against dynamic
+// executions; this target checks they are at least self-consistent on
+// adversarial input. The corpus seeds all eight paper workloads plus
+// kernels exercising the corners: data-dependent subscripts, reverse
+// walks, mutated subscript scalars, and while-loop bodies.
+func FuzzClassifier(f *testing.F) {
+	for _, a := range apps.All() {
+		f.Add(a.Source)
+	}
+	f.Add(`class Gather {
+  val id: String = "g"
+  val inSizes: Array[Int] = Array(64)
+  def call(in: Array[Int]): Int = {
+    var t: Int = 0
+    for (i <- 0 until 64) {
+      t = t + in(in(i) % 64)
+    }
+    t
+  }
+}`)
+	f.Add(`class Reverse {
+  val id: String = "r"
+  val inSizes: Array[Int] = Array(64)
+  def call(in: Array[Int]): Int = {
+    var t: Int = 0
+    for (i <- 0 until 64) {
+      t = t + in(63 - i)
+    }
+    t
+  }
+}`)
+	f.Add(`class Mut {
+  val id: String = "m"
+  val inSizes: Array[Int] = Array(64)
+  def call(in: Array[Int]): Int = {
+    var s: Int = 0
+    var t: Int = 0
+    for (i <- 0 until 32) {
+      s = s + 2
+      t = t + in(s)
+    }
+    t
+  }
+}`)
+	f.Add(`class Wh {
+  val id: String = "w"
+  val inSizes: Array[Int] = Array(64)
+  def call(in: Array[Int]): Int = {
+    var p: Int = 0
+    var t: Int = 0
+    while (p < 64 && in(p) != 0) {
+      t = t + in(p)
+      p = p + 1
+    }
+    t
+  }
+}`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		cls, err := kdsl.CompileSource(src)
+		if err != nil {
+			return
+		}
+		k, err := b2c.Compile(cls)
+		if err != nil {
+			return
+		}
+		a := access.Analyze(k)
+		if got, again := a.Table(), access.Analyze(k).Table(); got != again {
+			t.Fatalf("Analyze is nondeterministic:\n%s\nvs\n%s", got, again)
+		}
+		steps := map[string]int64{}
+		for _, li := range k.Loops() {
+			steps[li.ID] = li.Step
+		}
+		for _, s := range a.Sites {
+			for id, cl := range s.Claims {
+				if s.DataDep && cl.Class != access.Gather {
+					t.Fatalf("gather site %s claims %s wrt %s", s.Array, cl.Class, id)
+				}
+				if !s.AffineOK && cl.Class.Affine() {
+					t.Fatalf("non-affine site %s claims %s wrt %s", s.Array, cl.Class, id)
+				}
+				if cl.Class == access.Burst && cl.Stride != 1 {
+					t.Fatalf("burst claim with stride %d on %s wrt %s", cl.Stride, s.Array, id)
+				}
+				if cl.Class == access.Invariant && (cl.Coeff != 0 || cl.Stride != 0) {
+					t.Fatalf("invariant claim with coeff %d on %s wrt %s", cl.Coeff, s.Array, id)
+				}
+				if cl.Class.Affine() && cl.Stride != cl.Coeff*steps[id] {
+					t.Fatalf("claim stride %d != coeff %d * step %d on %s wrt %s",
+						cl.Stride, cl.Coeff, steps[id], s.Array, id)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package access
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Table renders the per-loop access classification as a deterministic
+// text table (published as a CI artifact and appended by `s2fa
+// -explain`): one row per (loop, array) with class, stride, footprint,
+// and reuse verdict.
+func (a *Analysis) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s: memory access patterns\n", a.Kernel.Name)
+	for _, id := range a.LoopOrder {
+		rows := a.Loops[id]
+		if len(rows) == 0 {
+			continue
+		}
+		tag := ""
+		if id == a.Kernel.TaskLoopID {
+			tag = " (task)"
+		}
+		if c := a.PortCap(id); c > 0 {
+			tag += fmt.Sprintf(" [port-cap %d lanes]", c)
+		}
+		fmt.Fprintf(&b, "  %s%s\n", id, tag)
+		for _, la := range rows {
+			stride := "-"
+			if la.MaxStride > 0 {
+				stride = fmt.Sprintf("%d", la.MaxStride)
+			}
+			fp := "whole array"
+			if la.FootprintKnown {
+				fp = fmt.Sprintf("%d elems", la.Footprint)
+			}
+			fmt.Fprintf(&b, "    %-10s %-6s class=%-9s stride=%-5s footprint=%-12s reuse=%s\n",
+				la.Array, la.Kind, la.Worst, stride, fp, la.Reuse)
+		}
+	}
+	return b.String()
+}
+
+// Guidance answers "why is this kernel memory-bound?" in terms of the
+// classified access sites: gather-only interface buffers (per-element
+// DDR latency, no burst engine), and BRAM port caps that bound useful
+// lane replication.
+func (a *Analysis) Guidance() []string {
+	var out []string
+	for i := range a.Params {
+		p := &a.Params[i]
+		if p.WorstSite == nil {
+			continue
+		}
+		at := ""
+		if p.WorstSite.Pos.Valid() {
+			at = fmt.Sprintf(" (kdsl %s)", p.WorstSite.Pos)
+		}
+		if !p.Stageable {
+			out = append(out, fmt.Sprintf(
+				"buffer %s: every subscript is data-dependent%s — no burst engine possible; "+
+					"each of ~%d accesses/task pays full DDR latency. Restructure the layout "+
+					"(e.g. pre-sorted/CSR staging) to recover streaming.",
+				p.Name, at, p.Accesses))
+		} else if p.Worst <= Gather {
+			out = append(out, fmt.Sprintf(
+				"buffer %s: mixes burst-stageable and gather accesses%s — the staged copy "+
+					"streams, but indirect subscripts still serialize on it.",
+				p.Name, at))
+		}
+	}
+	var capped []string
+	//determinism:allow collect-then-sort: IDs are ordered before rendering
+	for id := range a.caps {
+		capped = append(capped, id)
+	}
+	sort.Strings(capped)
+	for _, id := range capped {
+		out = append(out, fmt.Sprintf(
+			"loop %s: on-chip bank ports cap useful parallel lanes at %d — "+
+				"higher factors replicate compute the BRAM ports cannot feed.",
+			id, a.caps[id]))
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package access
+
+import "s2fa/internal/cir"
+
+// taintScalars computes the flow-insensitive set of scalars that
+// transitively depend on loaded data. A subscript mentioning any of
+// them (or containing a load itself) is a gather: no static address
+// progression can be claimed.
+//
+// Taint sources and propagation, iterated to a fixpoint:
+//   - data: a scalar assigned from an expression containing an array
+//     load or an already-tainted scalar;
+//   - control: a scalar assigned anywhere under an If or While whose
+//     condition contains a load or a tainted scalar (its value encodes
+//     the loaded bit);
+//   - induction: a counted loop whose bounds contain a load or tainted
+//     scalar taints its own variable (the iteration range is data-
+//     dependent, e.g. CSR row pointers).
+//
+// Over-tainting only demotes claims, so imprecision here is safe.
+func taintScalars(k *cir.Kernel) map[string]bool {
+	t := map[string]bool{}
+	for {
+		changed := false
+		mark := func(name string) {
+			if !t[name] {
+				t[name] = true
+				changed = true
+			}
+		}
+		var walk func(b cir.Block, ctl bool)
+		walk = func(b cir.Block, ctl bool) {
+			for _, s := range b {
+				switch s := s.(type) {
+				case *cir.Decl:
+					if ctl || (s.Init != nil && dataDependent(s.Init, t)) {
+						mark(s.Name)
+					}
+				case *cir.Assign:
+					if v, ok := s.LHS.(*cir.VarRef); ok {
+						if ctl || dataDependent(s.RHS, t) {
+							mark(v.Name)
+						}
+					}
+				case *cir.If:
+					inner := ctl || dataDependent(s.Cond, t)
+					walk(s.Then, inner)
+					walk(s.Else, inner)
+				case *cir.While:
+					inner := ctl || dataDependent(s.Cond, t)
+					walk(s.Body, inner)
+				case *cir.Loop:
+					if dataDependent(s.Lo, t) || dataDependent(s.Hi, t) {
+						mark(s.Var)
+					}
+					// The loop variable's progression is affine whether
+					// or not the loop executes under tainted control, so
+					// ctl does not taint it; body assigns inherit ctl.
+					walk(s.Body, ctl)
+				}
+			}
+		}
+		walk(k.Body, false)
+		if !changed {
+			return t
+		}
+	}
+}
+
+// dataDependent reports whether the expression contains an array load
+// or references a tainted scalar.
+func dataDependent(e cir.Expr, tainted map[string]bool) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *cir.Index:
+		return true
+	case *cir.VarRef:
+		return tainted[e.Name]
+	case *cir.Unary:
+		return dataDependent(e.X, tainted)
+	case *cir.Binary:
+		return dataDependent(e.L, tainted) || dataDependent(e.R, tainted)
+	case *cir.Cast:
+		return dataDependent(e.X, tainted)
+	case *cir.Cond:
+		return dataDependent(e.C, tainted) || dataDependent(e.T, tainted) ||
+			dataDependent(e.F, tainted)
+	case *cir.Call:
+		for _, a := range e.Args {
+			if dataDependent(a, tainted) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,260 @@
+package access
+
+import (
+	"s2fa/internal/cir"
+	"s2fa/internal/depend"
+)
+
+// walker visits the kernel once, recording every *cir.Index occurrence
+// as a Site with its per-loop claims. A prepass collects array shapes,
+// the set of mutated scalars, per-loop assigned sets, and the
+// data-dependence taint.
+type walker struct {
+	k      *cir.Kernel
+	taskID string
+
+	arrKind map[string]ArrayKind
+	arrLen  map[string]int64
+	// varying marks scalars whose value can change after their one-time
+	// top-level initialization: any Assign target, any Decl nested in
+	// control flow, and every loop variable. A scalar NOT in varying is
+	// a run-wide constant and may appear in affine subscripts.
+	varying map[string]bool
+	// assignedIn maps loop ID -> names (re)defined in its subtree.
+	assignedIn map[string]map[string]bool
+	// tainted marks scalars that transitively depend on loaded data.
+	tainted map[string]bool
+
+	sites []*Site
+	chain []*cir.Loop
+	nWhil int
+}
+
+func newWalker(k *cir.Kernel) *walker {
+	w := &walker{
+		k:          k,
+		taskID:     k.TaskLoopID,
+		arrKind:    map[string]ArrayKind{},
+		arrLen:     map[string]int64{},
+		varying:    map[string]bool{},
+		assignedIn: map[string]map[string]bool{},
+	}
+	for i := range k.Params {
+		if k.Params[i].IsArray {
+			w.arrKind[k.Params[i].Name] = ArrParam
+			w.arrLen[k.Params[i].Name] = int64(k.Params[i].Length)
+		}
+	}
+	for i := range k.Globals {
+		w.arrKind[k.Globals[i].Name] = ArrGlobal
+		w.arrLen[k.Globals[i].Name] = int64(len(k.Globals[i].Data))
+	}
+	w.prepass(k.Body, nil, false)
+	w.tainted = taintScalars(k)
+	return w
+}
+
+// prepass walks once before site recording: array declarations, the
+// varying set, and per-loop assigned sets. encl carries the IDs of the
+// enclosing counted loops; inCtl is true under any loop, while, or if.
+func (w *walker) prepass(b cir.Block, encl []string, inCtl bool) {
+	markAssigned := func(name string) {
+		for _, id := range encl {
+			m := w.assignedIn[id]
+			if m == nil {
+				m = map[string]bool{}
+				w.assignedIn[id] = m
+			}
+			m[name] = true
+		}
+	}
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.ArrDecl:
+			w.arrKind[s.Name] = ArrLocal
+			w.arrLen[s.Name] = int64(s.Len)
+		case *cir.Decl:
+			if inCtl {
+				w.varying[s.Name] = true
+				markAssigned(s.Name)
+			}
+		case *cir.Assign:
+			if v, ok := s.LHS.(*cir.VarRef); ok {
+				w.varying[v.Name] = true
+				markAssigned(v.Name)
+			}
+		case *cir.If:
+			w.prepass(s.Then, encl, true)
+			w.prepass(s.Else, encl, true)
+		case *cir.While:
+			w.prepass(s.Body, encl, true)
+		case *cir.Loop:
+			w.varying[s.Var] = true
+			markAssigned(s.Var)
+			w.prepass(s.Body, append(encl, s.ID), true)
+		}
+	}
+}
+
+// block records sites in statement order.
+func (w *walker) block(b cir.Block) {
+	for _, s := range b {
+		switch s := s.(type) {
+		case *cir.Decl:
+			if s.Init != nil {
+				w.expr(s.Init)
+			}
+		case *cir.Assign:
+			w.expr(s.RHS)
+			if ix, ok := s.LHS.(*cir.Index); ok {
+				w.expr(ix.Idx)
+				w.site(ix, true)
+			}
+		case *cir.If:
+			w.expr(s.Cond)
+			w.block(s.Then)
+			w.block(s.Else)
+		case *cir.While:
+			w.expr(s.Cond)
+			w.nWhil++
+			w.block(s.Body)
+			w.nWhil--
+		case *cir.Loop:
+			w.expr(s.Lo)
+			w.expr(s.Hi)
+			w.chain = append(w.chain, s)
+			w.block(s.Body)
+			w.chain = w.chain[:len(w.chain)-1]
+		case *cir.Return:
+			if s.Val != nil {
+				w.expr(s.Val)
+			}
+		}
+	}
+}
+
+func (w *walker) expr(e cir.Expr) {
+	switch e := e.(type) {
+	case *cir.Index:
+		w.expr(e.Idx)
+		w.site(e, false)
+	case *cir.Unary:
+		w.expr(e.X)
+	case *cir.Binary:
+		w.expr(e.L)
+		w.expr(e.R)
+	case *cir.Cast:
+		w.expr(e.X)
+	case *cir.Cond:
+		w.expr(e.C)
+		w.expr(e.T)
+		w.expr(e.F)
+	case *cir.Call:
+		for _, a := range e.Args {
+			w.expr(a)
+		}
+	}
+}
+
+func (w *walker) isInd(name string) bool {
+	for _, l := range w.chain {
+		if l.Var == name {
+			return true
+		}
+	}
+	return false
+}
+
+// site records one access with claims for every enclosing loop.
+func (w *walker) site(ix *cir.Index, write bool) {
+	s := &Site{
+		Array:      ix.Arr,
+		Kind:       w.arrKind[ix.Arr],
+		Write:      write,
+		Pos:        ix.Pos,
+		Idx:        ix.Idx,
+		WhileDepth: w.nWhil,
+		Claims:     map[string]Claim{},
+	}
+	s.chainLs = append(s.chainLs, w.chain...)
+	for _, l := range w.chain {
+		s.Chain = append(s.Chain, l.ID)
+	}
+	if n := len(w.chain); n > 0 {
+		s.InnerLoop = w.chain[n-1].ID
+	}
+	s.DataDep = dataDependent(ix.Idx, w.tainted)
+	if !s.DataDep {
+		s.form = depend.DecomposeAffine(ix.Idx, w.isInd)
+		s.AffineOK = s.form.OK
+	}
+	for _, l := range w.chain {
+		s.Claims[l.ID] = w.claim(l, s)
+	}
+	s.perTask = w.perTaskCount()
+	w.sites = append(w.sites, s)
+}
+
+// claim derives the per-loop verdict for the current site. Demotion is
+// always legal; an affine class must satisfy the one-sided contract.
+func (w *walker) claim(l *cir.Loop, s *Site) Claim {
+	if s.DataDep {
+		return Claim{Class: Gather}
+	}
+	if !s.AffineOK {
+		return Claim{Class: Unknown}
+	}
+	// A mutable scalar in the subscript breaks the fixed-residual
+	// guarantee: its value is not pinned by the other induction
+	// variables. Run-wide constants fold into the residual and are fine.
+	//determinism:allow order-independent: existence check over coefficients
+	for name, c := range s.form.Syms {
+		if c != 0 && w.varying[name] {
+			return Claim{Class: Unknown}
+		}
+	}
+	// If the body mutates the loop's own variable the iteration-to-
+	// iteration progression is no longer Step, so stride means nothing.
+	if w.assignedIn[l.ID][l.Var] {
+		return Claim{Class: Unknown}
+	}
+	coeff := s.form.Ind[l.Var]
+	stride := coeff * l.Step
+	switch {
+	case stride == 0:
+		return Claim{Class: Invariant}
+	case stride == 1:
+		return Claim{Class: Burst, Coeff: coeff, Stride: stride}
+	}
+	return Claim{Class: Strided, Coeff: coeff, Stride: stride}
+}
+
+// perTaskCount statically estimates how often the current program
+// point executes per task: the trip product of the enclosing counted
+// loops below the task loop, times a nominal 16 per enclosing while
+// (matching the scheduler's unknown-trip charge).
+func (w *walker) perTaskCount() int64 {
+	const nominal = 16
+	const capAt = int64(1) << 40
+	n := int64(1)
+	for _, l := range w.chain {
+		if l.ID == w.taskID {
+			continue
+		}
+		t := l.TripCount()
+		if t <= 0 {
+			t = nominal
+		}
+		if n > capAt/t {
+			return capAt
+		}
+		n *= t
+	}
+	for i := 0; i < w.nWhil; i++ {
+		if n > capAt/nominal {
+			return capAt
+		}
+		n *= nominal
+	}
+	return n
+}

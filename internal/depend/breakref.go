@@ -74,6 +74,7 @@ func breakRefinements(body cir.Block) map[int][]gbound {
 			continue
 		}
 		// Look for single set-sites of reset flags inside this If.
+		//determinism:allow order-independent: each iteration touches only its own sets[flag] entry
 		for flag := range resets {
 			conds, n := findFlagSets(ifStmt, flag)
 			if n == 0 {

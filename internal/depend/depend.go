@@ -369,6 +369,7 @@ func (an *Analysis) verdictFor(n *loopNode, li *cir.LoopInfo) *Verdict {
 	}
 
 	v.RaceCarried = sortedKeys(raceSet)
+	//determinism:allow order-independent: per-key deletes, no cross-key effect
 	for arr := range outSet {
 		if raceSet[arr] {
 			delete(outSet, arr)
@@ -409,6 +410,7 @@ func conservativeCarried(n *loopNode) (race, output []string) {
 	}
 	raceSet := map[string]bool{}
 	outSet := map[string]bool{}
+	//determinism:allow order-independent: commutative set inserts on distinct keys
 	for arr, wn := range writes {
 		if n.localArrs[arr] {
 			continue
@@ -655,6 +657,7 @@ func selectChains(l *cir.Loop, li *cir.LoopInfo) []string {
 	}
 	walk(l.Body, 0)
 	var out []string
+	//determinism:allow collect-then-sort: the slice is sorted before returning
 	for v := range cond {
 		if !uncond[v] {
 			out = append(out, v)
@@ -729,6 +732,7 @@ func sortedKeys(m map[string]bool) []string {
 		return nil
 	}
 	out := make([]string, 0, len(m))
+	//determinism:allow collect-then-sort: keys are ordered before use
 	for k := range m {
 		out = append(out, k)
 	}
@@ -741,6 +745,7 @@ func sortedKeysI64(m map[string]int64) []string {
 		return nil
 	}
 	out := make([]string, 0, len(m))
+	//determinism:allow collect-then-sort: keys are ordered before use
 	for k := range m {
 		out = append(out, k)
 	}
@@ -750,9 +755,11 @@ func sortedKeysI64(m map[string]int64) []string {
 
 func sortedUnion(a, b map[string]int64) []string {
 	set := map[string]bool{}
+	//determinism:allow order-independent: commutative set inserts, sorted by the caller
 	for k := range a {
 		set[k] = true
 	}
+	//determinism:allow order-independent: commutative set inserts, sorted by the caller
 	for k := range b {
 		set[k] = true
 	}

@@ -345,6 +345,7 @@ func (w *walker) kill(name string) {
 
 func (w *walker) killAll(names map[string]bool) {
 	for _, fr := range w.frames {
+		//determinism:allow order-independent: commutative kill-set inserts
 		for name := range names {
 			fr.killed[name] = true
 		}

@@ -110,8 +110,9 @@ func TestDependPruneFewerEstimationsSameBest(t *testing.T) {
 	if base.Evaluations != guarded.Evaluations {
 		t.Errorf("evaluation count changed: %d -> %d", base.Evaluations, guarded.Evaluations)
 	}
-	baseHLS := base.Evaluations - base.StaticallyPruned - base.RangeCollapsed
-	guardedHLS := guarded.Evaluations - guarded.StaticallyPruned - guarded.DependPruned - guarded.RangeCollapsed
+	baseHLS := base.Evaluations - base.StaticallyPruned - base.AccessPruned - base.RangeCollapsed
+	guardedHLS := guarded.Evaluations - guarded.StaticallyPruned - guarded.DependPruned -
+		guarded.AccessPruned - guarded.RangeCollapsed
 	if guardedHLS >= 147 {
 		t.Errorf("fresh HLS estimations = %d, want < 147 (pre-verdict reference)", guardedHLS)
 	}

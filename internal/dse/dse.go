@@ -68,6 +68,12 @@ type Outcome struct {
 	// provably serializes are a hardware no-op, so the point shares its
 	// parallel=1 sibling's report.
 	DependPruned int
+	// AccessPruned counts evaluations served from an access-equivalent
+	// design's HLS report instead of a fresh estimation
+	// (Config.AccessPrune): parallel factors above a loop's BRAM
+	// port-cap replicate datapaths the banks cannot feed, so the point
+	// shares its cap-clamped sibling's report.
+	AccessPruned int
 	// RangeCollapsed counts evaluations served from a width-equivalent
 	// design's HLS report instead of a fresh estimation
 	// (Config.RestrictRanges); the value-range facts prove the model
@@ -157,6 +163,15 @@ type Config struct {
 	// and RestrictRanges, the search trajectory and best design are
 	// preserved exactly.
 	DependPrune bool
+	// AccessPrune guards the evaluator with the static access-pattern
+	// analysis: parallel factors above a loop's BRAM port-cap
+	// (internal/access PortCap — more direct array accesses per
+	// iteration than the banks have ports for) are never instantiated
+	// by the binder, so such points collapse onto their cap-clamped
+	// sibling's report instead of reaching Merlin + estimation. Like
+	// the other guards, the search trajectory and best design are
+	// preserved exactly.
+	AccessPrune bool
 	// RestrictRanges uses the abstract interpreter's proven value ranges
 	// to collapse interface bit-widths the HLS model cannot distinguish:
 	// equivalent points share one estimation, and the dominated domain
@@ -206,6 +221,7 @@ func S2FAConfig(seed int64) Config {
 		MaxEvaluations:   200_000,
 		StaticPrune:      true,
 		DependPrune:      true,
+		AccessPrune:      true,
 		RestrictRanges:   true,
 	}
 }
@@ -286,6 +302,13 @@ func wrapEvaluator(k *cir.Kernel, sp *space.Space, eval tuner.Evaluator, cfg Con
 		}
 		_, out.RangeRestrictedValues = space.RestrictFromRanges(sp, dev)
 		eval = rangeCollapseEvaluator(k, sp, dev, eval, &out.RangeCollapsed, cfg.Trace)
+	}
+	if cfg.AccessPrune {
+		// Collapse parallel factors above a loop's BRAM port-cap onto the
+		// cap-clamped sibling's report. Layered inside DependPrune so the
+		// dependence collapse intercepts its (disjoint, parallel=1) class
+		// first, keeping both counters' meanings stable.
+		eval = accessPruneEvaluator(k, sp, eval, &out.AccessPruned, cfg.Trace)
 	}
 	if cfg.DependPrune {
 		// Collapse points whose parallel factors contradict a proven loop
@@ -611,6 +634,9 @@ func (o *Outcome) Summary() string {
 	}
 	if o.DependPruned > 0 {
 		s += fmt.Sprintf(" depend-pruned=%d", o.DependPruned)
+	}
+	if o.AccessPruned > 0 {
+		s += fmt.Sprintf(" access-pruned=%d", o.AccessPruned)
 	}
 	if o.RangeCollapsed > 0 || o.RangeRestrictedValues > 0 {
 		s += fmt.Sprintf(" range-collapsed=%d(+%d dominated widths)",

@@ -157,14 +157,19 @@ func (f *Fig3Result) Render() string {
 			fmt.Fprintf(&b, "%-8s  depend: %d evaluations served from dependence-equivalent designs (serial lanes collapse to parallel=1)\n",
 				"", s.S2FA.DependPruned)
 		}
+		if s.S2FA.AccessPruned > 0 {
+			fmt.Fprintf(&b, "%-8s  access: %d evaluations served from port-cap-equivalent designs (starved lanes collapse to the cap)\n",
+				"", s.S2FA.AccessPruned)
+		}
 	}
-	pruned, domain, collapsed, dominated, depPruned := 0, 0, 0, 0, 0
+	pruned, domain, collapsed, dominated, depPruned, accPruned := 0, 0, 0, 0, 0, 0
 	for _, s := range f.Series {
 		pruned += s.S2FA.StaticallyPruned
 		domain += s.S2FA.PrunedDomainValues
 		collapsed += s.S2FA.RangeCollapsed
 		dominated += s.S2FA.RangeRestrictedValues
 		depPruned += s.S2FA.DependPruned
+		accPruned += s.S2FA.AccessPruned
 	}
 	fmt.Fprintf(&b, "\nS2FA saves %.1f%% DSE time on average (paper: 52.5%%) and reaches %.1fx better designs (paper: 35x)\n",
 		f.AvgTimeSavingPct, f.QoRImprovement)
@@ -179,6 +184,10 @@ func (f *Fig3Result) Render() string {
 	if depPruned > 0 {
 		fmt.Fprintf(&b, "dependence analysis served %d evaluations from equivalent designs (unpipelined serializing lanes are a hardware no-op)\n",
 			depPruned)
+	}
+	if accPruned > 0 {
+		fmt.Fprintf(&b, "access analysis served %d evaluations from equivalent designs (lanes past the BRAM port cap buy no hardware)\n",
+			accPruned)
 	}
 	return b.String()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"s2fa/internal/access"
 	"s2fa/internal/cir"
 	"s2fa/internal/depend"
 	"s2fa/internal/fpga"
@@ -32,6 +33,11 @@ type Report struct {
 	// for infeasible points — "resource-overflow", "routing-congestion",
 	// "flatten-structure".
 	Bottleneck string
+	// BottleneckSite names the access site behind a memory-bound or
+	// port-contention verdict: the binding interface buffer and — when
+	// the access analysis pinned one — the kdsl position of its weakest
+	// access. Empty for non-memory bottlenecks.
+	BottleneckSite string
 
 	Cycles int64 // total kernel cycles for the evaluated batch
 	TaskII float64
@@ -89,7 +95,7 @@ func (r Report) String() string {
 // kernel over a batch of n tasks on the given device.
 func Estimate(k *cir.Kernel, dev *fpga.Device, n int64, opt Options) Report {
 	info := cir.Analyze(k)
-	m := &model{kernel: k, info: info, dep: depend.Analyze(k), dev: dev, n: n, opt: opt}
+	m := &model{kernel: k, info: info, dep: depend.Analyze(k), acc: access.Analyze(k), dev: dev, n: n, opt: opt}
 	return m.run()
 }
 
@@ -97,6 +103,7 @@ type model struct {
 	kernel *cir.Kernel
 	info   *cir.KernelInfo
 	dep    *depend.Analysis
+	acc    *access.Analysis
 	dev    *fpga.Device
 	n      int64
 	opt    Options
@@ -138,8 +145,10 @@ func (m *model) run() Report {
 	}
 	// Global off-chip bandwidth floor: no design streams faster than the
 	// DDR channel, which is what leaves AES and PageRank memory-bound
-	// (paper §5.2).
+	// (paper §5.2). Gather-only buffers add their per-element latency on
+	// top — indirect streams never reach channel bandwidth.
 	memFloor := float64(m.n) * float64(rep.BytesPerTask) / float64(m.dev.DDRBytesPerCycle)
+	memFloor += float64(m.n) * m.gatherFloor()
 	if cycles < memFloor {
 		cycles = memFloor
 		m.iiTag = "memory-bound"
@@ -198,6 +207,9 @@ func (m *model) run() Report {
 		if rep.Bottleneck == "" {
 			rep.Bottleneck = "compute"
 		}
+	}
+	if rep.Bottleneck == "memory-bound" || rep.Bottleneck == "port-contention" {
+		rep.BottleneckSite = m.bottleneckSite(rep.Bottleneck)
 	}
 	if !rep.Feasible {
 		// Overflowing designs abort during resource mapping, well before
@@ -260,6 +272,18 @@ func (m *model) carried(li *cir.LoopInfo) (arrs []string, dist float64, seq bool
 	return arrs, dist, v.Kind == depend.Sequential
 }
 
+// laneCap bounds a loop's useful parallel lanes by the element-port
+// budget of the banked on-chip arrays it touches every iteration (see
+// access.PortCap): the binder does not replicate datapaths the BRAM
+// ports cannot feed, so factors above the cap produce the cap's
+// schedule and area. Like inertLanes, this is a model-enforced
+// invariant the DSE access collapse relies on: a design with
+// parallel=u>cap on such a loop reports identically to its
+// parallel=cap sibling.
+func (m *model) laneCap(li *cir.LoopInfo) int {
+	return m.acc.PortCap(li.Loop.ID)
+}
+
 // inertLanes reports whether the loop's parallel directive is a hardware
 // no-op: an unpipelined loop whose iterations provably contend on carried
 // arrays executes its lanes strictly in series, and the binder maps a
@@ -302,6 +326,9 @@ func (m *model) schedule(li *cir.LoopInfo) stage {
 	u := float64(maxInt(1, l.Opt.Parallel))
 	if u > trip {
 		u = trip
+	}
+	if c := m.laneCap(li); c > 0 && u > float64(c) {
+		u = float64(c)
 	}
 
 	switch {
@@ -529,10 +556,33 @@ func (m *model) raiseMem(ii *float64, li *cir.LoopInfo, u float64) {
 	m.raise(ii, aggregate, "memory-bound")
 }
 
-// memCycles returns the per-task-iteration transfer cycles bound by the
-// slowest single interface port and by the aggregate DDR channel.
-func (m *model) memCycles(u float64) (perPort, aggregate float64) {
-	var totalBytes float64
+// gatherBeatCycles is the per-access DDR latency charge for buffers no
+// burst engine can service: each indirect access opens its own beat
+// instead of riding a staged transfer.
+const gatherBeatCycles = 8
+
+// stagedElems returns the element span a burst transfer must cover for
+// one task of the buffer: the access analysis' footprint span when the
+// buffer is burst-stageable, the full per-task length otherwise.
+func (m *model) stagedElems(p *cir.Param) float64 {
+	if pr := m.acc.Param(p.Name); pr != nil && pr.Stageable && pr.StageElems < int64(p.Length) {
+		return float64(pr.StageElems)
+	}
+	return float64(p.Length)
+}
+
+// gatherOnly reports whether every access to the buffer is a gather or
+// affine-opaque, leaving Merlin's burst inference nothing to stage.
+func (m *model) gatherOnly(p *cir.Param) *access.ParamProfile {
+	if pr := m.acc.Param(p.Name); pr != nil && !pr.Stageable {
+		return pr
+	}
+	return nil
+}
+
+// gatherFloor is the per-task cycle cost of the gather-only buffers.
+func (m *model) gatherFloor() float64 {
+	var c float64
 	for _, p := range m.kernel.Params {
 		if !p.IsArray {
 			continue
@@ -540,8 +590,37 @@ func (m *model) memCycles(u float64) (perPort, aggregate float64) {
 		if p.IsOutput && m.kernel.Pattern == cir.PatternReduce {
 			continue
 		}
+		if pr := m.gatherOnly(&p); pr != nil {
+			c += float64(pr.Accesses) * gatherBeatCycles
+		}
+	}
+	return c
+}
+
+// memCycles returns the per-task-iteration transfer cycles bound by the
+// slowest single interface port and by the aggregate DDR channel.
+// Burst-stageable buffers move their footprint span at port/channel
+// bandwidth; gather-only buffers pay per-element latency, multiplied by
+// the lanes issuing them.
+func (m *model) memCycles(u float64) (perPort, aggregate float64) {
+	var totalBytes, gatherCyc float64
+	for _, p := range m.kernel.Params {
+		if !p.IsArray {
+			continue
+		}
+		if p.IsOutput && m.kernel.Pattern == cir.PatternReduce {
+			continue
+		}
+		if pr := m.gatherOnly(&p); pr != nil {
+			c := float64(pr.Accesses) * gatherBeatCycles * u
+			gatherCyc += c
+			if c > perPort {
+				perPort = c
+			}
+			continue
+		}
 		eb := float64(p.Elem.Bits()) / 8
-		bytes := float64(p.Length) * eb * u
+		bytes := m.stagedElems(&p) * eb * u
 		totalBytes += bytes
 		bw := p.BitWidth
 		if bw == 0 {
@@ -552,13 +631,62 @@ func (m *model) memCycles(u float64) (perPort, aggregate float64) {
 			perPort = c
 		}
 	}
-	aggregate = totalBytes / float64(m.dev.DDRBytesPerCycle)
+	aggregate = totalBytes/float64(m.dev.DDRBytesPerCycle) + gatherCyc
 	return perPort, aggregate
 }
 
-// bytesPerTaskOf returns the streamed off-chip traffic per task. Reduce
-// outputs are task-invariant accumulators transferred once per batch and
-// do not stream.
+// bottleneckSite names the interface buffer that binds a memory verdict
+// and, when the access analysis pinned one, the kdsl position and class
+// of its weakest access site.
+func (m *model) bottleneckSite(tag string) string {
+	var best string
+	var bestCost float64
+	var bestPr *access.ParamProfile
+	for _, p := range m.kernel.Params {
+		if !p.IsArray {
+			continue
+		}
+		if p.IsOutput && m.kernel.Pattern == cir.PatternReduce {
+			continue
+		}
+		pr := m.acc.Param(p.Name)
+		var cost float64
+		if pr != nil && !pr.Stageable {
+			cost = float64(pr.Accesses) * gatherBeatCycles
+		} else {
+			bytes := m.stagedElems(&p) * float64(p.Elem.Bits()) / 8
+			if tag == "port-contention" {
+				bw := p.BitWidth
+				if bw == 0 {
+					bw = p.Elem.Bits()
+				}
+				cost = bytes / (float64(bw) / 8)
+			} else {
+				cost = bytes / float64(m.dev.DDRBytesPerCycle)
+			}
+		}
+		if cost > bestCost {
+			bestCost, best, bestPr = cost, p.Name, pr
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	if bestPr != nil && bestPr.WorstSite != nil {
+		s := bestPr.WorstSite
+		if s.Pos.Valid() {
+			return fmt.Sprintf("%s (%s @ kdsl %s)", best, s.Class(), s.Pos)
+		}
+		return fmt.Sprintf("%s (%s)", best, s.Class())
+	}
+	return best
+}
+
+// bytesPerTaskOf returns the streamed off-chip traffic per task: the
+// staged footprint span of each streaming buffer. Reduce outputs are
+// task-invariant accumulators transferred once per batch and do not
+// stream; gather-only buffers still ship whole (the host cannot know
+// which elements the card will touch).
 func (m *model) bytesPerTaskOf() int {
 	total := 0
 	for _, p := range m.kernel.Params {
@@ -568,7 +696,11 @@ func (m *model) bytesPerTaskOf() int {
 		if p.IsOutput && m.kernel.Pattern == cir.PatternReduce {
 			continue
 		}
-		total += p.Length * p.Elem.Bits() / 8
+		elems := float64(p.Length)
+		if m.gatherOnly(&p) == nil {
+			elems = m.stagedElems(&p)
+		}
+		total += int(elems) * p.Elem.Bits() / 8
 	}
 	return total
 }
@@ -607,6 +739,9 @@ func (m *model) resources() (lut, ff, dsp, bram int) {
 		u := maxInt(1, li.Loop.Opt.Parallel)
 		if li.Trip > 0 && int64(u) > li.Trip {
 			u = int(li.Trip)
+		}
+		if c := m.laneCap(li); c > 0 && u > c {
+			u = c // port-starved lanes are never instantiated
 		}
 		if m.inertLanes(li) {
 			u = 1 // serial lanes share one instance; no replication

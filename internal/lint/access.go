@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"fmt"
+
+	"s2fa/internal/access"
+	"s2fa/internal/cir"
+)
+
+// checkAccess is pass 6: the access-pattern advisory. A subscript that
+// transitively depends on loaded data (a gather/scatter) defeats
+// Merlin's burst inference — the buffer pays per-element DDR latency no
+// matter how the loops are annotated — so every such site is flagged
+// with its kdsl source position. Advisory only: gathers are legal and
+// HLS schedules them, they just cap the memory system, so the severity
+// contract keeps these at Warn.
+func checkAccess(k *cir.Kernel) Findings {
+	acc := access.Analyze(k)
+	var fs Findings
+	seen := map[string]bool{}
+	for _, s := range acc.Sites {
+		if !s.DataDep {
+			continue
+		}
+		key := s.Array + "@" + s.Pos.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		verb := "read"
+		if s.Write {
+			verb = "written"
+		}
+		where := ""
+		if s.Pos.Valid() {
+			where = s.Pos.String()
+		}
+		fs = append(fs, Finding{
+			Rule:   RuleGatherAccess,
+			Sev:    SevWarn,
+			Kernel: k.Name,
+			LoopID: s.InnerLoop,
+			Where:  where,
+			Detail: fmt.Sprintf(
+				"%s %q %s through a data-dependent subscript (gather/scatter): "+
+					"no burst engine can stage it, each access pays full DDR latency",
+				s.Kind, s.Array, verb),
+		})
+	}
+	return fs
+}

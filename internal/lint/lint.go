@@ -13,6 +13,7 @@
 //	pass 3  parallel-safety race detection                (races.go)
 //	pass 4  transform/pragma legality                     (legality.go)
 //	pass 5  post-transform structural invariants          (structure.go)
+//	pass 6  access-pattern gather advisory                (access.go)
 //
 // Findings carry a rule ID, a severity, and a location. Severities follow
 // a strict contract that the cross-check tests enforce: an Error is
@@ -78,6 +79,7 @@ const (
 	RuleLoopVarWrite   = "loop-var-write"        // pass 5, error
 	RuleBadStep        = "bad-step"              // pass 5, error
 	RuleMissingTask    = "missing-task-loop"     // pass 5, error
+	RuleGatherAccess   = "gather-access"         // pass 6, warn (sourced advisory)
 )
 
 // Finding is one diagnostic produced by a lint pass.
@@ -195,6 +197,7 @@ func Lint(k *cir.Kernel) Findings {
 	fs = append(fs, checkDataflow(k)...)
 	fs = append(fs, checkBounds(k)...)
 	fs = append(fs, c.Directives(annotatedLoops(k), annotatedWidths(k))...)
+	fs = append(fs, checkAccess(k)...)
 	fs.Sort()
 	return fs
 }
