@@ -24,6 +24,7 @@ var hotPaths = []string{
 	"internal/depend",
 	"internal/dse",
 	"internal/hls",
+	"internal/obs",
 	"internal/tuner",
 }
 

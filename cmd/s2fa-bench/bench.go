@@ -35,6 +35,7 @@ import (
 	"s2fa/internal/jvmsim"
 	"s2fa/internal/kdsl"
 	"s2fa/internal/merlin"
+	"s2fa/internal/obs"
 	"s2fa/internal/space"
 )
 
@@ -84,6 +85,18 @@ type benchReport struct {
 	// StageMicros are per-stage single-threaded microbenchmarks (us/op),
 	// mirroring the Benchmark* micros in bench_test.go.
 	StageMicros map[string]float64 `json:"stage_micros"`
+	// StagePercentiles carry the tail of the same measurement loops
+	// (p50/p99 us/op from a log-bucket histogram), so BENCH_* baselines
+	// track tail behavior, not just averages. Absent in baselines
+	// recorded before the metrics registry existed; the regression gates
+	// read only StageMicros, so old files stay valid.
+	StagePercentiles map[string]stagePct `json:"stage_percentiles,omitempty"`
+}
+
+// stagePct is the tail of one stage's measurement loop, in us/op.
+type stagePct struct {
+	P50 float64 `json:"p50"`
+	P99 float64 `json:"p99"`
 }
 
 // scalePoint is one pool size of the -cores scaling sweep.
@@ -105,6 +118,26 @@ func timeIt(fn func()) float64 {
 		n++
 	}
 	return float64(time.Since(start).Microseconds()) / float64(n)
+}
+
+// timeItDist is timeIt with every iteration also recorded into a
+// log-bucket histogram, yielding the tail percentiles alongside the
+// mean. The per-iteration clock reads add nanoseconds to a loop whose
+// ops are microseconds, so the mean stays comparable with baselines
+// recorded by plain timeIt.
+func timeItDist(fn func()) (float64, stagePct) {
+	fn() // warm caches
+	h := obs.NewHistogram()
+	var n int
+	start := time.Now()
+	for time.Since(start) < 200*time.Millisecond {
+		t0 := time.Now()
+		fn()
+		h.Observe(float64(time.Since(t0).Nanoseconds()) / 1e3)
+		n++
+	}
+	mean := float64(time.Since(start).Microseconds()) / float64(n)
+	return mean, stagePct{P50: h.P50(), P99: h.P99()}
 }
 
 // fig3MS regenerates Fig. 3 (timed) and Fig. 4 (on the same warm suite,
@@ -173,11 +206,17 @@ func jitSpeedupSW() (float64, error) {
 
 func measure(seed int64, sweepCores bool) (*benchReport, error) {
 	rep := &benchReport{
-		GoVersion:    runtime.Version(),
-		Cores:        runtime.NumCPU(),
-		MaxProcs:     runtime.GOMAXPROCS(0),
-		ParallelPool: benchParallelism,
-		StageMicros:  map[string]float64{},
+		GoVersion:        runtime.Version(),
+		Cores:            runtime.NumCPU(),
+		MaxProcs:         runtime.GOMAXPROCS(0),
+		ParallelPool:     benchParallelism,
+		StageMicros:      map[string]float64{},
+		StagePercentiles: map[string]stagePct{},
+	}
+	stage := func(name string, fn func()) {
+		mean, pct := timeItDist(fn)
+		rep.StageMicros[name] = mean
+		rep.StagePercentiles[name] = pct
 	}
 
 	seqMS, seqOut, err := fig3MS(seed, dse.EngineSequential, 0, true)
@@ -240,14 +279,14 @@ func measure(seed int64, sweepCores bool) (*benchReport, error) {
 	for _, a := range apps.All() {
 		srcs = append(srcs, a.Source)
 	}
-	rep.StageMicros["frontend"] = timeIt(func() {
+	stage("frontend", func() {
 		for _, src := range srcs {
 			if _, err := kdsl.CompileSource(src); err != nil {
 				panic(err)
 			}
 		}
 	})
-	rep.StageMicros["b2c"] = timeIt(func() {
+	stage("b2c", func() {
 		for _, a := range apps.All() {
 			c, _ := a.Class()
 			if _, err := b2c.Compile(c); err != nil {
@@ -267,9 +306,9 @@ func measure(seed int64, sweepCores bool) (*benchReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep.StageMicros["space_identify"] = timeIt(func() { space.Identify(k) })
-	rep.StageMicros["hls_estimate"] = timeIt(func() { hls.Estimate(ann, dev, int64(a.Tasks), hls.Options{}) })
-	rep.StageMicros["merlin_annotate"] = timeIt(func() {
+	stage("space_identify", func() { space.Identify(k) })
+	stage("hls_estimate", func() { hls.Estimate(ann, dev, int64(a.Tasks), hls.Options{}) })
+	stage("merlin_annotate", func() {
 		if _, err := merlin.Annotate(k, sp.Directives(sp.PerformanceSeed())); err != nil {
 			panic(err)
 		}

@@ -18,9 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"s2fa/internal/dse"
 	"s2fa/internal/exp"
+	"s2fa/internal/obs"
 )
 
 func main() {
@@ -32,8 +35,58 @@ func main() {
 		benchOut   = flag.String("bench", "", "measure the performance baseline (Fig. 3 on both engines + stage micros) and write it to this JSON file")
 		benchCheck = flag.String("bench-check", "", "re-measure the baseline and fail on regression against this committed JSON file")
 		cores      = flag.Bool("cores", false, "with -bench/-bench-check: sweep the parallel DSE pool from 1 to GOMAXPROCS and record the per-core scaling curve in the JSON report")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (DSE pool goroutines carry s2fa_pool_worker/s2fa_kernel/s2fa_partition pprof labels)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		runtimeMet = flag.String("runtime-metrics", "", "sample Go runtime metrics (GC pause, heap, allocs) while the benchmarks run and write the gauge snapshot JSON to this file at exit")
 	)
 	flag.Parse()
+
+	// Profiling hooks mirror cmd/s2fa: they observe the benchmark
+	// process and never feed anything back into the measured runs.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *runtimeMet != "" {
+		reg := obs.NewRegistry()
+		// Defers run LIFO: the snapshot writer is registered first so the
+		// sampler's final sample (its stop runs earlier) is included.
+		defer func() {
+			f, err := os.Create(*runtimeMet)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := reg.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+		}()
+		stop := obs.StartRuntimeSampler(reg, 0)
+		defer stop()
+	}
 
 	if *benchOut != "" || *benchCheck != "" {
 		var err error
@@ -109,4 +162,9 @@ func main() {
 		}
 		return r.Render(), nil
 	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "s2fa-bench:", err)
+	os.Exit(1)
 }

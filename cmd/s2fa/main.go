@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"s2fa/internal/absint"
@@ -53,6 +55,13 @@ func main() {
 		tracePath   = flag.String("trace", "", "write pipeline + DSE trace events to this file")
 		traceFormat = flag.String("trace-format", "jsonl", "trace file format: jsonl | chrome (load the latter in chrome://tracing or Perfetto)")
 		summary     = flag.Bool("summary", false, "print a post-run observability report (stage times, slowest HLS estimations, bandit arms, entropy sparkline)")
+
+		metricsPath  = flag.String("metrics", "", "write a metrics-registry snapshot (per-stage latency histograms with p50/p90/p99, counters, gauges) to this file")
+		metricsForm  = flag.String("metrics-format", "json", "metrics snapshot format: json (for s2fa-report) | prom (Prometheus text exposition)")
+		recorderPath = flag.String("recorder", "", "attach the flight recorder and write its anomaly dumps (slow HLS estimations, budget-exhausted stops, blaze fallbacks) to this file")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file (DSE pool goroutines carry s2fa_pool_worker/s2fa_kernel/s2fa_partition pprof labels)")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		runtimeMet   = flag.Bool("runtime-metrics", false, "sample Go runtime metrics (GC pause, heap, allocs) into the metrics registry while the run executes")
 	)
 	flag.Parse()
 
@@ -105,9 +114,96 @@ func main() {
 		collector = obs.NewCollector()
 		sinks = append(sinks, collector)
 	}
+	var recorder *obs.Recorder
+	if *recorderPath != "" {
+		recorder = obs.NewRecorder(obs.RecorderConfig{})
+		sinks = append(sinks, recorder)
+	}
+	var reg *obs.Registry
+	if *metricsPath != "" || *runtimeMet {
+		reg = obs.NewRegistry()
+	}
 	var tr *obs.Trace
-	if len(sinks) > 0 {
-		tr = obs.New(obs.Multi(sinks...))
+	if len(sinks) > 0 || reg != nil {
+		var opts []obs.Option
+		if reg != nil {
+			opts = append(opts, obs.WithRegistry(reg))
+		}
+		sink := obs.Sink(obs.Discard())
+		if len(sinks) > 0 {
+			sink = obs.Multi(sinks...)
+		}
+		tr = obs.New(sink, opts...)
+	}
+
+	// Profiling hooks. The profiles and samplers observe the run; they
+	// never feed anything back into it.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	// Defers run LIFO: the snapshot writer is registered first so the
+	// sampler's final sample (its stop runs earlier) is included.
+	if reg != nil && *metricsPath != "" {
+		defer func() {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			switch *metricsForm {
+			case "json":
+				err = reg.WriteJSON(f)
+			case "prom":
+				err = reg.WritePrometheus(f)
+			default:
+				err = fmt.Errorf("unknown -metrics-format %q (want json or prom)", *metricsForm)
+			}
+			if err != nil {
+				fatal(err)
+			}
+		}()
+	}
+	if *runtimeMet {
+		stop := obs.StartRuntimeSampler(reg, 0)
+		defer stop()
+	}
+	if recorder != nil {
+		defer func() {
+			f, err := os.Create(*recorderPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			if err := recorder.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if n := len(recorder.Dumps()); n > 0 {
+				fmt.Printf("flight recorder: %d anomaly dump(s) written to %s\n", n, *recorderPath)
+			}
+		}()
 	}
 
 	fw := core.New()

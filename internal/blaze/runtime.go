@@ -3,6 +3,7 @@ package blaze
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"s2fa/internal/absint"
@@ -46,11 +47,21 @@ type Manager struct {
 	accs   map[string]*Accelerator
 	purity map[*bytecode.Class]string
 
+	// reqSeq numbers accelerated transformations. The id rides every
+	// span and instant the request produces ("req" arg), so a trace
+	// groups into per-request span trees — the attribution the
+	// accelerator-as-a-service front door will key on.
+	reqSeq atomic.Int64
+
 	// Trace, when set, receives runtime telemetry: one "blaze" span per
 	// accelerated transformation (offload vs fallback with the cause) and
 	// serialization traffic events. Tracing never changes which path runs.
 	Trace *obs.Trace
 }
+
+// nextReq issues the next request id (1-based; sequential workloads get
+// deterministic ids).
+func (m *Manager) nextReq() int64 { return m.reqSeq.Add(1) }
 
 // NewManager creates a manager for one FPGA device.
 func NewManager(dev *fpga.Device) *Manager {
@@ -145,24 +156,25 @@ func Wrap(r *spark.RDD[jvmsim.Val], mgr *Manager) *AccRDD {
 // runtime behaves.
 func (a *AccRDD) MapAcc(vm *jvmsim.VM) ([]jvmsim.Val, Stats, error) {
 	tasks := a.base.Collect()
+	req := a.mgr.nextReq()
 	span := a.mgr.Trace.Begin("blaze", "map",
-		obs.Str("acc", vm.Class.ID), obs.Int("tasks", len(tasks)))
-	out, stats, err := a.mapAcc(vm, tasks)
+		obs.I64("req", req), obs.Str("acc", vm.Class.ID), obs.Int("tasks", len(tasks)))
+	out, stats, err := a.mapAcc(vm, tasks, req)
 	a.closeSpan(span, stats, err)
 	return out, stats, err
 }
 
-func (a *AccRDD) mapAcc(vm *jvmsim.VM, tasks []jvmsim.Val) ([]jvmsim.Val, Stats, error) {
+func (a *AccRDD) mapAcc(vm *jvmsim.VM, tasks []jvmsim.Val, req int64) ([]jvmsim.Val, Stats, error) {
 	acc := a.mgr.Lookup(vm.Class.ID)
 	if acc == nil {
-		return a.fallbackMap(vm, tasks, "no accelerator registered for "+vm.Class.ID)
+		return a.fallbackMap(vm, tasks, "no accelerator registered for "+vm.Class.ID, req)
 	}
 	if why := a.mgr.purityGate(vm.Class); why != "" {
-		return a.fallbackMap(vm, tasks, why)
+		return a.fallbackMap(vm, tasks, why, req)
 	}
-	results, stats, err := a.offload(acc, tasks)
+	results, stats, err := a.offload(acc, tasks, req)
 	if err != nil {
-		return a.fallbackMap(vm, tasks, "accelerator error: "+err.Error())
+		return a.fallbackMap(vm, tasks, "accelerator error: "+err.Error(), req)
 	}
 	return results, stats, nil
 }
@@ -171,30 +183,31 @@ func (a *AccRDD) mapAcc(vm *jvmsim.VM, tasks []jvmsim.Val) ([]jvmsim.Val, Stats,
 // accumulated value.
 func (a *AccRDD) ReduceAcc(vm *jvmsim.VM) (jvmsim.Val, Stats, error) {
 	tasks := a.base.Collect()
+	req := a.mgr.nextReq()
 	span := a.mgr.Trace.Begin("blaze", "reduce",
-		obs.Str("acc", vm.Class.ID), obs.Int("tasks", len(tasks)))
-	v, stats, err := a.reduceAcc(vm, tasks)
+		obs.I64("req", req), obs.Str("acc", vm.Class.ID), obs.Int("tasks", len(tasks)))
+	v, stats, err := a.reduceAcc(vm, tasks, req)
 	a.closeSpan(span, stats, err)
 	return v, stats, err
 }
 
-func (a *AccRDD) reduceAcc(vm *jvmsim.VM, tasks []jvmsim.Val) (jvmsim.Val, Stats, error) {
+func (a *AccRDD) reduceAcc(vm *jvmsim.VM, tasks []jvmsim.Val, req int64) (jvmsim.Val, Stats, error) {
 	acc := a.mgr.Lookup(vm.Class.ID)
 	if acc == nil {
-		return a.fallbackReduce(vm, tasks, "no accelerator registered for "+vm.Class.ID)
+		return a.fallbackReduce(vm, tasks, "no accelerator registered for "+vm.Class.ID, req)
 	}
 	if why := a.mgr.purityGate(vm.Class); why != "" {
-		return a.fallbackReduce(vm, tasks, why)
+		return a.fallbackReduce(vm, tasks, why, req)
 	}
 	enc := acc.encoder()
 	defer acc.release(enc)
-	bufs, stats, err := a.execKernel(acc, enc, tasks)
+	bufs, stats, err := a.execKernel(acc, enc, tasks, req)
 	if err != nil {
-		return a.fallbackReduce(vm, tasks, "accelerator error: "+err.Error())
+		return a.fallbackReduce(vm, tasks, "accelerator error: "+err.Error(), req)
 	}
 	v, err := acc.Layout.DeserializeReduced(bufs)
 	if err != nil {
-		return a.fallbackReduce(vm, tasks, "deserialize error: "+err.Error())
+		return a.fallbackReduce(vm, tasks, "deserialize error: "+err.Error(), req)
 	}
 	return v, stats, nil
 }
@@ -219,10 +232,10 @@ func (a *AccRDD) closeSpan(span *obs.Span, st Stats, err error) {
 	span.End(kvs...)
 }
 
-func (a *AccRDD) offload(acc *Accelerator, tasks []jvmsim.Val) ([]jvmsim.Val, Stats, error) {
+func (a *AccRDD) offload(acc *Accelerator, tasks []jvmsim.Val, req int64) ([]jvmsim.Val, Stats, error) {
 	enc := acc.encoder()
 	defer acc.release(enc)
-	bufs, stats, err := a.execKernel(acc, enc, tasks)
+	bufs, stats, err := a.execKernel(acc, enc, tasks, req)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -236,7 +249,7 @@ func (a *AccRDD) offload(acc *Accelerator, tasks []jvmsim.Val) ([]jvmsim.Val, St
 // execKernel runs serialization (through the caller's pooled encoder,
 // whose buffers back the returned map until the encoder is released),
 // functional kernel emulation, and the platform timing model.
-func (a *AccRDD) execKernel(acc *Accelerator, enc *Encoder, tasks []jvmsim.Val) (map[string][]cir.Value, Stats, error) {
+func (a *AccRDD) execKernel(acc *Accelerator, enc *Encoder, tasks []jvmsim.Val, req int64) (map[string][]cir.Value, Stats, error) {
 	n := len(tasks)
 	bufs, err := enc.Encode(tasks)
 	if err != nil {
@@ -258,17 +271,20 @@ func (a *AccRDD) execKernel(acc *Accelerator, enc *Encoder, tasks []jvmsim.Val) 
 	if tr := a.mgr.Trace; tr != nil {
 		bytes := acc.Layout.BytesPerTask() * n
 		tr.Event("blaze", "offload",
+			obs.I64("req", req),
 			obs.Str("acc", acc.ID),
 			obs.Int("tasks", n),
 			obs.Int("bytes", bytes),
 			obs.I64("sim_ns", st.SimTime.Nanoseconds()))
 		tr.Count("blaze.offloads", 1)
 		tr.Count("blaze.bytes_serialized", int64(bytes))
+		tr.Observe("blaze_offload_bytes", float64(bytes))
+		tr.Observe("blaze_sim_ms", float64(st.SimTime.Nanoseconds())/1e6, obs.L("path", "offload"))
 	}
 	return bufs, st, nil
 }
 
-func (a *AccRDD) fallbackMap(vm *jvmsim.VM, tasks []jvmsim.Val, why string) ([]jvmsim.Val, Stats, error) {
+func (a *AccRDD) fallbackMap(vm *jvmsim.VM, tasks []jvmsim.Val, why string, req int64) ([]jvmsim.Val, Stats, error) {
 	// Opportunistically execute through the closure-compiled kernel: the
 	// JIT preserves outputs, Counts, and errors bit-for-bit, so the
 	// fallback's results and modeled SimTime are unchanged — only the
@@ -276,6 +292,7 @@ func (a *AccRDD) fallbackMap(vm *jvmsim.VM, tasks []jvmsim.Val, why string) ([]j
 	jit := vm.TryJIT()
 	if tr := a.mgr.Trace; tr != nil {
 		tr.Event("blaze", "fallback",
+			obs.I64("req", req),
 			obs.Str("acc", vm.Class.ID), obs.Str("cause", why), obs.Bool("jit", jit))
 		tr.Count("blaze.fallbacks", 1)
 	}
@@ -284,14 +301,17 @@ func (a *AccRDD) fallbackMap(vm *jvmsim.VM, tasks []jvmsim.Val, why string) ([]j
 		return nil, Stats{}, fmt.Errorf("blaze: JVM fallback failed: %w", err)
 	}
 	cm := jvmsim.DefaultCostModel()
-	return out, Stats{Fallback: why, Tasks: len(tasks), SimTime: cm.Duration(vm.Counts)}, nil
+	st := Stats{Fallback: why, Tasks: len(tasks), SimTime: cm.Duration(vm.Counts)}
+	a.mgr.Trace.Observe("blaze_sim_ms",
+		float64(st.SimTime.Nanoseconds())/1e6, obs.L("path", "fallback"))
+	return out, st, nil
 }
 
-func (a *AccRDD) fallbackReduce(vm *jvmsim.VM, tasks []jvmsim.Val, why string) (jvmsim.Val, Stats, error) {
+func (a *AccRDD) fallbackReduce(vm *jvmsim.VM, tasks []jvmsim.Val, why string, req int64) (jvmsim.Val, Stats, error) {
 	if len(tasks) == 0 {
 		return jvmsim.Val{}, Stats{}, fmt.Errorf("blaze: reduce over empty RDD")
 	}
-	mapped, stats, err := a.fallbackMap(vm, tasks, why)
+	mapped, stats, err := a.fallbackMap(vm, tasks, why, req)
 	if err != nil {
 		return jvmsim.Val{}, Stats{}, err
 	}

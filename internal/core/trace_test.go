@@ -10,22 +10,30 @@ import (
 
 	"s2fa/internal/apps"
 	"s2fa/internal/blaze"
+	"s2fa/internal/dse"
 	"s2fa/internal/fpga"
 	"s2fa/internal/jvmsim"
 	"s2fa/internal/obs"
 	"s2fa/internal/spark"
 )
 
-// buildSW runs the full S-W pipeline at seed 42, optionally traced, then
-// deploys the accelerator and executes a small MapAcc batch so the blaze
-// runtime stage appears in the trace too.
-func buildSW(t *testing.T, tr *obs.Trace) *Build {
+// buildSW runs the full S-W pipeline at seed 42, optionally traced and
+// optionally on the parallel DSE engine, then deploys the accelerator
+// and executes a small MapAcc batch so the blaze runtime stage appears
+// in the trace too.
+func buildSW(t *testing.T, tr *obs.Trace, parallel bool) *Build {
 	t.Helper()
 	a := apps.Get("S-W")
 	fw := New()
 	fw.Seed = 42
 	fw.Tasks = a.Tasks
 	fw.Trace = tr
+	if parallel {
+		cfg := dse.S2FAConfig(fw.Seed)
+		cfg.Engine = dse.EngineParallel
+		cfg.Parallelism = 4
+		fw.DSE = &cfg
+	}
 
 	b, err := fw.BuildFromSource(a.Source)
 	if err != nil {
@@ -57,11 +65,11 @@ func buildSW(t *testing.T, tr *obs.Trace) *Build {
 func TestTracingDeterminism(t *testing.T) {
 	var jsonl bytes.Buffer
 	tr := obs.New(obs.NewJSONL(&jsonl))
-	traced := buildSW(t, tr)
+	traced := buildSW(t, tr, false)
 	if err := tr.Close(); err != nil {
 		t.Fatal(err)
 	}
-	plain := buildSW(t, nil)
+	plain := buildSW(t, nil, false)
 
 	// Byte-identical trajectories: same (virtual minute, objective) pairs
 	// in the same order.
@@ -118,5 +126,49 @@ func TestTracingDeterminism(t *testing.T) {
 	}
 	if len(doc.TraceEvents) < len(events) {
 		t.Errorf("chrome export dropped events: %d < %d", len(doc.TraceEvents), len(events))
+	}
+
+	// Maximum observability must still be free: metrics registry, flight
+	// recorder, AND the parallel engine (whose pool goroutines run under
+	// pprof labels) attached at once, yet the seed-42 trajectory stays
+	// byte-identical to the bare sequential run.
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(obs.RecorderConfig{})
+	var heavy bytes.Buffer
+	tr2 := obs.New(obs.Multi(obs.NewJSONL(&heavy), rec), obs.WithRegistry(reg))
+	full := buildSW(t, tr2, true)
+	if err := tr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fj := fmt.Sprintf("%v", full.Outcome.Trajectory); fj != pj {
+		t.Errorf("registry+recorder+parallel run perturbed the trajectory:\nfull     %s\nuntraced %s", fj, pj)
+	}
+	if got, want := full.Outcome.Best.Point.Key(), plain.Outcome.Best.Point.Key(); got != want {
+		t.Errorf("full-observability best design differs: %s vs %s", got, want)
+	}
+	fb := math.Float64bits(full.Outcome.Best.Objective)
+	if fb != pb {
+		t.Errorf("full-observability best objective differs: %x vs %x", fb, pb)
+	}
+	if full.Outcome.Evaluations != plain.Outcome.Evaluations {
+		t.Errorf("full-observability evaluation count differs: %d vs %d",
+			full.Outcome.Evaluations, plain.Outcome.Evaluations)
+	}
+
+	// And the observers must actually have observed: the registry's eval
+	// counter matches the outcome, and the auto-wired span histograms
+	// carry at least the DSE stage.
+	snap := reg.Snapshot()
+	if got := snap.Counters["dse.evals"]; got != int64(full.Outcome.Evaluations) {
+		t.Errorf("registry dse.evals = %d, want %d", got, full.Outcome.Evaluations)
+	}
+	var sawDSEStage bool
+	for name := range snap.Histograms {
+		if name == `stage_us{stage="dse/run"}` {
+			sawDSEStage = true
+		}
+	}
+	if !sawDSEStage {
+		t.Errorf("registry missing auto-wired stage_us{stage=\"dse/run\"} histogram (have %d series)", len(snap.Histograms))
 	}
 }

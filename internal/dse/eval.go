@@ -87,13 +87,8 @@ func NewTracedEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int6
 				tr.Count("hls.estimations", 1)
 			}
 			res, rejected := pureEval(k, sp, dev, n, opt, pt)
-			if rejected {
-				span.End(obs.Str("merlin", "rejected"),
-					obs.F64("synth_min", res.Minutes), obs.Bool("feasible", false))
-			} else {
-				span.End(obs.F64("synth_min", res.Minutes),
-					obs.Bool("feasible", res.Feasible))
-			}
+			span.End(estimateEndKVs(res, rejected)...)
+			tr.Observe("hls_synth_minutes", res.Minutes)
 			return res
 		})
 		if cached {
@@ -108,6 +103,31 @@ func NewTracedEvaluator(k *cir.Kernel, sp *space.Space, dev *fpga.Device, n int6
 		}
 		return r
 	}
+}
+
+// estimateEndKVs builds the closing args of a fresh hls/estimate span:
+// synthesis minutes and feasibility always, the Merlin rejection marker
+// when the point never reached estimation, and the estimator's
+// structured bottleneck verdict (tag + offending access site) when the
+// report carries one — the fields `s2fa-report` ranks slow estimations
+// by.
+func estimateEndKVs(res tuner.Result, rejected bool) []obs.KV {
+	kvs := make([]obs.KV, 0, 5)
+	if rejected {
+		kvs = append(kvs, obs.Str("merlin", "rejected"))
+	}
+	kvs = append(kvs,
+		obs.F64("synth_min", res.Minutes),
+		obs.Bool("feasible", res.Feasible))
+	if rep, ok := res.Meta.(hls.Report); ok {
+		if rep.Bottleneck != "" {
+			kvs = append(kvs, obs.Str("bottleneck", rep.Bottleneck))
+		}
+		if rep.BottleneckSite != "" {
+			kvs = append(kvs, obs.Str("bottleneck_site", rep.BottleneckSite))
+		}
+	}
+	return kvs
 }
 
 // Penalty objectives (seconds-scale but far above any real design).

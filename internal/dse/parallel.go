@@ -1,8 +1,11 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -64,7 +67,7 @@ func (c Config) poolSize() int {
 
 func runParallel(k *cir.Kernel, sp *space.Space, pure tuner.Evaluator, cfg Config) *Outcome {
 	out := newOutcome(k)
-	pool := newEvalPool(cfg.poolSize(), pure)
+	pool := newEvalPool(cfg.poolSize(), k.Name, pure)
 	defer pool.close(cfg.Trace)
 	eval := wrapEvaluator(k, sp, pool.replayEvaluator(cfg.Trace), cfg, out)
 	var parts []Partition
@@ -105,12 +108,12 @@ func (ps *parScheduler) prepare(w *worker) {
 		seedPt := w.seeds[0]
 		w.seeds = w.seeds[1:]
 		w.pendingSeed = &seedPt
-		ps.pool.prefetch(seedPt)
+		ps.pool.prefetchPart(seedPt, w.part)
 		return
 	}
 	w.pendingProps = w.driver.Propose(ps.cfg.BatchPerIter)
 	for _, p := range w.pendingProps {
-		ps.pool.prefetch(p.Point)
+		ps.pool.prefetchPart(p.Point, w.part)
 	}
 }
 
@@ -186,17 +189,21 @@ func (ps *parScheduler) step(w *worker) {
 	}
 }
 
-// poolJob is one speculative evaluation request.
+// poolJob is one speculative evaluation request. part is the partition
+// index the proposing worker held (-1 when unknown, e.g. training
+// samples dispatched before assignment), carried only as a pprof label.
 type poolJob struct {
-	pt  space.Point
-	enq time.Time
+	pt   space.Point
+	part int
+	enq  time.Time
 }
 
 // evalPool runs pure evaluations on real goroutines, memoized in a
 // sharded cache the merge goroutine reads results from.
 type evalPool struct {
-	pure  tuner.Evaluator
-	cache *hls.Cache[tuner.Result]
+	pure   tuner.Evaluator
+	kernel string // pprof label value attributing samples to the app
+	cache  *hls.Cache[tuner.Result]
 
 	mu     sync.Mutex
 	cond   *sync.Cond
@@ -214,12 +221,13 @@ type evalPool struct {
 	mergeStallNS int64
 }
 
-func newEvalPool(workers int, pure tuner.Evaluator) *evalPool {
+func newEvalPool(workers int, kernel string, pure tuner.Evaluator) *evalPool {
 	if workers < 1 {
 		workers = 1
 	}
 	p := &evalPool{
 		pure:   pure,
+		kernel: kernel,
 		cache:  hls.NewCache[tuner.Result](hls.DefaultCacheShards),
 		busyNS: make([]int64, workers),
 		//determinism:allow telemetry-only: pool wall time never reaches results (replay is deterministic)
@@ -228,27 +236,38 @@ func newEvalPool(workers int, pure tuner.Evaluator) *evalPool {
 	p.cond = sync.NewCond(&p.mu)
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
-		go p.worker(i)
+		// pprof labels attribute CPU samples to search structure: which
+		// pool worker and which app the sample belongs to. Labels are
+		// profiler metadata only — they never touch evaluation results,
+		// so the cross-engine determinism property holds with profiling
+		// on (covered by core.TestTracingDeterminism).
+		go pprof.Do(context.Background(),
+			pprof.Labels("s2fa_pool_worker", strconv.Itoa(i), "s2fa_kernel", kernel),
+			func(ctx context.Context) { p.worker(ctx, i) })
 	}
 	return p
 }
 
-// prefetch queues pt for speculative evaluation. Never blocks: the
+// prefetch queues pt for speculative evaluation with no partition
+// attribution (training samples, partition probes).
+func (p *evalPool) prefetch(pt space.Point) { p.prefetchPart(pt, -1) }
+
+// prefetchPart queues pt for speculative evaluation. Never blocks: the
 // queue is unbounded so the merge goroutine can always run ahead.
-func (p *evalPool) prefetch(pt space.Point) {
+func (p *evalPool) prefetchPart(pt space.Point, part int) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return
 	}
 	//determinism:allow telemetry-only: queue-wait timing never reaches results
-	p.queue = append(p.queue, poolJob{pt: pt, enq: time.Now()})
+	p.queue = append(p.queue, poolJob{pt: pt, part: part, enq: time.Now()})
 	p.mu.Unlock()
 	p.cond.Signal()
 	p.dispatched.Add(1)
 }
 
-func (p *evalPool) worker(i int) {
+func (p *evalPool) worker(ctx context.Context, i int) {
 	defer p.wg.Done()
 	for {
 		p.mu.Lock()
@@ -266,7 +285,14 @@ func (p *evalPool) worker(i int) {
 		t0 := time.Now() //determinism:allow telemetry-only: worker busy time never reaches results
 		// GetOrCompute dedups against other pool workers and against the
 		// merge goroutine computing the same key inline.
-		p.cache.GetOrCompute(j.pt.Key(), func() tuner.Result { return p.pure(j.pt) })
+		compute := func(context.Context) {
+			p.cache.GetOrCompute(j.pt.Key(), func() tuner.Result { return p.pure(j.pt) })
+		}
+		if j.part >= 0 {
+			pprof.Do(ctx, pprof.Labels("s2fa_partition", strconv.Itoa(j.part)), compute)
+		} else {
+			compute(ctx)
+		}
 		p.busyNS[i] += time.Since(t0).Nanoseconds()
 	}
 }
@@ -309,15 +335,10 @@ func (p *evalPool) replayEvaluator(tr *obs.Trace) tuner.Evaluator {
 		t0 := time.Now() //determinism:allow telemetry-only: merge-stall timing never reaches results
 		r, _ := p.cache.GetOrCompute(key, func() tuner.Result { return p.pure(pt) })
 		p.mergeStallNS += time.Since(t0).Nanoseconds()
-		if r.Meta == nil && !r.Feasible {
-			// Merlin rejected the point before estimation (estimated
-			// results always carry their hls.Report in Meta).
-			span.End(obs.Str("merlin", "rejected"),
-				obs.F64("synth_min", r.Minutes), obs.Bool("feasible", false))
-		} else {
-			span.End(obs.F64("synth_min", r.Minutes),
-				obs.Bool("feasible", r.Feasible))
-		}
+		// Merlin-rejected points carry a nil Meta (estimated results
+		// always carry their hls.Report).
+		span.End(estimateEndKVs(r, r.Meta == nil && !r.Feasible)...)
+		tr.Observe("hls_synth_minutes", r.Minutes)
 		r.Point = pt
 		return r
 	}

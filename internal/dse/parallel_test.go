@@ -299,7 +299,7 @@ func (discardSink) Close() error   { return nil }
 func TestEvalPoolCloseAbandonsQueue(t *testing.T) {
 	sp := space.Identify(kernelFor(t))
 	pure := syntheticPure(1, nil)
-	p := newEvalPool(2, pure)
+	p := newEvalPool(2, "test", pure)
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < 500; i++ {
 		p.prefetch(sp.RandomPoint(rng))
@@ -316,7 +316,7 @@ func TestEvalPoolCloseAbandonsQueue(t *testing.T) {
 func TestReplayEvaluatorFreshness(t *testing.T) {
 	sp := space.Identify(kernelFor(t))
 	pure := syntheticPure(42, nil)
-	p := newEvalPool(2, pure)
+	p := newEvalPool(2, "test", pure)
 	defer p.close(nil)
 	replay := p.replayEvaluator(nil)
 	pt := sp.AreaSeed()

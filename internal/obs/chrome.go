@@ -69,7 +69,8 @@ func WriteChrome(events []Event, w io.Writer) error {
 	}
 
 	var order []int
-	for tid := range tids {
+	for tid := range tids { //determinism:allow — keys are collected then sorted below
+
 		order = append(order, tid)
 	}
 	sort.Ints(order)

@@ -1,0 +1,562 @@
+package obs
+
+// The typed metrics registry: deterministic log-scale-bucket histograms
+// with quantile readout, gauges, and labeled counters, exportable as
+// Prometheus text or JSON. It complements the event stream: the trace
+// answers "what happened, in order", the registry answers "what is the
+// distribution" — per-stage latency percentiles, synthesis-minute
+// spread, offload ratios — without retaining every event.
+//
+// The registry obeys the package invariant: a nil *Registry no-ops on
+// every method, and an attached registry only aggregates values the
+// pipeline already computed — it draws no randomness and feeds nothing
+// back into the run. Bucket boundaries are built by repeated IEEE-754
+// multiplication (never math.Pow/Log), so bucket assignment — and
+// therefore every exported quantile — is bit-reproducible.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Histogram bucket geometry: log-scale buckets growing by histGrowth per
+// step, spanning [histMinBound, histMaxBound). Values below the span
+// land in a dedicated underflow bucket, values at or above it in an
+// overflow bucket, so Observe never drops a sample. With growth 1.25 the
+// resolution is ~10 buckets per decade — a p99 read off a bucket upper
+// bound is within 25% of the true sample, which is enough to rank
+// stages and spot multi-modal latency.
+const (
+	histMinBound = 1e-6
+	histMaxBound = 1e9
+	histGrowth   = 1.25
+)
+
+// histBounds[i] is the lower bound of bucket i; bucket i covers
+// [histBounds[i], histBounds[i+1]). Built once, deterministically.
+var histBounds = func() []float64 {
+	var b []float64
+	for v := histMinBound; v < histMaxBound; v *= histGrowth {
+		b = append(b, v)
+	}
+	return append(b, histMaxBound)
+}()
+
+// Histogram is a fixed-geometry log-bucket histogram. It additionally
+// tracks the exact count, sum, min, and max, so means and extreme
+// values are not subject to bucket resolution. Not safe for concurrent
+// use on its own; the Registry serializes access to registered
+// histograms.
+type Histogram struct {
+	counts   []uint64 // len(histBounds)-1 buckets
+	under    uint64   // samples < histMinBound (incl. <= 0)
+	over     uint64   // samples >= histMaxBound (incl. +Inf)
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, len(histBounds)-1)}
+}
+
+// Observe records one sample. NaN is ignored; +Inf counts into the
+// overflow bucket and -Inf into the underflow bucket (their sum
+// contribution is clamped to the span so Sum stays finite).
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	switch {
+	case v < histMinBound:
+		h.under++
+		if v > 0 {
+			h.sum += v
+		}
+	case v >= histMaxBound:
+		h.over++
+		h.sum += histMaxBound
+	default:
+		// The first bound >= v is the bucket's upper edge; v's bucket is
+		// the one before it. sort.Search over the shared bounds table is
+		// what makes assignment deterministic.
+		i := sort.SearchFloat64s(histBounds, v)
+		if histBounds[i] > v {
+			i--
+		}
+		h.counts[i]++
+		h.sum += v
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the (clamped, see Observe) sum of samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the exact sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the exact extreme samples (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the deterministic bucket-based p-quantile (p in
+// [0,1]): the upper bound of the bucket holding the ceil(p*count)-th
+// smallest sample, clamped to the exact observed [min, max]. The clamp
+// makes single-sample histograms exact at every p and keeps q(1) equal
+// to the true maximum; monotonicity in p holds by construction. Returns
+// 0 when empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := uint64(math.Ceil(p * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	v := histMaxBound
+	switch {
+	case h.under >= rank:
+		v = histMinBound
+	default:
+		cum = h.under
+		found := false
+		for i, c := range h.counts {
+			cum += c
+			if cum >= rank {
+				v = histBounds[i+1]
+				found = true
+				break
+			}
+		}
+		if !found {
+			v = histMaxBound // rank lands in the overflow bucket
+		}
+	}
+	if v < h.min {
+		v = h.min
+	}
+	if v > h.max {
+		v = h.max
+	}
+	return v
+}
+
+// P50, P90, and P99 are the quantiles every report reads.
+func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
+func (h *Histogram) P90() float64 { return h.Quantile(0.90) }
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Merge folds o into h. Because both share the fixed bucket geometry,
+// merging shard histograms is exactly equivalent to observing the
+// concatenation of their samples (the property test in metrics_test.go).
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	h.under += o.under
+	h.over += o.over
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+}
+
+// clone returns a deep copy (for race-free snapshots).
+func (h *Histogram) clone() *Histogram {
+	c := *h
+	c.counts = append([]uint64(nil), h.counts...)
+	return &c
+}
+
+// BucketCount is one non-empty bucket of a histogram snapshot.
+type BucketCount struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+	N  uint64  `json:"n"`
+}
+
+// Buckets returns the non-empty buckets in ascending order, with the
+// underflow and overflow buckets rendered as [0, min-bound) and
+// [max-bound, +max-bound].
+func (h *Histogram) Buckets() []BucketCount {
+	if h == nil || h.count == 0 {
+		return nil
+	}
+	var out []BucketCount
+	if h.under > 0 {
+		out = append(out, BucketCount{Lo: 0, Hi: histMinBound, N: h.under})
+	}
+	for i, c := range h.counts {
+		if c > 0 {
+			out = append(out, BucketCount{Lo: histBounds[i], Hi: histBounds[i+1], N: c})
+		}
+	}
+	if h.over > 0 {
+		out = append(out, BucketCount{Lo: histMaxBound, Hi: histMaxBound, N: h.over})
+	}
+	return out
+}
+
+// Label is one metric dimension (e.g. stage="hls/estimate").
+type Label struct {
+	K, V string
+}
+
+// L builds a label.
+func L(k, v string) Label { return Label{K: k, V: v} }
+
+// labelKey renders labels in sorted-key Prometheus form:
+// `k1="v1",k2="v2"`. Empty for no labels.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].K < ls[j].K })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.K, l.V)
+	}
+	return b.String()
+}
+
+// seriesName renders a full series identity: name alone, or
+// name{k="v",...} with sorted labels.
+func seriesName(name string, labels []Label) string {
+	lk := labelKey(labels)
+	if lk == "" {
+		return name
+	}
+	return name + "{" + lk + "}"
+}
+
+// Registry is the typed metrics store: histograms, gauges, and
+// monotonic counters, each addressed by (name, labels). All methods are
+// safe for concurrent use and no-op on a nil receiver, mirroring the
+// nil-Trace contract.
+type Registry struct {
+	mu       sync.Mutex
+	hists    map[string]*Histogram
+	gauges   map[string]float64
+	counters map[string]int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		hists:    map[string]*Histogram{},
+		gauges:   map[string]float64{},
+		counters: map[string]int64{},
+	}
+}
+
+// Observe records v into the named histogram, creating it on first use.
+func (r *Registry) Observe(name string, v float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	key := seriesName(name, labels)
+	r.mu.Lock()
+	h := r.hists[key]
+	if h == nil {
+		h = NewHistogram()
+		r.hists[key] = h
+	}
+	h.Observe(v)
+	r.mu.Unlock()
+}
+
+// Add increments the named monotonic counter by delta.
+func (r *Registry) Add(name string, delta int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	key := seriesName(name, labels)
+	r.mu.Lock()
+	r.counters[key] += delta
+	r.mu.Unlock()
+}
+
+// Set records the current value of the named gauge. Non-finite values
+// are clamped (NaN to 0, ±Inf to ±MaxFloat64) so every exporter output
+// stays valid JSON.
+func (r *Registry) Set(name string, v float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	switch {
+	case math.IsNaN(v):
+		v = 0
+	case math.IsInf(v, 1):
+		v = math.MaxFloat64
+	case math.IsInf(v, -1):
+		v = -math.MaxFloat64
+	}
+	key := seriesName(name, labels)
+	r.mu.Lock()
+	r.gauges[key] = v
+	r.mu.Unlock()
+}
+
+// Hist returns a snapshot copy of the named histogram (nil when the
+// series does not exist).
+func (r *Registry) Hist(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := seriesName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[key]
+	if h == nil {
+		return nil
+	}
+	return h.clone()
+}
+
+// HistSnapshot is the exported form of one histogram series.
+type HistSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min"`
+	Max     float64       `json:"max"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// MetricsSnapshot is a point-in-time copy of the whole registry, the
+// form `s2fa -metrics` writes and `s2fa-report -metrics` reads. Keys
+// are full series names (name{labels}); encoding/json sorts map keys,
+// so the serialized form is deterministic.
+type MetricsSnapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry. Safe to call while observation
+// continues; the copy is consistent under the registry lock.
+func (r *Registry) Snapshot() *MetricsSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &MetricsSnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for k, v := range r.counters { //determinism:allow copy into a map, order-free
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges { //determinism:allow copy into a map, order-free
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists { //determinism:allow copy into a map, order-free
+		s.Histograms[k] = HistSnapshot{
+			Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max(),
+			P50: h.P50(), P90: h.P90(), P99: h.P99(),
+			Buckets: h.Buckets(),
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	if s == nil {
+		s = &MetricsSnapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadMetricsJSON decodes a snapshot previously written by WriteJSON.
+func ReadMetricsJSON(rd io.Reader) (*MetricsSnapshot, error) {
+	var s MetricsSnapshot
+	if err := json.NewDecoder(rd).Decode(&s); err != nil {
+		return nil, fmt.Errorf("obs: decoding metrics snapshot: %w", err)
+	}
+	return &s, nil
+}
+
+// promName sanitizes a series name for the Prometheus text exposition
+// format: every rune outside [a-zA-Z0-9_:] becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// splitSeries splits a full series key back into (name, labelBody).
+func splitSeries(key string) (string, string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 && strings.HasSuffix(key, "}") {
+		return key[:i], key[i+1 : len(key)-1]
+	}
+	return key, ""
+}
+
+// promSeries renders a sanitized series reference with optional extra
+// labels appended.
+func promSeries(key string, extra string) string {
+	name, lbls := splitSeries(key)
+	name = promName(name)
+	switch {
+	case lbls == "" && extra == "":
+		return name
+	case lbls == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + lbls + "}"
+	}
+	return name + "{" + lbls + "," + extra + "}"
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format: counters and gauges as single samples, histograms as
+// cumulative `_bucket{le=...}` series plus `_sum`/`_count`. Output is
+// sorted by series name, so it is byte-deterministic for a
+// deterministic run.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	if s == nil {
+		s = &MetricsSnapshot{}
+	}
+	var b strings.Builder
+
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters { //determinism:allow keys sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := map[string]bool{}
+	for _, k := range keys {
+		if name, _ := splitSeries(k); !seen[name] {
+			seen[name] = true
+			fmt.Fprintf(&b, "# TYPE %s counter\n", promName(name))
+		}
+		fmt.Fprintf(&b, "%s %d\n", promSeries(k, ""), s.Counters[k])
+	}
+
+	keys = keys[:0]
+	for k := range s.Gauges { //determinism:allow keys sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen = map[string]bool{}
+	for _, k := range keys {
+		if name, _ := splitSeries(k); !seen[name] {
+			seen[name] = true
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", promName(name))
+		}
+		fmt.Fprintf(&b, "%s %g\n", promSeries(k, ""), s.Gauges[k])
+	}
+
+	keys = keys[:0]
+	for k := range s.Histograms { //determinism:allow keys sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen = map[string]bool{}
+	for _, k := range keys {
+		h := s.Histograms[k]
+		name, lbls := splitSeries(k)
+		if !seen[name] {
+			seen[name] = true
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", promName(name))
+		}
+		var cum uint64
+		for _, bk := range h.Buckets {
+			cum += bk.N
+			le := fmt.Sprintf("le=%q", fmt.Sprintf("%g", bk.Hi))
+			fmt.Fprintf(&b, "%s %d\n", promSeries(name+"_bucket"+wrapLabels(lbls), le), cum)
+		}
+		fmt.Fprintf(&b, "%s %d\n", promSeries(name+"_bucket"+wrapLabels(lbls), `le="+Inf"`), h.Count)
+		fmt.Fprintf(&b, "%s %g\n", promSeries(name+"_sum"+wrapLabels(lbls), ""), h.Sum)
+		fmt.Fprintf(&b, "%s %d\n", promSeries(name+"_count"+wrapLabels(lbls), ""), h.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// wrapLabels re-wraps a bare label body in braces ("" stays "").
+func wrapLabels(lbls string) string {
+	if lbls == "" {
+		return ""
+	}
+	return "{" + lbls + "}"
+}

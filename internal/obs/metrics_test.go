@@ -1,0 +1,330 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestHistogramBucketBoundaries: samples exactly on a bucket's lower
+// bound belong to that bucket, values below/above the span land in the
+// under/overflow buckets, and no sample is ever dropped.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(histBounds[3]) // exact lower bound of bucket 3
+	if h.counts[3] != 1 {
+		t.Fatalf("exact bound landed in wrong bucket: %v", h.Buckets())
+	}
+	h.Observe(math.Nextafter(histBounds[4], 0)) // just under bucket 4's lower bound
+	if h.counts[3] != 2 {
+		t.Fatalf("value below next bound not in bucket 3: %v", h.Buckets())
+	}
+	h.Observe(0)
+	h.Observe(-5)
+	h.Observe(histMinBound / 2)
+	if h.under != 3 {
+		t.Fatalf("under = %d, want 3", h.under)
+	}
+	h.Observe(histMaxBound)
+	h.Observe(math.Inf(1))
+	if h.over != 2 {
+		t.Fatalf("over = %d, want 2", h.over)
+	}
+	h.Observe(math.NaN()) // ignored
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	var bucketed uint64
+	for _, b := range h.Buckets() {
+		bucketed += b.N
+	}
+	if bucketed != h.Count() {
+		t.Fatalf("buckets hold %d of %d samples", bucketed, h.Count())
+	}
+}
+
+// TestHistogramMergeEqualsConcatenation: merging shard histograms must
+// be exactly equivalent to observing the concatenated sample stream —
+// the property that makes sharded collection safe.
+func TestHistogramMergeEqualsConcatenation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		shards := make([]*Histogram, 4)
+		whole := NewHistogram()
+		for i := range shards {
+			shards[i] = NewHistogram()
+		}
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			// Log-uniform over the whole span plus out-of-range extremes.
+			v := math.Exp(rng.Float64()*40 - 16)
+			if rng.Intn(20) == 0 {
+				v = -v
+			}
+			shards[rng.Intn(len(shards))].Observe(v)
+			whole.Observe(v)
+		}
+		merged := NewHistogram()
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+		if merged.Count() != whole.Count() ||
+			merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("trial %d: merged summary != concatenated (count %d/%d)",
+				trial, merged.Count(), whole.Count())
+		}
+		// Sums associate differently across shards, so compare within a
+		// relative ulp-scale tolerance rather than bit-exactly.
+		if diff := math.Abs(merged.Sum() - whole.Sum()); diff > 1e-9*math.Abs(whole.Sum()) {
+			t.Fatalf("trial %d: sum diverged: %v vs %v", trial, merged.Sum(), whole.Sum())
+		}
+		for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if m, w := merged.Quantile(p), whole.Quantile(p); m != w {
+				t.Fatalf("trial %d: q(%v) merged %v != whole %v", trial, p, m, w)
+			}
+		}
+		if merged.under != whole.under || merged.over != whole.over {
+			t.Fatalf("trial %d: out-of-range buckets diverge", trial)
+		}
+	}
+}
+
+// TestHistogramQuantilesMonotone: q(p) must be non-decreasing in p and
+// always within [min, max].
+func TestHistogramQuantilesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	for i := 0; i < 500; i++ {
+		h.Observe(math.Exp(rng.Float64()*30 - 10))
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("q(%v)=%v < q(prev)=%v", p, q, prev)
+		}
+		if q < h.Min() || q > h.Max() {
+			t.Fatalf("q(%v)=%v outside [%v, %v]", p, q, h.Min(), h.Max())
+		}
+		prev = q
+	}
+}
+
+// TestHistogramEdgeCases: zero- and one-sample histograms.
+func TestHistogramEdgeCases(t *testing.T) {
+	empty := NewHistogram()
+	if empty.Count() != 0 || empty.P50() != 0 || empty.Mean() != 0 || empty.Buckets() != nil {
+		t.Fatal("empty histogram must read as zeros")
+	}
+	one := NewHistogram()
+	one.Observe(3.25)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if q := one.Quantile(p); q != 3.25 {
+			t.Fatalf("single-sample q(%v) = %v, want exact 3.25", p, q)
+		}
+	}
+	if one.Min() != 3.25 || one.Max() != 3.25 || one.Mean() != 3.25 {
+		t.Fatal("single-sample summary not exact")
+	}
+	// Merging into an empty histogram copies the source exactly.
+	dst := NewHistogram()
+	dst.Merge(one)
+	if dst.Min() != 3.25 || dst.Max() != 3.25 || dst.Count() != 1 {
+		t.Fatalf("merge into empty: %+v", dst)
+	}
+	// Nil receivers no-op.
+	var nilH *Histogram
+	nilH.Observe(1)
+	nilH.Merge(one)
+	if nilH.Count() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must no-op")
+	}
+}
+
+// TestSeriesNaming: labels sort by key and render Prometheus-style, so
+// the same label set always addresses the same series.
+func TestSeriesNaming(t *testing.T) {
+	a := seriesName("stage_us", []Label{L("stage", "hls/estimate"), L("app", "sw")})
+	b := seriesName("stage_us", []Label{L("app", "sw"), L("stage", "hls/estimate")})
+	if a != b {
+		t.Fatalf("label order changed series identity: %q vs %q", a, b)
+	}
+	want := `stage_us{app="sw",stage="hls/estimate"}`
+	if a != want {
+		t.Fatalf("series = %q, want %q", a, want)
+	}
+	if got := seriesName("plain", nil); got != "plain" {
+		t.Fatalf("unlabeled series = %q", got)
+	}
+}
+
+// TestRegistryNilAndBasics: nil registry no-ops; observations, counters,
+// and gauges land under their (name, labels) series.
+func TestRegistryNilAndBasics(t *testing.T) {
+	var nilR *Registry
+	nilR.Observe("x", 1)
+	nilR.Add("x", 1)
+	nilR.Set("x", 1)
+	if nilR.Hist("x") != nil || nilR.Snapshot() != nil {
+		t.Fatal("nil registry must read as empty")
+	}
+
+	r := NewRegistry()
+	r.Observe("lat", 10, L("stage", "b2c"))
+	r.Observe("lat", 20, L("stage", "b2c"))
+	r.Observe("lat", 99, L("stage", "hls"))
+	r.Add("evals", 3)
+	r.Add("evals", 2)
+	r.Set("heap", 123)
+	r.Set("nan", math.NaN())
+	r.Set("inf", math.Inf(1))
+
+	if h := r.Hist("lat", L("stage", "b2c")); h.Count() != 2 || h.Max() != 20 {
+		t.Fatalf("b2c series = %+v", h)
+	}
+	s := r.Snapshot()
+	if s.Counters["evals"] != 5 {
+		t.Fatalf("counter = %d", s.Counters["evals"])
+	}
+	if s.Gauges["nan"] != 0 || s.Gauges["inf"] != math.MaxFloat64 {
+		t.Fatalf("non-finite gauges not clamped: %v", s.Gauges)
+	}
+	if hs := s.Histograms[`lat{stage="hls"}`]; hs.Count != 1 || hs.P99 != 99 {
+		t.Fatalf("hls series snapshot = %+v", hs)
+	}
+}
+
+// TestMetricsJSONRoundTrip: WriteJSON output decodes back into an equal
+// snapshot (the contract between `s2fa -metrics` and `s2fa-report`).
+func TestMetricsJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("stage_us", 1500, L("stage", "kdsl/compile"))
+	r.Add("dse.evals", 42)
+	r.Set("go.goroutines", 8)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMetricsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Counters["dse.evals"] != 42 || got.Gauges["go.goroutines"] != 8 {
+		t.Fatalf("round trip lost scalars: %+v", got)
+	}
+	hs := got.Histograms[`stage_us{stage="kdsl/compile"}`]
+	if hs.Count != 1 || hs.P50 != 1500 {
+		t.Fatalf("round trip lost histogram: %+v", hs)
+	}
+}
+
+// TestPrometheusExport: sorted, typed text exposition with cumulative
+// histogram buckets.
+func TestPrometheusExport(t *testing.T) {
+	r := NewRegistry()
+	r.Observe("stage_us", 10, L("stage", "b2c"))
+	r.Observe("stage_us", 20, L("stage", "b2c"))
+	r.Add("dse.evals", 7)
+	r.Set("go.heap_objects_bytes", 4096)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE dse_evals counter",
+		"dse_evals 7",
+		"# TYPE go_heap_objects_bytes gauge",
+		"go_heap_objects_bytes 4096",
+		"# TYPE stage_us histogram",
+		`stage_us_count{stage="b2c"} 2`,
+		`stage_us_sum{stage="b2c"} 30`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Bucket counts must be cumulative and end at the total.
+	lines := strings.Split(out, "\n")
+	var cum []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "stage_us_bucket") {
+			cum = append(cum, l[strings.LastIndexByte(l, ' ')+1:])
+		}
+	}
+	if len(cum) < 2 || !sort.StringsAreSorted(cum[:len(cum)-1]) || cum[len(cum)-1] != "2" {
+		t.Fatalf("bucket series not cumulative: %v", cum)
+	}
+	// Deterministic: a second export is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("prometheus export not deterministic")
+	}
+}
+
+// TestTraceRegistryIntegration: WithRegistry makes every span close feed
+// the dual-clock stage histograms, mirrors counters and gauges, and
+// routes Trace.Observe — all without changing the emitted event stream.
+func TestTraceRegistryIntegration(t *testing.T) {
+	run := func(reg *Registry) []Event {
+		mem := NewMemory()
+		opts := []Option{WithClock(fakeClock())}
+		if reg != nil {
+			opts = append(opts, WithRegistry(reg))
+		}
+		tr := New(mem, opts...)
+		sp := tr.Begin("hls", "estimate", Str("cache", "fresh"), Vmin(0))
+		tr.Observe("hls_synth_minutes", 7.5)
+		sp.End(Vmin(7.5))
+		tr.Count("dse.evals", 3)
+		tr.Gauge("pool.depth", 2)
+		tr.Close()
+		return mem.Events()
+	}
+
+	reg := NewRegistry()
+	withReg := run(reg)
+	without := run(nil)
+	if len(withReg) != len(without) {
+		t.Fatalf("registry changed event count: %d vs %d", len(withReg), len(without))
+	}
+	for i := range withReg {
+		if withReg[i].Name != without[i].Name || withReg[i].Ph != without[i].Ph {
+			t.Fatalf("registry changed event %d: %+v vs %+v", i, withReg[i], without[i])
+		}
+	}
+
+	us := reg.Hist("stage_us", L("stage", "hls/estimate"))
+	if us.Count() != 1 {
+		t.Fatalf("stage_us missing: %+v", reg.Snapshot())
+	}
+	if us.Min() != 1 { // fakeClock ticks 1000ns per now() call: begin→end is one tick = 1µs
+		t.Fatalf("stage_us sample = %vµs, want 1µs", us.Min())
+	}
+	vm := reg.Hist("stage_vmin", L("stage", "hls/estimate"))
+	if vm.Count() != 1 || vm.Min() != 7.5 {
+		t.Fatalf("stage_vmin = %+v", vm)
+	}
+	if h := reg.Hist("hls_synth_minutes"); h.Count() != 1 || h.Min() != 7.5 {
+		t.Fatalf("Trace.Observe did not land: %+v", h)
+	}
+	s := reg.Snapshot()
+	if s.Counters["dse.evals"] != 3 || s.Gauges["pool.depth"] != 2 {
+		t.Fatalf("counter/gauge mirror missing: %+v", s)
+	}
+
+	// Trace.Observe on a registry-less or nil trace no-ops.
+	New(NewMemory()).Observe("x", 1)
+	var nilT *Trace
+	nilT.Observe("x", 1)
+	if nilT.Metrics() != nil {
+		t.Fatal("nil trace returned a registry")
+	}
+}

@@ -103,6 +103,7 @@ type Trace struct {
 	sink  Sink
 	start time.Time
 	now   func() int64 // ns since start; injectable for tests
+	reg   *Registry    // optional metrics registry; nil is free
 
 	nextID   int64
 	open     map[int][]int64 // per-tid stack of open span ids
@@ -118,10 +119,21 @@ func WithClock(now func() int64) Option {
 	return func(t *Trace) { t.now = now }
 }
 
+// WithRegistry attaches a metrics registry: every span close feeds the
+// dual-clock stage histograms (stage_us from the real clock; stage_vmin
+// when both endpoints carry a Vmin stamp), and call sites may record
+// further series via Trace.Observe. Like the trace itself, the registry
+// only aggregates values the run already computed — attaching one never
+// perturbs a run.
+func WithRegistry(r *Registry) Option {
+	return func(t *Trace) { t.reg = r }
+}
+
 // New creates an enabled trace writing to sink.
 func New(sink Sink, opts ...Option) *Trace {
 	t := &Trace{
-		sink:     sink,
+		sink: sink,
+		//determinism:allow injectable wall clock (WithClock); timestamps are telemetry only
 		start:    time.Now(),
 		open:     map[int][]int64{},
 		counters: map[string]int64{},
@@ -150,9 +162,13 @@ func (t *Trace) Close() error {
 // Span is an open interval on one track. A nil *Span (from a nil trace)
 // no-ops on End.
 type Span struct {
-	t   *Trace
-	id  int64
-	tid int
+	t       *Trace
+	id      int64
+	tid     int
+	cat     string
+	name    string
+	beginNS int64
+	beginVM *float64
 }
 
 // Begin opens a span on the pipeline track (tid 0).
@@ -177,11 +193,15 @@ func (t *Trace) BeginT(tid int, cat, name string, kvs ...KV) *Span {
 	applyKVs(&e, kvs)
 	t.open[tid] = append(t.open[tid], id)
 	t.sink.Emit(e)
-	return &Span{t: t, id: id, tid: tid}
+	return &Span{t: t, id: id, tid: tid, cat: cat, name: name, beginNS: e.NS, beginVM: e.VM}
 }
 
 // End closes the span, attaching any final attributes (outcomes,
-// virtual end time).
+// virtual end time). Spans on a track are expected to close LIFO; a
+// non-LIFO close is repaired (the stack is truncated through this span,
+// implicitly abandoning the younger opens) and reported via an
+// "obs"/"span-misnest" instant event so later parenting stays sane
+// instead of silently corrupting.
 func (s *Span) End(kvs ...KV) {
 	if s == nil {
 		return
@@ -190,11 +210,49 @@ func (s *Span) End(kvs ...KV) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e := Event{Ph: PhaseEnd, NS: t.now(), TID: s.tid, ID: s.id}
-	if st := t.open[s.tid]; len(st) > 0 && st[len(st)-1] == s.id {
+	st := t.open[s.tid]
+	switch {
+	case len(st) > 0 && st[len(st)-1] == s.id:
 		t.open[s.tid] = st[:len(st)-1]
+	default:
+		found := -1
+		for i := len(st) - 1; i >= 0; i-- {
+			if st[i] == s.id {
+				found = i
+				break
+			}
+		}
+		diag := Event{
+			Ph: PhaseInstant, Cat: "obs", Name: "span-misnest",
+			NS: e.NS, TID: s.tid,
+			Args: map[string]any{"span": s.id, "cat": s.cat, "op": s.name},
+		}
+		if found >= 0 {
+			// Out-of-order close: abandon the younger opens so the
+			// stack matches reality again.
+			diag.Args["reason"] = "out-of-order"
+			diag.Args["abandoned"] = int64(len(st) - found - 1)
+			t.open[s.tid] = st[:found]
+		} else {
+			// Double close or close on the wrong track; leave the
+			// stack untouched.
+			diag.Args["reason"] = "not-open"
+		}
+		t.sink.Emit(diag)
 	}
 	applyKVs(&e, kvs)
 	t.sink.Emit(e)
+	if t.reg != nil {
+		stage := s.name
+		if s.cat != "" {
+			stage = s.cat + "/" + s.name
+		}
+		lbl := L("stage", stage)
+		t.reg.Observe("stage_us", float64(e.NS-s.beginNS)/1e3, lbl)
+		if s.beginVM != nil && e.VM != nil {
+			t.reg.Observe("stage_vmin", *e.VM-*s.beginVM, lbl)
+		}
+	}
 }
 
 // Event emits an instant event on the pipeline track.
@@ -228,6 +286,9 @@ func (t *Trace) Count(name string, delta int64) {
 		Ph: PhaseCounter, Name: name, NS: t.now(),
 		Args: map[string]any{"value": t.counters[name]},
 	})
+	if t.reg != nil {
+		t.reg.Add(name, delta)
+	}
 }
 
 // Gauge emits a point-in-time sample of a named quantity.
@@ -241,6 +302,27 @@ func (t *Trace) Gauge(name string, v float64) {
 		Ph: PhaseCounter, Name: name, NS: t.now(),
 		Args: map[string]any{"value": v},
 	})
+	if t.reg != nil {
+		t.reg.Set(name, v)
+	}
+}
+
+// Observe records v into the attached registry's histogram series,
+// emitting no trace event. A trace without a registry (and a nil trace)
+// no-ops, so hot paths need no guards.
+func (t *Trace) Observe(name string, v float64, labels ...Label) {
+	if t == nil || t.reg == nil {
+		return
+	}
+	t.reg.Observe(name, v, labels...)
+}
+
+// Metrics returns the attached registry, or nil.
+func (t *Trace) Metrics() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
 }
 
 // Counters returns a snapshot of the monotonic counter totals.
@@ -251,7 +333,8 @@ func (t *Trace) Counters() map[string]int64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make(map[string]int64, len(t.counters))
-	for k, v := range t.counters {
+	for k, v := range t.counters { //determinism:allow — map-to-map copy, order-insensitive
+
 		out[k] = v
 	}
 	return out

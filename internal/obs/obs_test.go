@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -231,6 +232,165 @@ func TestCollectorSummary(t *testing.T) {
 	}
 	if strings.Contains(out, "L0.parallel=8") {
 		t.Error("cache hit ranked among fresh estimations")
+	}
+}
+
+// TestSpanMisnestOutOfOrder: closing a span while younger spans are
+// still open must repair the stack (abandoning the younger opens), emit
+// a span-misnest diagnostic, and keep later parenting correct.
+func TestSpanMisnestOutOfOrder(t *testing.T) {
+	mem := NewMemory()
+	tr := New(mem, WithClock(fakeClock()))
+	outer := tr.Begin("dse", "partition")
+	_ = tr.Begin("hls", "estimate") // never closed
+	_ = tr.Begin("hls", "model")    // never closed
+	outer.End()                     // non-LIFO: two younger spans still open
+	next := tr.Begin("dse", "partition")
+	next.End()
+	tr.Close()
+
+	ev := mem.Events()
+	var diag *Event
+	for i := range ev {
+		if ev[i].Name == "span-misnest" {
+			diag = &ev[i]
+		}
+	}
+	if diag == nil {
+		t.Fatalf("no diagnostic emitted: %+v", ev)
+	}
+	if diag.Cat != "obs" || diag.Args["reason"] != "out-of-order" {
+		t.Fatalf("diagnostic = %+v", diag)
+	}
+	if n, _ := diag.Args["abandoned"].(int64); n != 2 {
+		t.Fatalf("abandoned = %v, want 2", diag.Args["abandoned"])
+	}
+	if diag.Args["op"] != "partition" {
+		t.Fatalf("diagnostic names wrong span: %+v", diag.Args)
+	}
+	// The repaired stack must leave the next top-level span unparented.
+	for _, e := range ev {
+		if e.Ph == PhaseBegin && e.Name == "partition" && e.NS > diag.NS {
+			if e.Parent != 0 {
+				t.Fatalf("later span parented under abandoned span: %+v", e)
+			}
+		}
+	}
+}
+
+// TestSpanMisnestDoubleClose: ending a span twice reports not-open and
+// leaves the open stack untouched.
+func TestSpanMisnestDoubleClose(t *testing.T) {
+	mem := NewMemory()
+	tr := New(mem, WithClock(fakeClock()))
+	outer := tr.Begin("b2c", "compile")
+	inner := tr.Begin("bytecode", "verify")
+	inner.End()
+	inner.End() // double close
+	child := tr.Begin("lint", "check")
+	child.End()
+	outer.End()
+	tr.Close()
+
+	ev := mem.Events()
+	var diags, misEnds int
+	for _, e := range ev {
+		if e.Name == "span-misnest" {
+			diags++
+			if e.Args["reason"] != "not-open" {
+				t.Fatalf("reason = %v", e.Args["reason"])
+			}
+		}
+	}
+	if diags != 1 {
+		t.Fatalf("got %d diagnostics, want 1", diags)
+	}
+	// The outer span must still be the parent of the later child: the
+	// double close must not pop it.
+	var outerID, childParent int64
+	for _, e := range ev {
+		if e.Ph == PhaseBegin && e.Name == "compile" {
+			outerID = e.ID
+		}
+		if e.Ph == PhaseBegin && e.Name == "check" {
+			childParent = e.Parent
+		}
+	}
+	if childParent != outerID {
+		t.Fatalf("child parent = %d, want %d (stack corrupted)", childParent, outerID)
+	}
+	_ = misEnds
+}
+
+// TestChromeNonFiniteAndEscaping: non-finite float args (stored as the
+// strings "+Inf"/"NaN" by F64) and args needing JSON escaping must
+// survive JSONL → Chrome conversion as valid JSON.
+func TestChromeNonFiniteAndEscaping(t *testing.T) {
+	var jsonl bytes.Buffer
+	tr := New(NewJSONL(&jsonl), WithClock(fakeClock()))
+	sp := tr.Begin("tuner", "select",
+		F64("ucb", math.Inf(1)),
+		F64("mean", math.Inf(-1)),
+		F64("auc", math.NaN()),
+		Str("arm", "quoted \"arm\"\nnewline\tand\\slash"),
+		Str("html", "<script>&amp;</script>"))
+	sp.End(F64("reward", 0.5))
+	tr.Close()
+
+	events, err := ReadJSONL(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Args["ucb"] != "+Inf" || events[0].Args["mean"] != "-Inf" || events[0].Args["auc"] != "NaN" {
+		t.Fatalf("non-finite args lost: %+v", events[0].Args)
+	}
+	if events[0].Args["arm"] != "quoted \"arm\"\nnewline\tand\\slash" {
+		t.Fatalf("escaped arg lost: %q", events[0].Args["arm"])
+	}
+
+	var chrome bytes.Buffer
+	if err := ConvertJSONLToChrome(bytes.NewReader(jsonl.Bytes()), &chrome); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(chrome.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output with non-finite args is not JSON: %v", err)
+	}
+	var begin map[string]any
+	for _, e := range doc.TraceEvents {
+		if e["ph"] == "B" {
+			begin = e
+		}
+	}
+	args := begin["args"].(map[string]any)
+	if args["ucb"] != "+Inf" || args["auc"] != "NaN" {
+		t.Fatalf("chrome args lost non-finite encoding: %v", args)
+	}
+	if args["arm"] != "quoted \"arm\"\nnewline\tand\\slash" {
+		t.Fatalf("chrome args lost escaping: %q", args["arm"])
+	}
+}
+
+// TestJSONLCloseWrapsEncodeError: the first Encode failure must surface
+// from Close with the failing event's index and identity.
+func TestJSONLCloseWrapsEncodeError(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Emit(Event{Ph: PhaseBegin, Name: "ok"})
+	// Channels are not JSON-serializable, so this Emit fails to encode.
+	s.Emit(Event{Ph: PhaseInstant, Name: "poison", Args: map[string]any{"ch": make(chan int)}})
+	s.Emit(Event{Ph: PhaseEnd, Name: "after"})
+	err := s.Close()
+	if err == nil {
+		t.Fatal("Close swallowed the encode error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"event 1", "poison", PhaseInstant} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
 	}
 }
 

@@ -1,0 +1,205 @@
+package obs
+
+// The flight recorder: a bounded ring sink that retains only the last N
+// events per track and dumps the retained context automatically when an
+// anomaly fires. It answers "what was the run doing just before this
+// went wrong" without the cost of a full trace — the rings hold a fixed
+// window, so overhead is O(1) per event regardless of run length.
+//
+// Anomalies watched:
+//   - a *fresh* HLS estimation whose real duration exceeds the
+//     configured latency threshold ("hls-latency");
+//   - a DSE run span that stops with reason "budget-exhausted"
+//     ("dse-budget-exhausted") — the search ran out of virtual budget
+//     before the entropy stop, so the window shows where time went;
+//   - a blaze fallback instant ("blaze-fallback") — an accelerator
+//     request bounced back to the JVM.
+//
+// Like every sink, the recorder is passive: it only reads the event
+// stream and never feeds anything back into the run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Recorder trigger reasons.
+const (
+	ReasonHLSLatency      = "hls-latency"
+	ReasonBudgetExhausted = "dse-budget-exhausted"
+	ReasonBlazeFallback   = "blaze-fallback"
+)
+
+// RecorderConfig bounds the recorder's memory and tunes its triggers.
+// The zero value picks usable defaults.
+type RecorderConfig struct {
+	// PerTrack is the ring capacity per TID (default 64).
+	PerTrack int
+	// HLSLatencyNS triggers a dump when a fresh hls/estimate span's
+	// real duration exceeds it (default 250ms; <0 disables the trigger).
+	HLSLatencyNS int64
+	// MaxDumps caps retained dumps; later anomalies still count but
+	// keep no window (default 16).
+	MaxDumps int
+}
+
+func (c RecorderConfig) withDefaults() RecorderConfig {
+	if c.PerTrack <= 0 {
+		c.PerTrack = 64
+	}
+	if c.HLSLatencyNS == 0 {
+		c.HLSLatencyNS = 250e6
+	}
+	if c.MaxDumps <= 0 {
+		c.MaxDumps = 16
+	}
+	return c
+}
+
+// Dump is one captured anomaly: the trigger event plus the retained
+// window, flattened across tracks in emission order.
+type Dump struct {
+	Reason  string  `json:"reason"`
+	Trigger Event   `json:"trigger"`
+	Events  []Event `json:"events"`
+}
+
+// seqEvent pairs an event with its global emission index so a flattened
+// dump can be ordered deterministically even across per-track rings.
+type seqEvent struct {
+	seq int64
+	ev  Event
+}
+
+// ring is a fixed-capacity circular buffer of recent events.
+type ring struct {
+	buf  []seqEvent
+	next int
+	full bool
+}
+
+func (r *ring) push(e seqEvent) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.full = true
+}
+
+// inOrder returns the ring contents oldest-first.
+func (r *ring) inOrder() []seqEvent {
+	if !r.full {
+		return append([]seqEvent(nil), r.buf...)
+	}
+	out := make([]seqEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Recorder is the flight-recorder sink. Create with NewRecorder and
+// attach via Multi alongside other sinks (or alone). Safe for use from
+// a single Trace (the Trace serializes Emit).
+type Recorder struct {
+	cfg    RecorderConfig
+	rings  map[int]*ring
+	begins map[int64]Event // open span id -> begin event
+	seq    int64
+	dumps  []Dump
+	missed int // anomalies past MaxDumps
+}
+
+// NewRecorder returns a flight recorder with the given bounds.
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	return &Recorder{
+		cfg:    cfg.withDefaults(),
+		rings:  map[int]*ring{},
+		begins: map[int64]Event{},
+	}
+}
+
+// Emit implements Sink.
+func (r *Recorder) Emit(e Event) {
+	r.seq++
+	rg := r.rings[e.TID]
+	if rg == nil {
+		rg = &ring{buf: make([]seqEvent, 0, r.cfg.PerTrack)}
+		r.rings[e.TID] = rg
+	}
+	rg.push(seqEvent{seq: r.seq, ev: e})
+
+	switch e.Ph {
+	case PhaseBegin:
+		r.begins[e.ID] = e
+	case PhaseEnd:
+		b, ok := r.begins[e.ID]
+		if !ok {
+			return
+		}
+		delete(r.begins, e.ID)
+		if b.Cat == "hls" && b.Name == "estimate" && r.cfg.HLSLatencyNS >= 0 {
+			if s, _ := b.Args["cache"].(string); s == "fresh" && e.NS-b.NS > r.cfg.HLSLatencyNS {
+				r.dump(ReasonHLSLatency, e)
+			}
+		}
+		if b.Cat == "dse" && b.Name == "run" {
+			if stop, _ := e.Args["stop"].(string); stop == string(stopBudgetExhausted) {
+				r.dump(ReasonBudgetExhausted, e)
+			}
+		}
+	case PhaseInstant:
+		if e.Cat == "blaze" && e.Name == "fallback" {
+			r.dump(ReasonBlazeFallback, e)
+		}
+	}
+}
+
+// stopBudgetExhausted mirrors dse.StopBudgetExhausted without importing
+// the package (obs sits below everything).
+const stopBudgetExhausted = "budget-exhausted"
+
+func (r *Recorder) dump(reason string, trigger Event) {
+	if len(r.dumps) >= r.cfg.MaxDumps {
+		r.missed++
+		return
+	}
+	var all []seqEvent
+	for _, rg := range r.rings { //determinism:allow flattened slice sorted by seq below
+		all = append(all, rg.inOrder()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	evs := make([]Event, len(all))
+	for i, se := range all {
+		evs[i] = se.ev
+	}
+	r.dumps = append(r.dumps, Dump{Reason: reason, Trigger: trigger, Events: evs})
+}
+
+// Close implements Sink.
+func (r *Recorder) Close() error { return nil }
+
+// Dumps returns the captured anomaly windows in trigger order.
+func (r *Recorder) Dumps() []Dump { return r.dumps }
+
+// Missed reports anomalies that fired after MaxDumps was reached.
+func (r *Recorder) Missed() int { return r.missed }
+
+// WriteJSON writes the captured dumps as an indented JSON array. A
+// quiet run writes [] rather than null, so consumers can iterate the
+// result without a nil check.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	dumps := r.dumps
+	if dumps == nil {
+		dumps = []Dump{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(dumps); err != nil {
+		return fmt.Errorf("obs: encoding recorder dumps: %w", err)
+	}
+	return nil
+}

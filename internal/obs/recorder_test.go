@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRecorderRingBounds: each track retains only the last PerTrack
+// events, oldest evicted first.
+func TestRecorderRingBounds(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{PerTrack: 4})
+	tr := New(rec, WithClock(fakeClock()))
+	for i := 0; i < 10; i++ {
+		tr.Event("dse", "eval", Int("i", i))
+	}
+	// Trigger a dump to inspect the window.
+	tr.Event("blaze", "fallback", Str("cause", "test"))
+	tr.Close()
+
+	dumps := rec.Dumps()
+	if len(dumps) != 1 {
+		t.Fatalf("got %d dumps, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if d.Reason != ReasonBlazeFallback {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+	if len(d.Events) != 4 {
+		t.Fatalf("window holds %d events, want 4", len(d.Events))
+	}
+	// The window must be the *most recent* events, ending at the trigger.
+	last := d.Events[len(d.Events)-1]
+	if last.Name != "fallback" {
+		t.Fatalf("window does not end at trigger: %+v", last)
+	}
+	// 11 events total (10 evals + trigger); the 4-slot ring retains the
+	// trigger plus the three newest evals, so the oldest survivor is i=7.
+	if v, _ := d.Events[0].Args["i"].(int64); v != 7 {
+		t.Fatalf("oldest retained event = %+v, want i=7", d.Events[0])
+	}
+}
+
+// TestRecorderHLSLatencyTrigger: a fresh estimation beyond the threshold
+// dumps; cache hits and fast estimations do not.
+func TestRecorderHLSLatencyTrigger(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{HLSLatencyNS: 1500})
+	tr := New(rec, WithClock(fakeClock())) // 1000ns per clock read
+
+	fast := tr.Begin("hls", "estimate", Str("cache", "fresh"))
+	fast.End() // 1 tick = 1000ns, under threshold
+	if len(rec.Dumps()) != 0 {
+		t.Fatal("fast estimation dumped")
+	}
+
+	hit := tr.Begin("hls", "estimate", Str("cache", "hit"))
+	tr.Event("x", "y")
+	hit.End() // 2 ticks, over threshold, but a cache hit
+	if len(rec.Dumps()) != 0 {
+		t.Fatal("cache hit dumped")
+	}
+
+	slow := tr.Begin("hls", "estimate", Str("cache", "fresh"), Str("point", "L0.parallel=16"))
+	tr.Event("x", "y")
+	slow.End() // 2 ticks = 2000ns > 1500ns
+	tr.Close()
+	dumps := rec.Dumps()
+	if len(dumps) != 1 || dumps[0].Reason != ReasonHLSLatency {
+		t.Fatalf("dumps = %+v", dumps)
+	}
+}
+
+// TestRecorderBudgetExhaustedTrigger: a dse/run span ending with
+// stop=budget-exhausted dumps; other stop reasons do not.
+func TestRecorderBudgetExhaustedTrigger(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{})
+	tr := New(rec, WithClock(fakeClock()))
+	ok := tr.Begin("dse", "run")
+	ok.End(Str("stop", "entropy-converged"))
+	if len(rec.Dumps()) != 0 {
+		t.Fatal("entropy stop dumped")
+	}
+	bad := tr.Begin("dse", "run")
+	bad.End(Str("stop", "budget-exhausted"))
+	tr.Close()
+	if len(rec.Dumps()) != 1 || rec.Dumps()[0].Reason != ReasonBudgetExhausted {
+		t.Fatalf("dumps = %+v", rec.Dumps())
+	}
+}
+
+// TestRecorderMaxDumps: anomalies past the cap are counted, not stored,
+// and WriteJSON emits a well-formed document.
+func TestRecorderMaxDumps(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{MaxDumps: 2})
+	tr := New(rec, WithClock(fakeClock()))
+	for i := 0; i < 5; i++ {
+		tr.Event("blaze", "fallback", Int("i", i))
+	}
+	tr.Close()
+	if len(rec.Dumps()) != 2 || rec.Missed() != 3 {
+		t.Fatalf("dumps=%d missed=%d, want 2/3", len(rec.Dumps()), rec.Missed())
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []Dump
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("serialized %d dumps", len(out))
+	}
+}
+
+// TestRecorderMultiTrack: the dump window flattens per-track rings in
+// global emission order.
+func TestRecorderMultiTrack(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{PerTrack: 8})
+	tr := New(rec, WithClock(fakeClock()))
+	tr.EventT(1, "dse", "eval", Int("seq", 0))
+	tr.EventT(2, "dse", "eval", Int("seq", 1))
+	tr.EventT(1, "dse", "eval", Int("seq", 2))
+	tr.Event("blaze", "fallback")
+	tr.Close()
+	d := rec.Dumps()[0]
+	for i, e := range d.Events[:3] {
+		if v, _ := e.Args["seq"].(int64); v != int64(i) {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+	}
+}

@@ -13,7 +13,8 @@ import (
 type jsonlSink struct {
 	bw  *bufio.Writer
 	enc *json.Encoder
-	err error
+	n   int   // events seen, so a Close error names the failing index
+	err error // first Encode error, wrapped with its event index
 }
 
 // NewJSONL returns a sink streaming events to w as JSON lines.
@@ -24,9 +25,13 @@ func NewJSONL(w io.Writer) Sink {
 
 func (s *jsonlSink) Emit(e Event) {
 	if s.err != nil {
+		s.n++
 		return
 	}
-	s.err = s.enc.Encode(e)
+	if err := s.enc.Encode(e); err != nil {
+		s.err = fmt.Errorf("obs: encoding event %d (%s %q): %w", s.n, e.Ph, e.Name, err)
+	}
+	s.n++
 }
 
 func (s *jsonlSink) Close() error {
@@ -35,6 +40,18 @@ func (s *jsonlSink) Close() error {
 	}
 	return s.bw.Flush()
 }
+
+// discardSink drops every event. Useful when only the side products of
+// an enabled trace are wanted (a metrics registry, pprof labels) without
+// retaining the event stream.
+type discardSink struct{}
+
+// Discard returns a sink that drops all events.
+func Discard() Sink { return discardSink{} }
+
+func (discardSink) Emit(Event) {}
+
+func (discardSink) Close() error { return nil }
 
 // chromeSink buffers events and writes one Chrome trace_event JSON
 // document on Close (chrome://tracing and Perfetto load it directly).

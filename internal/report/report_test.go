@@ -1,0 +1,148 @@
+package report_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"s2fa/internal/apps"
+	"s2fa/internal/blaze"
+	"s2fa/internal/core"
+	"s2fa/internal/fpga"
+	"s2fa/internal/jvmsim"
+	"s2fa/internal/obs"
+	"s2fa/internal/report"
+	"s2fa/internal/spark"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report in testdata/")
+
+// traceSW runs the full S-W pipeline at seed 42 under an injected
+// deterministic clock (1µs per reading), so every NS timestamp — and
+// therefore every rendered duration and percentile — is a pure function
+// of the code path, not of the machine. The blaze MapAcc batch at the
+// end puts the offload story in the trace too.
+func traceSW(t *testing.T) ([]obs.Event, *obs.MetricsSnapshot) {
+	t.Helper()
+	var ns int64
+	clock := func() int64 { ns += 1000; return ns }
+	reg := obs.NewRegistry()
+	var jsonl bytes.Buffer
+	tr := obs.New(obs.NewJSONL(&jsonl), obs.WithClock(clock), obs.WithRegistry(reg))
+
+	a := apps.Get("S-W")
+	fw := core.New()
+	fw.Seed = 42
+	fw.Tasks = a.Tasks
+	fw.Trace = tr
+	b, err := fw.BuildFromSource(a.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := blaze.NewManager(fpga.VU9P())
+	mgr.Trace = tr
+	if err := fw.Deploy(b, mgr); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	rdd := spark.Parallelize(spark.NewContext(), a.Gen(rng, 4), 1)
+	if _, _, err := blaze.Wrap(rdd, mgr).MapAcc(jvmsim.New(b.Class)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := obs.ReadJSONL(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip the snapshot through its JSON form, exactly as the
+	// s2fa -metrics → s2fa-report pipeline does, so the golden test also
+	// covers the integer-to-float64 decode path.
+	var mj bytes.Buffer
+	if err := reg.WriteJSON(&mj); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ReadMetricsJSON(&mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events, snap
+}
+
+// TestReportGolden locks the full markdown explanation of the S-W
+// seed-42 run: under the injected clock the report is byte-stable, so
+// any drift in event wiring, aggregation, ordering, or formatting shows
+// up as a golden diff. Refresh intentionally with:
+//
+//	go test ./internal/report -run TestReportGolden -update
+func TestReportGolden(t *testing.T) {
+	events, snap := traceSW(t)
+	got := report.Render(events, snap, report.Options{Markdown: true})
+
+	golden := filepath.Join("testdata", "sw_seed42.md")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record the golden report)", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from golden %s (re-record with -update if intentional)\n%s",
+			golden, firstDiff(string(want), got))
+	}
+}
+
+// TestReportRendersBothFormats sanity-checks the text renderer against
+// the same trace: same sections, no markdown pipes in the aligned form.
+func TestReportRendersBothFormats(t *testing.T) {
+	events, snap := traceSW(t)
+	txt := report.Render(events, snap, report.Options{Markdown: false})
+	for _, section := range []string{
+		"Overview", "Stage waterfall", "Slowest fresh HLS estimations",
+		"Prune attribution", "Worker utilization", "Blaze offload vs fallback",
+	} {
+		if !strings.Contains(txt, section) {
+			t.Errorf("text report missing section %q", section)
+		}
+	}
+}
+
+// TestReportDeterministic renders the same run twice and demands byte
+// equality — the report must not depend on map iteration order.
+func TestReportDeterministic(t *testing.T) {
+	events, snap := traceSW(t)
+	a := report.Render(events, snap, report.Options{Markdown: true})
+	b := report.Render(events, snap, report.Options{Markdown: true})
+	if a != b {
+		t.Error("report is not deterministic across renders of the same run")
+	}
+}
+
+// firstDiff points at the first divergent line so a golden failure is
+// readable without an external diff tool.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("first diff at line %d:\n  golden: %s\n  got:    %s", i+1, w, g)
+		}
+	}
+	return "contents differ only in length"
+}
