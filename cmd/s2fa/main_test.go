@@ -11,7 +11,7 @@ import (
 // TestUnknownAppMessage pins the -app rejection text: every valid
 // workload name, in Table 2 order, so a typo is a one-screen fix.
 func TestUnknownAppMessage(t *testing.T) {
-	const want = `unknown app "Foo" (valid workloads: PR, KMeans, KNN, LR, SVM, LLS, AES, S-W)`
+	const want = `unknown app "Foo" (valid workloads: PR, KMeans, KNN, LR, SVM, LLS, AES, S-W, Conv, Hist, TopK, StrSearch)`
 	if got := unknownAppMessage("Foo"); got != want {
 		t.Errorf("unknownAppMessage(\"Foo\"):\n got %s\nwant %s", got, want)
 	}

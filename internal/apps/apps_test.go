@@ -323,6 +323,105 @@ func TestJVMAgainstGoReferences(t *testing.T) {
 			}
 		}
 	})
+
+	t.Run("Conv", func(t *testing.T) {
+		a := Get("Conv")
+		cls, err := a.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := jvmsim.New(cls)
+		for _, task := range a.Gen(rng, 8) {
+			res, err := vm.Call(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ConvRef(valsToFloats(task.Arr))
+			got := valsToFloats(res.Arr)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("conv[%d]: %g != %g", i, got[i], want[i])
+				}
+			}
+		}
+	})
+
+	t.Run("Hist", func(t *testing.T) {
+		a := Get("Hist")
+		cls, err := a.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := jvmsim.New(cls)
+		for _, task := range a.Gen(rng, 8) {
+			res, err := vm.Call(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs := make([]int32, len(task.Arr))
+			for i, v := range task.Arr {
+				xs[i] = int32(v.AsInt())
+			}
+			want := HistRef(xs)
+			total := int32(0)
+			for i, w := range want {
+				if int32(res.Arr[i].AsInt()) != w {
+					t.Fatalf("bin %d: %d != %d", i, res.Arr[i].AsInt(), w)
+				}
+				total += w
+			}
+			if total != HistN {
+				t.Fatalf("bins sum to %d, want %d", total, HistN)
+			}
+		}
+	})
+
+	t.Run("TopK", func(t *testing.T) {
+		a := Get("TopK")
+		cls, err := a.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := jvmsim.New(cls)
+		for _, task := range a.Gen(rng, 8) {
+			res, err := vm.Call(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := TopKRef(valsToFloats(task.Arr))
+			got := valsToFloats(res.Arr)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("best[%d]: %g != %g", i, got[i], want[i])
+				}
+				if i > 0 && got[i] > got[i-1] {
+					t.Fatalf("top-k not descending at %d: %g > %g", i, got[i], got[i-1])
+				}
+			}
+		}
+	})
+
+	t.Run("StrSearch", func(t *testing.T) {
+		a := Get("StrSearch")
+		cls, err := a.Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		vm := jvmsim.New(cls)
+		for _, task := range a.Gen(rng, 8) {
+			res, err := vm.Call(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := StrSearchRef(valsToBytes(task.Arr))
+			if int(res.S.AsInt()) != want {
+				t.Fatalf("count %d != %d", res.S.AsInt(), want)
+			}
+			if want < 1 {
+				t.Fatalf("generator planted no matches")
+			}
+		}
+	})
 }
 
 // TestAESRefAgainstStdlib pins the table-based AES implementation to

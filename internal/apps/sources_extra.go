@@ -1,0 +1,150 @@
+package apps
+
+import "fmt"
+
+// Dimensions of the four extended workloads (beyond Table 2): a 2-D
+// convolution stencil, a histogram, a top-k selection, and a naive
+// string search. They exercise the access shapes the paper's eight
+// kernels under-cover: shifted-window bursts, data-dependent scatters,
+// select-chains over a register file, and short inner compare loops.
+const (
+	// ConvN x ConvN input image, ConvK x ConvK filter, valid padding.
+	ConvN   = 12
+	ConvK   = 3
+	ConvOut = ConvN - ConvK + 1
+	// HistN samples scattered into HistB (power-of-two) bins.
+	HistN = 64
+	HistB = 32
+	// TKN values, the TKK largest kept in descending order.
+	TKN = 64
+	TKK = 4
+	// SSN text characters scanned for an SSM-character pattern.
+	SSN = 128
+	SSM = 4
+)
+
+// Extended-workload model constants, shared between the DSL sources and
+// the Go references exactly like KMeansCenters and friends.
+var (
+	ConvFilter = genFloats(ConvK*ConvK, 53, -1, 1)
+	// SSPattern holds the search pattern's character codes (over the
+	// ACGT alphabet, like the S-W inputs).
+	SSPattern = func() []int {
+		idx := genInts(SSM, 61, 0, 4)
+		out := make([]int, SSM)
+		for i, v := range idx {
+			out[i] = int("ACGT"[v])
+		}
+		return out
+	}()
+)
+
+// convSource is a 2-D valid-padding convolution: a perfect output nest
+// around a perfect filter nest, all bursts with shifted windows.
+func convSource() string {
+	return fmt.Sprintf(`
+class Conv extends Accelerator[Array[Double], Array[Double]] {
+  val id: String = "Conv_kernel"
+  val inSizes: Array[Int] = Array(%d)
+  val filter: Array[Double] = Array(%s)
+  def call(in: Array[Double]): Array[Double] = {
+    var out: Array[Double] = new Array[Double](%d)
+    for (r <- 0 until %d) {
+      for (c <- 0 until %d) {
+        var acc: Double = 0.0
+        for (kr <- 0 until %d) {
+          for (kc <- 0 until %d) {
+            acc = acc + in((r + kr) * %d + (c + kc)) * filter(kr * %d + kc)
+          }
+        }
+        out(r * %d + c) = acc
+      }
+    }
+    out
+  }
+}
+`, ConvN*ConvN, floatLits(ConvFilter), ConvOut*ConvOut,
+		ConvOut, ConvOut, ConvK, ConvK, ConvN, ConvK, ConvOut)
+}
+
+// histSource scatters samples into power-of-two bins: the canonical
+// data-dependent write with a loop-carried dependence through memory.
+// The scatter stages through a local (BRAM-sized) array and the result
+// is written out with a trailing burst — the shape a DDR-resident
+// scatter must take to be offloadable at all.
+func histSource() string {
+	return fmt.Sprintf(`
+class Hist extends Accelerator[Array[Int], Array[Int]] {
+  val id: String = "Hist_kernel"
+  val inSizes: Array[Int] = Array(%d)
+  def call(in: Array[Int]): Array[Int] = {
+    var tmp: Array[Int] = new Array[Int](%d)
+    for (z <- 0 until %d) {
+      tmp(z) = 0
+    }
+    for (i <- 0 until %d) {
+      val b: Int = (in(i) & %d)
+      tmp(b) = tmp(b) + 1
+    }
+    var bins: Array[Int] = new Array[Int](%d)
+    for (w <- 0 until %d) {
+      bins(w) = tmp(w)
+    }
+    bins
+  }
+}
+`, HistN, HistB, HistB, HistN, HistB-1, HistB, HistB)
+}
+
+// topkSource keeps the TKK largest values in a register-file-sized
+// array via an insertion bubble — a pure select-chain datapath.
+func topkSource() string {
+	return fmt.Sprintf(`
+class TopK extends Accelerator[Array[Double], Array[Double]] {
+  val id: String = "TopK_kernel"
+  val inSizes: Array[Int] = Array(%d)
+  def call(in: Array[Double]): Array[Double] = {
+    var best: Array[Double] = new Array[Double](%d)
+    for (j <- 0 until %d) {
+      best(j) = -1.0e30
+    }
+    for (i <- 0 until %d) {
+      var x: Double = in(i)
+      for (j <- 0 until %d) {
+        if (x > best(j)) {
+          val tmp: Double = best(j)
+          best(j) = x
+          x = tmp
+        }
+      }
+    }
+    best
+  }
+}
+`, TKN, TKK, TKK, TKN, TKK)
+}
+
+// strSearchSource counts pattern occurrences with a naive scan: a short
+// inner compare loop under a long outer burst.
+func strSearchSource() string {
+	return fmt.Sprintf(`
+class StrSearch extends Accelerator[Array[Char], Int] {
+  val id: String = "StrSearch_kernel"
+  val inSizes: Array[Int] = Array(%d)
+  val pat: Array[Int] = Array(%s)
+  def call(in: Array[Char]): Int = {
+    var count: Int = 0
+    for (i <- 0 until %d) {
+      var ok: Int = 1
+      for (j <- 0 until %d) {
+        if (in(i + j) != pat(j)) {
+          ok = 0
+        }
+      }
+      count = count + ok
+    }
+    count
+  }
+}
+`, SSN, intLits(SSPattern), SSN-SSM+1, SSM)
+}

@@ -9,12 +9,22 @@ import (
 	"s2fa/internal/depend"
 )
 
-// TestAgreesWithCirOnApps pins the exact analysis to cir's conservative
-// carried-array heuristic across every workload: on real kernels the two
-// must flag the same arrays per loop (the exact analysis proves more
-// pairs independent, but never an array cir would accept that it
-// rejects, and on these kernels it also discharges no array cir flags —
-// that equality is what keeps the lint race warnings byte-identical).
+// TestAgreesWithCirOnApps pins the exact analysis against cir's
+// conservative carried-array heuristic across every workload. On the
+// Table 2 kernels the two flag the same arrays per loop — that equality
+// is what keeps the lint race warnings byte-identical. The extended
+// workloads expose a case where the analyses legitimately part company,
+// pinned here as an exact expectation so any further drift still fails:
+// TopK's insertion bubble writes best(j) under a compare chain, and the
+// exact test proves the task loop's accesses disjoint where cir's
+// syntactic heuristic gives up and flags "out". Both analyses are
+// validated against execution traces separately (depend_property_test),
+// so a divergence is a precision difference, never a soundness one.
+var knownDivergence = map[string][2]string{
+	// loop -> {depend carried, cir carried}
+	"TopK/L0": {"[]", "[out]"},
+}
+
 func TestAgreesWithCirOnApps(t *testing.T) {
 	for _, name := range apps.Names() {
 		app := apps.Get(name)
@@ -34,6 +44,13 @@ func TestAgreesWithCirOnApps(t *testing.T) {
 			}
 			got := fmt.Sprintf("%v", v.RaceCarried)
 			want := fmt.Sprintf("%v", li.CarriedArrays)
+			if d, ok := knownDivergence[name+"/"+li.Loop.ID]; ok {
+				if got != d[0] || want != d[1] {
+					t.Errorf("%s %s: divergence drifted: depend %s (pinned %s), cir %s (pinned %s)",
+						name, li.Loop.ID, got, d[0], want, d[1])
+				}
+				continue
+			}
 			if got != want {
 				t.Errorf("%s %s: depend carried %s, cir carried %s", name, li.Loop.ID, got, want)
 			}

@@ -4,6 +4,8 @@ import (
 	"math"
 	"sync"
 	"testing"
+
+	"s2fa/internal/apps"
 )
 
 // The suite is expensive enough (seconds) to share across tests; all
@@ -32,8 +34,8 @@ func TestFig4Shape(t *testing.T) {
 	for _, row := range r.Rows {
 		rows[row.App] = row
 	}
-	if len(rows) != 8 {
-		t.Fatalf("rows = %d", len(rows))
+	if len(rows) != len(apps.All()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(apps.All()))
 	}
 
 	// Every kernel beats the JVM; PR barely (memory-bound, paper: "even
@@ -145,8 +147,8 @@ func TestFig3Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Series) != 8 {
-		t.Fatalf("series = %d", len(r.Series))
+	if len(r.Series) != len(apps.All()) {
+		t.Fatalf("series = %d, want %d", len(r.Series), len(apps.All()))
 	}
 	if r.AvgTimeSavingPct < 10 {
 		t.Errorf("time saving %.1f%% too small (paper: 52.5%%)", r.AvgTimeSavingPct)
@@ -166,8 +168,12 @@ func TestFig3Shape(t *testing.T) {
 				series.App, series.S2FA.TotalMinutes, series.Vanilla.TotalMinutes)
 		}
 	}
-	if wins < 6 {
-		t.Errorf("S2FA ahead at its stop time on only %d/8 kernels", wins)
+	// Same 75% bar as the original 6-of-8: kernels with small design
+	// spaces (KNN, and Conv/Hist among the extended workloads) let the
+	// vanilla tuner reach a comparable design inside the budget — the
+	// same mechanism as the paper's KMeans exception.
+	if wins < (len(r.Series)*3)/4 {
+		t.Errorf("S2FA ahead at its stop time on only %d/%d kernels", wins, len(r.Series))
 	}
 	// KMeans: vanilla eventually reaches a comparable design (paper's
 	// exception; its space is relatively small).

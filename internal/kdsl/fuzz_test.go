@@ -1,12 +1,69 @@
 package kdsl_test
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"s2fa/internal/apps"
 	"s2fa/internal/bytecode"
 	"s2fa/internal/kdsl"
 )
+
+// corpusSources loads the shared seed corpus at testdata/corpus: the
+// eight generator families, the parse-stage negatives, and hand-written
+// boundary cases. The gen_*/neg_* files are pinned to kdslgen output by
+// that package's TestCorpusFilesMatchGenerator (refresh with -update
+// there), so the fuzzer's seeds track the generator automatically.
+func corpusSources(tb testing.TB) map[string]string {
+	dir := filepath.Join("testdata", "corpus")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".kdsl") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out[e.Name()] = string(data)
+	}
+	if len(out) == 0 {
+		tb.Fatalf("empty corpus at %s", dir)
+	}
+	return out
+}
+
+// TestCorpusRoundTrip keeps the corpus honest outside fuzzing runs:
+// every gen_* seed must compile, verify, and disassemble, and every
+// neg_*/hand_* seed must fail somewhere without panicking — the two
+// sides of the accept frontier the fuzzer mutates from.
+func TestCorpusRoundTrip(t *testing.T) {
+	for name, src := range corpusSources(t) {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			cls, err := kdsl.CompileSource(src)
+			if strings.HasPrefix(name, "gen_") {
+				if err != nil {
+					t.Fatalf("generator corpus seed rejected: %v", err)
+				}
+				if err := bytecode.VerifyClass(cls); err != nil {
+					t.Fatalf("verify: %v", err)
+				}
+				_ = bytecode.DisassembleClass(cls)
+				return
+			}
+			if strings.HasPrefix(name, "neg_") && err == nil {
+				t.Fatal("negative corpus seed accepted")
+			}
+		})
+	}
+}
 
 // FuzzKdslParse throws arbitrary source text at the kernel-DSL frontend.
 // The contract under fuzzing:
@@ -16,30 +73,18 @@ import (
 //     of the pipeline: the compiled class passes the bytecode verifier,
 //     and its methods disassemble without panicking.
 //
-// The corpus is seeded with all eight paper workloads plus a handful of
-// minimal and deliberately broken kernels, so mutation starts from both
-// sides of the accept boundary.
+// The corpus is seeded with the twelve registered workloads plus the
+// shared testdata/corpus seeds (generator families, negatives, and
+// minimal/broken kernels), so mutation starts from both sides of the
+// accept boundary.
 func FuzzKdslParse(f *testing.F) {
 	for _, a := range apps.All() {
 		f.Add(a.Source)
 	}
 	f.Add("")
-	f.Add("class K { val id = \"k\" }")
-	f.Add(`class Min {
-  val id: String = "min"
-  def call(x: Int): Int = {
-    x + 1
-  }
-}`)
-	f.Add(`class Bad {
-  val id: String = "bad"
-  def call(x: Int): Int = {
-    while (true) { }
-    x
-  }
-}`)
-	f.Add("class Unterminated { def call(x: Int): Int = { x ")
-	f.Add("def call() = }{")
+	for _, src := range corpusSources(f) {
+		f.Add(src)
+	}
 
 	f.Fuzz(func(t *testing.T, src string) {
 		def, err := kdsl.Parse(src)

@@ -1,0 +1,56 @@
+package kdslgen
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update", false, "rewrite the shared kdsl fuzz corpus from generator output")
+
+// corpusDir is the shared seed corpus consumed by kdsl's FuzzKdslParse:
+// generator output lives next to hand-written boundary cases so the
+// fuzzer mutates from both sides of the accept frontier.
+const corpusDir = "../kdsl/testdata/corpus"
+
+const (
+	corpusSeed = 1
+	corpusGen  = 8 // one kernel per family
+	corpusNeg  = 3 // the parse-stage negative templates
+)
+
+// TestCorpusFilesMatchGenerator pins the committed generator-derived
+// corpus files byte-for-byte to Generate(1, 8) and the first three
+// negatives: the corpus is re-seeded from the generator, never edited by
+// hand. Run with -update after changing the generator.
+func TestCorpusFilesMatchGenerator(t *testing.T) {
+	want := map[string]string{}
+	for i, k := range Generate(corpusSeed, corpusGen) {
+		want[filepath.Join(corpusDir, "gen_"+k.Tags[0]+".kdsl")] = k.Source
+		_ = i
+	}
+	for _, n := range GenerateNegatives(corpusSeed, corpusNeg) {
+		want[filepath.Join(corpusDir, strings.ToLower(n.Name)+"_"+n.Stage.String()+".kdsl")] = n.Source
+	}
+	if *updateCorpus {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for path, src := range want {
+			if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for path, src := range want {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (run `go test ./internal/kdslgen/ -run TestCorpusFiles -update`)", err)
+		}
+		if string(data) != src {
+			t.Errorf("%s drifted from generator output (run with -update to refresh)", path)
+		}
+	}
+}

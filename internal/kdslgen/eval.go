@@ -1,0 +1,322 @@
+package kdslgen
+
+import (
+	"fmt"
+
+	"s2fa/internal/cir"
+)
+
+// evalOpt tunes the reference evaluator. defectSubAsAdd deliberately
+// corrupts subtraction into addition — an injected reference defect used
+// to demonstrate that the shrinker reduces a failing kernel to a minimal
+// reproducer (see Kernel.WithEvalDefect).
+type evalOpt struct {
+	defectSubAsAdd bool
+}
+
+// env holds the mutable state of one reference execution. Input arrays
+// are aliased, not copied, so kernels that write into their inputs (the
+// purity negatives) behave exactly like the JVM.
+type env struct {
+	scalars map[string]cir.Value
+	arrays  map[string][]cir.Value
+	opt     evalOpt
+	steps   int
+}
+
+// maxEvalSteps bounds one reference execution; generated kernels are
+// small, so hitting it always indicates a generator bug.
+const maxEvalSteps = 4_000_000
+
+// eval executes the kernel's call method on one task. The returned
+// FieldVal is the kernel result (a fresh array for array outputs —
+// declArrS allocates per call — or a scalar).
+func (p *prog) eval(task []FieldVal, opt evalOpt) (FieldVal, error) {
+	if len(task) != len(p.In) {
+		return FieldVal{}, fmt.Errorf("kdslgen: task has %d fields, kernel wants %d", len(task), len(p.In))
+	}
+	ev := &env{scalars: map[string]cir.Value{}, arrays: map[string][]cir.Value{}, opt: opt}
+	for _, c := range p.Consts {
+		if c.Arr {
+			arr := make([]cir.Value, 0, max(len(c.Ints), len(c.Fls)))
+			if c.K.IsFloat() {
+				for _, v := range c.Fls {
+					arr = append(arr, cir.FloatVal(c.K, v))
+				}
+			} else {
+				for _, v := range c.Ints {
+					arr = append(arr, cir.IntVal(c.K, v))
+				}
+			}
+			ev.arrays[c.Name] = arr
+		} else if c.K.IsFloat() {
+			ev.scalars[c.Name] = cir.FloatVal(c.K, c.Fls[0])
+		} else {
+			ev.scalars[c.Name] = cir.IntVal(c.K, c.Ints[0])
+		}
+	}
+	// Input fields are reachable only through bindS statements, which
+	// look them up here by index.
+	if err := ev.block(p.Body, task); err != nil {
+		return FieldVal{}, err
+	}
+	if p.Out.Arr {
+		arr, ok := ev.arrays[p.ResultVar]
+		if !ok {
+			return FieldVal{}, fmt.Errorf("kdslgen: result array %q undefined", p.ResultVar)
+		}
+		return FieldVal{Arr: arr, IsArr: true}, nil
+	}
+	v, ok := ev.scalars[p.ResultVar]
+	if !ok {
+		return FieldVal{}, fmt.Errorf("kdslgen: result variable %q undefined", p.ResultVar)
+	}
+	return FieldVal{S: v}, nil
+}
+
+// evalReduce folds two output vectors with the reduce combiner
+// (elementwise sum), allocating a fresh result so neither argument is
+// mutated — unlike the JVM combiner, which accumulates into its first
+// parameter in place.
+func (p *prog) evalReduce(a, b FieldVal) (FieldVal, error) {
+	if p.Reduce == "" {
+		return FieldVal{}, fmt.Errorf("kdslgen: kernel %s has no reduce", p.ID)
+	}
+	k := p.Out.K
+	if !a.IsArr || !b.IsArr || len(a.Arr) != len(b.Arr) {
+		return FieldVal{}, fmt.Errorf("kdslgen: reduce wants two arrays of length %d", p.Out.Len)
+	}
+	out := make([]cir.Value, len(a.Arr))
+	for i := range out {
+		v, err := cir.EvalBinary(cir.Add, k, a.Arr[i].Convert(k), b.Arr[i].Convert(k))
+		if err != nil {
+			return FieldVal{}, err
+		}
+		out[i] = v
+	}
+	return FieldVal{Arr: out, IsArr: true}, nil
+}
+
+func (ev *env) block(stmts []stmt, task []FieldVal) error {
+	for _, s := range stmts {
+		if err := ev.stmt(s, task); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ev *env) tick() error {
+	ev.steps++
+	if ev.steps > maxEvalSteps {
+		return fmt.Errorf("kdslgen: reference step budget exceeded")
+	}
+	return nil
+}
+
+func (ev *env) stmt(s stmt, task []FieldVal) error {
+	if err := ev.tick(); err != nil {
+		return err
+	}
+	switch s := s.(type) {
+	case *declS:
+		v, err := ev.expr(s.Init)
+		if err != nil {
+			return err
+		}
+		ev.scalars[s.Name] = v.Convert(s.K)
+	case *declArrS:
+		arr := make([]cir.Value, s.Len)
+		for i := range arr {
+			arr[i].K = s.K
+		}
+		ev.arrays[s.Name] = arr
+	case *bindS:
+		f := 0
+		if s.Field >= 0 {
+			f = s.Field
+		}
+		if s.T.Arr {
+			ev.arrays[s.Name] = task[f].Arr
+		} else {
+			ev.scalars[s.Name] = task[f].S.Convert(s.T.K)
+		}
+	case *assignS:
+		v, err := ev.expr(s.E)
+		if err != nil {
+			return err
+		}
+		ev.scalars[s.Name] = v.Convert(s.K)
+	case *storeS:
+		arr, ok := ev.arrays[s.Arr]
+		if !ok {
+			return fmt.Errorf("kdslgen: store to unknown array %q", s.Arr)
+		}
+		iv, err := ev.expr(s.Idx)
+		if err != nil {
+			return err
+		}
+		i := iv.AsInt()
+		if i < 0 || i >= int64(len(arr)) {
+			return fmt.Errorf("kdslgen: index %d out of bounds for %q (len %d)", i, s.Arr, len(arr))
+		}
+		v, err := ev.expr(s.E)
+		if err != nil {
+			return err
+		}
+		arr[i] = v.Convert(s.K)
+	case *forS:
+		for i := s.Lo; i < s.Hi; i++ {
+			ev.scalars[s.Var] = cir.IntVal(cir.Int, int64(i))
+			if err := ev.block(s.Body, task); err != nil {
+				return err
+			}
+		}
+	case *whileS:
+		for {
+			if err := ev.tick(); err != nil {
+				return err
+			}
+			c := ev.scalars[s.Var].AsInt() > 0
+			if c && s.Extra != nil {
+				x, err := ev.expr(s.Extra)
+				if err != nil {
+					return err
+				}
+				c = x.IsTrue()
+			}
+			if !c {
+				return nil
+			}
+			if err := ev.block(s.Body, task); err != nil {
+				return err
+			}
+			w := ev.scalars[s.Var]
+			ev.scalars[s.Var] = cir.IntVal(cir.Int, w.AsInt()-1)
+		}
+	case *ifS:
+		c, err := ev.expr(s.Cond)
+		if err != nil {
+			return err
+		}
+		if c.IsTrue() {
+			return ev.block(s.Then, task)
+		}
+		return ev.block(s.Else, task)
+	default:
+		return fmt.Errorf("kdslgen: unknown statement %T", s)
+	}
+	return nil
+}
+
+func (ev *env) expr(e expr) (cir.Value, error) {
+	if err := ev.tick(); err != nil {
+		return cir.Value{}, err
+	}
+	switch e := e.(type) {
+	case *intE:
+		return cir.IntVal(e.K, e.V), nil
+	case *floatE:
+		return cir.FloatVal(e.K, e.V), nil
+	case *varE:
+		v, ok := ev.scalars[e.Name]
+		if !ok {
+			return cir.Value{}, fmt.Errorf("kdslgen: read of undefined %q", e.Name)
+		}
+		return v, nil
+	case *loadE:
+		arr, ok := ev.arrays[e.Arr]
+		if !ok {
+			return cir.Value{}, fmt.Errorf("kdslgen: load from unknown array %q", e.Arr)
+		}
+		iv, err := ev.expr(e.Idx)
+		if err != nil {
+			return cir.Value{}, err
+		}
+		i := iv.AsInt()
+		if i < 0 || i >= int64(len(arr)) {
+			return cir.Value{}, fmt.Errorf("kdslgen: index %d out of bounds for %q (len %d)", i, e.Arr, len(arr))
+		}
+		return arr[i], nil
+	case *binE:
+		return ev.binary(e)
+	case *unE:
+		x, err := ev.expr(e.X)
+		if err != nil {
+			return cir.Value{}, err
+		}
+		// The checker widens Char/Short operands to Int before unary
+		// arithmetic; Bool (for !) passes through untouched.
+		if x.K != e.K && e.Op != cir.Not {
+			x = x.Convert(e.K)
+		}
+		switch e.Op {
+		case cir.Neg:
+			if x.K.IsFloat() {
+				return cir.FloatVal(x.K, -x.F), nil
+			}
+			return cir.IntVal(x.K, -x.I), nil
+		case cir.Not:
+			return cir.BoolVal(!x.IsTrue()), nil
+		case cir.BitNot:
+			return cir.IntVal(x.K, ^x.I), nil
+		}
+		return cir.Value{}, fmt.Errorf("kdslgen: unknown unary op")
+	case *castE:
+		x, err := ev.expr(e.X)
+		if err != nil {
+			return cir.Value{}, err
+		}
+		return x.Convert(e.To), nil
+	case *mathE:
+		args := make([]cir.Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := ev.expr(a)
+			if err != nil {
+				return cir.Value{}, err
+			}
+			args[i] = v.Convert(e.Prom)
+		}
+		return cir.EvalIntrinsic(e.Name, e.K, args)
+	}
+	return cir.Value{}, fmt.Errorf("kdslgen: unknown expression %T", e)
+}
+
+// binary mirrors the checker's operand handling exactly: both sides are
+// implicitly cast to the promoted kind (the shift amount to Int), then
+// the shared cir scalar semantics apply.
+func (ev *env) binary(e *binE) (cir.Value, error) {
+	if e.Op.IsLogical() {
+		l, err := ev.expr(e.L)
+		if err != nil {
+			return cir.Value{}, err
+		}
+		if e.Op == cir.LAnd && !l.IsTrue() {
+			return cir.BoolVal(false), nil
+		}
+		if e.Op == cir.LOr && l.IsTrue() {
+			return cir.BoolVal(true), nil
+		}
+		r, err := ev.expr(e.R)
+		if err != nil {
+			return cir.Value{}, err
+		}
+		return cir.BoolVal(r.IsTrue()), nil
+	}
+	l, err := ev.expr(e.L)
+	if err != nil {
+		return cir.Value{}, err
+	}
+	r, err := ev.expr(e.R)
+	if err != nil {
+		return cir.Value{}, err
+	}
+	op := e.Op
+	if op == cir.Sub && ev.opt.defectSubAsAdd {
+		op = cir.Add
+	}
+	if op == cir.Shl || op == cir.Shr {
+		return cir.EvalBinary(op, e.Prom, l.Convert(e.Prom), r.Convert(cir.Int))
+	}
+	return cir.EvalBinary(op, e.Prom, l.Convert(e.Prom), r.Convert(e.Prom))
+}

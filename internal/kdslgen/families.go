@@ -1,0 +1,688 @@
+package kdslgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"s2fa/internal/cir"
+)
+
+// builder assembles one prog. It tracks the readable scope so the random
+// expression generator only references defined names, and it owns a
+// fresh-name counter so every local in the program is unique (which also
+// keeps the decompiled kernel free of duplicate-local lint findings).
+type builder struct {
+	rng *rand.Rand
+	p   *prog
+	n   int
+
+	scalars []scVar
+	arrays  []arrVar
+}
+
+type scVar struct {
+	name string
+	k    cir.Kind
+}
+
+type arrVar struct {
+	name   string
+	k      cir.Kind
+	length int
+}
+
+// loopInfo is a live induction variable: Var iterates [0, Trip).
+type loopInfo struct {
+	v    string
+	trip int
+}
+
+func (b *builder) fresh(prefix string) string {
+	b.n++
+	return fmt.Sprintf("%s%d", prefix, b.n)
+}
+
+func (b *builder) defScalar(name string, k cir.Kind) {
+	b.scalars = append(b.scalars, scVar{name, k})
+}
+
+func (b *builder) defArray(name string, k cir.Kind, length int) {
+	b.arrays = append(b.arrays, arrVar{name, k, length})
+}
+
+// numKinds is the mixed-bitwidth pool generated kernels draw from.
+var numKinds = []cir.Kind{cir.Char, cir.Short, cir.Int, cir.Long, cir.Float, cir.Double}
+
+func (b *builder) numKind() cir.Kind { return numKinds[b.rng.Intn(len(numKinds))] }
+
+func (b *builder) accKind(elem cir.Kind) cir.Kind {
+	if elem.IsFloat() {
+		return cir.Double
+	}
+	if b.rng.Intn(3) == 0 {
+		return cir.Long
+	}
+	return promote(elem, cir.Int)
+}
+
+func widensKind(a, to cir.Kind) bool {
+	rank := func(k cir.Kind) int {
+		switch k {
+		case cir.Char, cir.Short:
+			return 1
+		case cir.Int:
+			return 2
+		case cir.Long:
+			return 3
+		case cir.Float:
+			return 4
+		case cir.Double:
+			return 5
+		}
+		return 0
+	}
+	ra, rb := rank(a), rank(to)
+	return ra > 0 && rb > 0 && ra < rb
+}
+
+// coerce makes e usable where kind `to` is expected, inserting an
+// explicit cast when implicit widening does not apply (exactly the
+// narrowing positions where kdsl demands `.toX`).
+func coerce(e expr, to cir.Kind) expr {
+	if e.kind() == to || widensKind(e.kind(), to) {
+		return e
+	}
+	return &castE{To: to, X: e}
+}
+
+// asIntish coerces e to an integer kind usable in index arithmetic,
+// shifts, and masks.
+func asIntish(e expr) expr {
+	switch e.kind() {
+	case cir.Char, cir.Short, cir.Int, cir.Long:
+		return e
+	}
+	return &castE{To: cir.Int, X: e}
+}
+
+// bindInputs declares one local per input field and registers them in
+// scope. Arrays alias the caller's data.
+func (b *builder) bindInputs() {
+	tuple := len(b.p.In) > 1
+	for i, f := range b.p.In {
+		field := -1
+		if tuple {
+			field = i
+		}
+		var name string
+		if f.Arr {
+			name = b.fresh("a")
+			b.defArray(name, f.K, f.Len)
+		} else {
+			name = b.fresh("s")
+			b.defScalar(name, f.K)
+		}
+		b.p.Body = append(b.p.Body, &bindS{Name: name, T: f, Field: field})
+	}
+}
+
+// addConstArray registers a class constant array of n elements.
+func (b *builder) addConstArray(k cir.Kind, n int) string {
+	name := b.fresh("c")
+	c := constDef{Name: name, K: k, Arr: true}
+	if k.IsFloat() {
+		for i := 0; i < n; i++ {
+			c.Fls = append(c.Fls, float64(b.rng.Intn(800))/100-4)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			c.Ints = append(c.Ints, int64(b.rng.Intn(17)-8))
+		}
+	}
+	b.p.Consts = append(b.p.Consts, c)
+	b.defArray(name, k, n)
+	return name
+}
+
+// safeIndex builds an in-bounds index expression for an array of the
+// given length under the live loops: burst (i + c), strided (s*i + c),
+// reverse ((len-1) - i), a gather mask ((e) & (len-1)) when len is a
+// power of two, or a constant. The chosen shape is reported in tag.
+func (b *builder) safeIndex(length int, loops []loopInfo) (expr, string) {
+	type cand struct {
+		e   expr
+		tag string
+	}
+	var cands []cand
+	pow2 := length&(length-1) == 0 && length > 0
+	for _, l := range loops {
+		iv := ref(l.v, cir.Int)
+		if l.trip <= length {
+			off := 0
+			if length > l.trip {
+				off = b.rng.Intn(length - l.trip + 1)
+			}
+			e := expr(iv)
+			if off > 0 {
+				e = bin(cir.Add, iv, iconst(int64(off)))
+			}
+			cands = append(cands, cand{e, "burst"})
+			cands = append(cands, cand{bin(cir.Sub, iconst(int64(length-1)), iv), "reverse"})
+		}
+		for _, s := range []int{2, 3, 4} {
+			span := s * (l.trip - 1)
+			if span < length {
+				c := b.rng.Intn(length - span)
+				e := expr(bin(cir.Mul, iconst(int64(s)), iv))
+				if c > 0 {
+					e = bin(cir.Add, e, iconst(int64(c)))
+				}
+				cands = append(cands, cand{e, "strided"})
+			}
+		}
+	}
+	if pow2 {
+		// Mask an arbitrary integer expression into range: the classic
+		// data-dependent gather subscript.
+		var base expr
+		switch {
+		case len(b.scalars) > 0 && b.rng.Intn(2) == 0:
+			sv := b.scalars[b.rng.Intn(len(b.scalars))]
+			base = asIntish(ref(sv.name, sv.k))
+		case len(loops) > 0:
+			l := loops[b.rng.Intn(len(loops))]
+			base = bin(cir.Mul, ref(l.v, cir.Int), iconst(int64(1+b.rng.Intn(7))))
+		default:
+			base = iconst(int64(b.rng.Intn(1 << 16)))
+		}
+		cands = append(cands, cand{bin(cir.And, base, iconst(int64(length-1))), "gather"})
+	}
+	cands = append(cands, cand{iconst(int64(b.rng.Intn(length))), "invariant"})
+	c := cands[b.rng.Intn(len(cands))]
+	return c.e, c.tag
+}
+
+// randExpr produces an arbitrary numeric expression from the current
+// scope. Divisors and shift amounts are constants by construction, so
+// evaluation can never trap.
+func (b *builder) randExpr(loops []loopInfo, depth int) expr {
+	if depth <= 0 {
+		return b.leafExpr(loops)
+	}
+	switch b.rng.Intn(8) {
+	case 0: // division by a safe constant
+		l := b.randExpr(loops, depth-1)
+		if l.kind().IsFloat() {
+			return bin(cir.Div, l, fconst(float64(b.rng.Intn(7)+2)/2))
+		}
+		return bin(cir.Div, l, iconst(int64(b.rng.Intn(7)+1)))
+	case 1: // remainder by a safe constant
+		l := b.randExpr(loops, depth-1)
+		if l.kind().IsFloat() {
+			return bin(cir.Rem, l, fconst(float64(b.rng.Intn(5)+1)))
+		}
+		return bin(cir.Rem, l, iconst(int64(b.rng.Intn(7)+2)))
+	case 2: // bit ops on integer operands
+		l := asIntish(b.randExpr(loops, depth-1))
+		r := asIntish(b.leafExpr(loops))
+		ops := []cir.BinOp{cir.And, cir.Or, cir.Xor}
+		return bin(ops[b.rng.Intn(len(ops))], l, r)
+	case 3: // shift by a small constant
+		l := asIntish(b.randExpr(loops, depth-1))
+		op := cir.Shl
+		if b.rng.Intn(2) == 0 {
+			op = cir.Shr
+		}
+		return bin(op, l, iconst(int64(b.rng.Intn(8))))
+	case 4: // math intrinsic
+		x := b.randExpr(loops, depth-1)
+		switch b.rng.Intn(5) {
+		case 0:
+			return math1("abs", x)
+		case 1:
+			return math1("sqrt", x)
+		case 2:
+			return math1("floor", x)
+		case 3:
+			return math2("min", x, b.leafExpr(loops))
+		default:
+			return math2("max", x, b.leafExpr(loops))
+		}
+	case 5: // unary
+		x := b.randExpr(loops, depth-1)
+		if !x.kind().IsFloat() && b.rng.Intn(2) == 0 {
+			return un(cir.BitNot, x)
+		}
+		return un(cir.Neg, x)
+	case 6: // explicit cast (mixes bitwidths)
+		return &castE{To: b.numKind(), X: b.randExpr(loops, depth-1)}
+	default: // plain arithmetic
+		ops := []cir.BinOp{cir.Add, cir.Sub, cir.Mul}
+		return bin(ops[b.rng.Intn(len(ops))], b.randExpr(loops, depth-1), b.randExpr(loops, depth-1))
+	}
+}
+
+func (b *builder) leafExpr(loops []loopInfo) expr {
+	for tries := 0; tries < 4; tries++ {
+		switch b.rng.Intn(4) {
+		case 0:
+			if k := b.numKind(); k.IsFloat() {
+				return fconst(float64(b.rng.Intn(1600))/100 - 8)
+			}
+			return iconst(int64(b.rng.Intn(33) - 16))
+		case 1:
+			if len(b.scalars) > 0 {
+				sv := b.scalars[b.rng.Intn(len(b.scalars))]
+				return ref(sv.name, sv.k)
+			}
+		case 2:
+			if len(loops) > 0 {
+				l := loops[b.rng.Intn(len(loops))]
+				return ref(l.v, cir.Int)
+			}
+		case 3:
+			if len(b.arrays) > 0 {
+				av := b.arrays[b.rng.Intn(len(b.arrays))]
+				idx, _ := b.safeIndex(av.length, loops)
+				return &loadE{Arr: av.name, K: av.k, Idx: idx}
+			}
+		}
+	}
+	return iconst(int64(b.rng.Intn(9) + 1))
+}
+
+// randCond builds a Boolean expression.
+func (b *builder) randCond(loops []loopInfo) expr {
+	ops := []cir.BinOp{cir.Lt, cir.Le, cir.Gt, cir.Ge, cir.Eq, cir.Ne}
+	l := b.randExpr(loops, 1)
+	r := b.leafExpr(loops)
+	if l.kind().IsFloat() || r.kind().IsFloat() {
+		// Equality on floats is legal but vacuous noise; prefer order.
+		ops = ops[:4]
+	}
+	return bin(ops[b.rng.Intn(len(ops))], l, r)
+}
+
+// tag appends a shape tag once.
+func (b *builder) tag(t string) {
+	for _, have := range b.p.Tags {
+		if have == t {
+			return
+		}
+	}
+	b.p.Tags = append(b.p.Tags, t)
+}
+
+// buildProg assembles kernel idx of the seed's population. Families
+// rotate round-robin so any prefix of the population covers every shape.
+func buildProg(rng *rand.Rand, seed int64, idx int) *prog {
+	b := &builder{rng: rng}
+	b.p = &prog{
+		ClassName: fmt.Sprintf("Gen%d", idx),
+		ID:        fmt.Sprintf("gen_s%d_%d", seed, idx),
+	}
+	families := []struct {
+		name  string
+		build func()
+	}{
+		{"map-burst", b.famMapBurst},
+		{"stencil", b.famStencil},
+		{"strided", b.famStrided},
+		{"gather", b.famGather},
+		{"select-chain", b.famSelect},
+		{"while", b.famWhile},
+		{"reduce", b.famReduce},
+		{"mixed-width", b.famMixed},
+	}
+	f := families[idx%len(families)]
+	b.p.Tags = []string{f.name}
+	f.build()
+	return b.p
+}
+
+// pow2Len draws a power-of-two length in [8, 64].
+func (b *builder) pow2Len() int { return 8 << b.rng.Intn(4) }
+
+// emit appends statements to the call body.
+func (b *builder) emit(ss ...stmt) { b.p.Body = append(b.p.Body, ss...) }
+
+// declAcc declares a mutable accumulator seeded with a constant.
+func (b *builder) declAcc(k cir.Kind) string {
+	name := b.fresh("v")
+	var init expr
+	if k.IsFloat() {
+		init = coerce(fconst(float64(b.rng.Intn(9))-4), k)
+	} else {
+		init = coerce(iconst(int64(b.rng.Intn(9)-4)), k)
+	}
+	b.emit(&declS{Name: name, K: k, Mut: true, Init: init})
+	b.defScalar(name, k)
+	return name
+}
+
+// famMapBurst: perfect nest, unit-stride element-wise map into an output
+// array, mixed element kinds.
+func (b *builder) famMapBurst() {
+	n := 8 + 4*b.rng.Intn(7)
+	k1 := b.numKind()
+	b.p.In = []typeSpec{{K: k1, Arr: true, Len: n}}
+	two := b.rng.Intn(2) == 0
+	if two {
+		b.p.In = append(b.p.In, typeSpec{K: b.numKind(), Arr: true, Len: n})
+	}
+	b.bindInputs()
+	ko := b.numKind()
+	out := b.fresh("o")
+	b.emit(&declArrS{Name: out, K: ko, Len: n})
+	iv := b.fresh("i")
+	loops := []loopInfo{{iv, n}}
+	a1 := b.arrays[0]
+	body := []stmt{}
+	x := b.fresh("t")
+	lhs := expr(&loadE{Arr: a1.name, K: a1.k, Idx: ref(iv, cir.Int)})
+	if two {
+		a2 := b.arrays[1]
+		ops := []cir.BinOp{cir.Add, cir.Sub, cir.Mul}
+		lhs = bin(ops[b.rng.Intn(3)], lhs, &loadE{Arr: a2.name, K: a2.k, Idx: ref(iv, cir.Int)})
+	}
+	body = append(body, &declS{Name: x, K: lhs.kind(), Init: lhs})
+	rhs := bin(cir.Add, ref(x, lhs.kind()), b.randExpr(loops, 1))
+	body = append(body, &storeS{Arr: out, K: ko, Idx: ref(iv, cir.Int), E: coerce(rhs, ko)})
+	b.emit(&forS{Var: iv, Lo: 0, Hi: n, Body: body})
+	b.tag("burst")
+	b.p.Out = typeSpec{K: ko, Arr: true, Len: n}
+	b.p.ResultVar = out
+	b.defArray(out, ko, n)
+}
+
+// famStencil: imperfect two-deep nest, shifted-window burst reads
+// against a constant tap array.
+func (b *builder) famStencil() {
+	taps := 3 + b.rng.Intn(3)
+	n := 16 + 4*b.rng.Intn(5)
+	elem := []cir.Kind{cir.Int, cir.Float, cir.Double, cir.Short}[b.rng.Intn(4)]
+	b.p.In = []typeSpec{{K: elem, Arr: true, Len: n}}
+	b.bindInputs()
+	a := b.arrays[0]
+	tk := cir.Double
+	if !elem.IsFloat() {
+		tk = cir.Int
+	}
+	tarr := b.addConstArray(tk, taps)
+	outN := n - taps + 1
+	acc := promote(tk, elem)
+	out := b.fresh("o")
+	b.emit(&declArrS{Name: out, K: acc, Len: outN})
+	iv, tv, sv := b.fresh("i"), b.fresh("t"), b.fresh("v")
+	inner := []stmt{
+		&assignS{Name: sv, K: acc, E: coerce(bin(cir.Add, ref(sv, acc),
+			bin(cir.Mul,
+				&loadE{Arr: a.name, K: a.k, Idx: bin(cir.Add, ref(iv, cir.Int), ref(tv, cir.Int))},
+				&loadE{Arr: tarr, K: tk, Idx: ref(tv, cir.Int)})), acc)},
+	}
+	var zero expr = iconst(0)
+	if acc.IsFloat() {
+		zero = fconst(0)
+	}
+	b.emit(&forS{Var: iv, Lo: 0, Hi: outN, Body: []stmt{
+		&declS{Name: sv, K: acc, Mut: true, Init: coerce(zero, acc)},
+		&forS{Var: tv, Lo: 0, Hi: taps, Body: inner},
+		&storeS{Arr: out, K: acc, Idx: ref(iv, cir.Int), E: ref(sv, acc)},
+	}})
+	b.tag("imperfect")
+	b.tag("burst")
+	b.p.Out = typeSpec{K: acc, Arr: true, Len: outN}
+	b.p.ResultVar = out
+	b.defArray(out, acc, outN)
+}
+
+// famStrided: forward-strided plus reverse walks folded into a scalar.
+func (b *builder) famStrided() {
+	s := 2 + b.rng.Intn(3)
+	trip := 4 + b.rng.Intn(5)
+	n := s*(trip-1) + 1 + b.rng.Intn(4)
+	elem := b.numKind()
+	b.p.In = []typeSpec{{K: elem, Arr: true, Len: n}}
+	b.bindInputs()
+	a := b.arrays[0]
+	acc := b.accKind(elem)
+	accV := b.declAcc(acc)
+	iv := b.fresh("i")
+	b.emit(&forS{Var: iv, Lo: 0, Hi: trip, Body: []stmt{
+		&assignS{Name: accV, K: acc, E: coerce(bin(cir.Add, ref(accV, acc),
+			&loadE{Arr: a.name, K: a.k, Idx: bin(cir.Mul, iconst(int64(s)), ref(iv, cir.Int))}), acc)},
+	}})
+	jv := b.fresh("i")
+	rtrip := 2 + b.rng.Intn(n-1)
+	if rtrip > n {
+		rtrip = n
+	}
+	b.emit(&forS{Var: jv, Lo: 0, Hi: rtrip, Body: []stmt{
+		&assignS{Name: accV, K: acc, E: coerce(bin(cir.Sub, ref(accV, acc),
+			&loadE{Arr: a.name, K: a.k, Idx: bin(cir.Sub, iconst(int64(n-1)), ref(jv, cir.Int))}), acc)},
+	}})
+	b.tag("strided")
+	b.tag("reverse")
+	res := b.fresh("r")
+	b.emit(&declS{Name: res, K: acc, Mut: true, Init: coerce(b.randExpr(nil, 1), acc)})
+	b.emit(assignSOrFold(b, res, accV, acc))
+	b.p.Out = typeSpec{K: acc}
+	b.p.ResultVar = res
+}
+
+// assignSOrFold folds the accumulator into the result variable with a
+// random arithmetic op (the result var keeps its declared kind).
+func assignSOrFold(b *builder, res, accV string, k cir.Kind) stmt {
+	ops := []cir.BinOp{cir.Add, cir.Sub, cir.Mul}
+	e := bin(ops[b.rng.Intn(3)], ref(res, k), ref(accV, k))
+	return &assignS{Name: res, K: k, E: coerce(e, k)}
+}
+
+// famGather: data-dependent subscripts — a masked gather read plus a
+// histogram-style local scatter with a genuine carried dependence.
+func (b *builder) famGather() {
+	l := b.pow2Len()
+	m := 8 + b.rng.Intn(9)
+	elem := b.numKind()
+	b.p.In = []typeSpec{
+		{K: elem, Arr: true, Len: l},
+		{K: cir.Int, Arr: true, Len: m},
+	}
+	b.bindInputs()
+	data, idx := b.arrays[0], b.arrays[1]
+	h := 8 << b.rng.Intn(2)
+	hist := b.fresh("o")
+	b.emit(&declArrS{Name: hist, K: cir.Int, Len: h})
+	iv := b.fresh("i")
+	hv := b.fresh("t")
+	acc := b.accKind(elem)
+	accV := b.declAcc(acc)
+	loadIdx := &loadE{Arr: idx.name, K: cir.Int, Idx: ref(iv, cir.Int)}
+	body := []stmt{
+		&declS{Name: hv, K: cir.Int, Init: bin(cir.And, loadIdx, iconst(int64(h-1)))},
+		&storeS{Arr: hist, K: cir.Int, Idx: ref(hv, cir.Int),
+			E: bin(cir.Add, &loadE{Arr: hist, K: cir.Int, Idx: ref(hv, cir.Int)}, iconst(1))},
+		&assignS{Name: accV, K: acc, E: coerce(bin(cir.Add, ref(accV, acc),
+			&loadE{Arr: data.name, K: data.k,
+				Idx: bin(cir.And, cloneExpr(loadIdx), iconst(int64(l-1)))}), acc)},
+	}
+	b.emit(&forS{Var: iv, Lo: 0, Hi: m, Body: body})
+	b.tag("gather")
+	if b.rng.Intn(2) == 0 {
+		b.p.Out = typeSpec{K: cir.Int, Arr: true, Len: h}
+		b.p.ResultVar = hist
+		b.defArray(hist, cir.Int, h)
+	} else {
+		res := b.fresh("r")
+		b.emit(&declS{Name: res, K: acc,
+			Init: coerce(bin(cir.Add, ref(accV, acc),
+				&loadE{Arr: hist, K: cir.Int, Idx: iconst(int64(b.rng.Intn(h)))}), acc)})
+		b.p.Out = typeSpec{K: acc}
+		b.p.ResultVar = res
+	}
+}
+
+// famSelect: KNN-style running best/second select-chain.
+func (b *builder) famSelect() {
+	n := 8 + 4*b.rng.Intn(7)
+	elem := []cir.Kind{cir.Int, cir.Long, cir.Float, cir.Double}[b.rng.Intn(4)]
+	b.p.In = []typeSpec{{K: elem, Arr: true, Len: n}}
+	b.bindInputs()
+	a := b.arrays[0]
+	k := promote(elem, cir.Int)
+	b1, b2, p1 := b.fresh("v"), b.fresh("v"), b.fresh("v")
+	var lo expr = iconst(-1 << 30)
+	if k.IsFloat() {
+		lo = fconst(-1e30)
+	}
+	b.emit(
+		&declS{Name: b1, K: k, Mut: true, Init: coerce(lo, k)},
+		&declS{Name: b2, K: k, Mut: true, Init: coerce(cloneExpr(lo), k)},
+		&declS{Name: p1, K: cir.Int, Mut: true, Init: iconst(0)},
+	)
+	b.defScalar(b1, k)
+	b.defScalar(b2, k)
+	iv := b.fresh("i")
+	x := b.fresh("t")
+	loops := []loopInfo{{iv, n}}
+	xe := coerce(bin(cir.Add, &loadE{Arr: a.name, K: a.k, Idx: ref(iv, cir.Int)}, b.randExpr(loops, 1)), k)
+	b.emit(&forS{Var: iv, Lo: 0, Hi: n, Body: []stmt{
+		&declS{Name: x, K: k, Init: xe},
+		&ifS{
+			Cond: bin(cir.Gt, ref(x, k), ref(b1, k)),
+			Then: []stmt{
+				&assignS{Name: b2, K: k, E: ref(b1, k)},
+				&assignS{Name: b1, K: k, E: ref(x, k)},
+				&assignS{Name: p1, K: cir.Int, E: ref(iv, cir.Int)},
+			},
+			Else: []stmt{&ifS{
+				Cond: bin(cir.Gt, ref(x, k), ref(b2, k)),
+				Then: []stmt{&assignS{Name: b2, K: k, E: ref(x, k)}},
+			}},
+		},
+	}})
+	b.tag("select-chain")
+	res := b.fresh("r")
+	if b.rng.Intn(2) == 0 {
+		b.emit(&declS{Name: res, K: cir.Int, Init: ref(p1, cir.Int)})
+		b.p.Out = typeSpec{K: cir.Int}
+	} else {
+		b.emit(&declS{Name: res, K: k, Init: coerce(bin(cir.Sub, ref(b1, k), ref(b2, k)), k)})
+		b.p.Out = typeSpec{K: k}
+	}
+	b.p.ResultVar = res
+}
+
+// famWhile: a structurally bounded while-loop with a data-dependent
+// early-exit conjunct walking an array from the back.
+func (b *builder) famWhile() {
+	cap := 8 + b.rng.Intn(17)
+	n := cap + b.rng.Intn(4)
+	elem := b.numKind()
+	b.p.In = []typeSpec{{K: elem, Arr: true, Len: n}}
+	b.bindInputs()
+	a := b.arrays[0]
+	acc := b.accKind(elem)
+	accV := b.declAcc(acc)
+	w := b.fresh("w")
+	b.emit(&declS{Name: w, K: cir.Int, Mut: true, Init: iconst(int64(cap))})
+	var limit expr = iconst(int64(1 << (10 + b.rng.Intn(10))))
+	if acc.IsFloat() {
+		limit = fconst(float64(int64(1) << (8 + b.rng.Intn(12))))
+	}
+	var extra expr
+	if b.rng.Intn(3) > 0 {
+		extra = bin(cir.Lt, ref(accV, acc), limit)
+	}
+	body := []stmt{
+		&assignS{Name: accV, K: acc, E: coerce(bin(cir.Add, ref(accV, acc),
+			math1("abs", &loadE{Arr: a.name, K: a.k,
+				Idx: bin(cir.Sub, ref(w, cir.Int), iconst(1))})), acc)},
+	}
+	b.emit(&whileS{Var: w, Extra: extra, Body: body})
+	b.tag("while")
+	b.p.Out = typeSpec{K: acc}
+	b.p.ResultVar = accV
+}
+
+// famReduce: a per-task partial vector folded by an elementwise-sum
+// combiner. b2c only inlines combiners that accumulate into their first
+// parameter and return it (the LR gradient template), and the offload
+// fold seeds the accumulator with zeros, so the combiner also needs a
+// zero additive identity — elementwise integer sum into a small array
+// is exactly the reduce shape the full pipeline can carry end to end.
+func (b *builder) famReduce() {
+	n := 8 + 4*b.rng.Intn(7)
+	elem := b.numKind()
+	b.p.In = []typeSpec{{K: elem, Arr: true, Len: n}}
+	withScalar := b.rng.Intn(2) == 0
+	if withScalar {
+		b.p.In = append(b.p.In, typeSpec{K: cir.Double})
+	}
+	b.bindInputs()
+	a := b.arrays[0]
+	outK := []cir.Kind{cir.Int, cir.Long}[b.rng.Intn(2)]
+	rl := 2 << b.rng.Intn(2) // 2 or 4 accumulator slots (power of two)
+	part := b.fresh("p")
+	b.emit(&declArrS{Name: part, K: outK, Len: rl})
+	iv := b.fresh("i")
+	loops := []loopInfo{{iv, n}}
+	term := expr(&loadE{Arr: a.name, K: a.k, Idx: ref(iv, cir.Int)})
+	if withScalar {
+		sv := b.scalars[0]
+		for _, s := range b.scalars {
+			if !s.k.IsFloat() {
+				continue
+			}
+			sv = s
+		}
+		term = bin(cir.Mul, term, ref(sv.name, sv.k))
+	}
+	slot := bin(cir.And, ref(iv, cir.Int), iconst(int64(rl-1)))
+	step := stmt(&storeS{Arr: part, K: outK, Idx: slot,
+		E: coerce(bin(cir.Add,
+			&loadE{Arr: part, K: outK, Idx: cloneExpr(slot)}, term), outK)})
+	guard := b.rng.Intn(2) == 0
+	if guard {
+		step = &ifS{Cond: b.randCond(loops), Then: []stmt{step}}
+	}
+	b.emit(&forS{Var: iv, Lo: 0, Hi: n, Body: []stmt{step}})
+	b.p.Reduce = "vecsum"
+	b.tag("reduce")
+	b.p.Out = typeSpec{K: outK, Arr: true, Len: rl}
+	b.p.ResultVar = part
+}
+
+// famMixed: AES-style narrow-width byte twiddling — Char input, masked
+// Int staging, shifts and xors, Char output.
+func (b *builder) famMixed() {
+	n := 16 + 8*b.rng.Intn(3)
+	b.p.In = []typeSpec{{K: cir.Char, Arr: true, Len: n}}
+	b.bindInputs()
+	a := b.arrays[0]
+	key := b.addConstArray(cir.Int, n)
+	st := b.fresh("o")
+	b.emit(&declArrS{Name: st, K: cir.Int, Len: n})
+	iv := b.fresh("i")
+	masked := bin(cir.And, &castE{To: cir.Int, X: &loadE{Arr: a.name, K: cir.Char, Idx: ref(iv, cir.Int)}}, iconst(255))
+	b.emit(&forS{Var: iv, Lo: 0, Hi: n, Body: []stmt{
+		&storeS{Arr: st, K: cir.Int, Idx: ref(iv, cir.Int),
+			E: bin(cir.Xor, masked, &loadE{Arr: key, K: cir.Int, Idx: ref(iv, cir.Int)})},
+	}})
+	b.defArray(st, cir.Int, n)
+	out := b.fresh("o")
+	b.emit(&declArrS{Name: out, K: cir.Char, Len: n})
+	jv := b.fresh("i")
+	sh := int64(1 + b.rng.Intn(3))
+	cur := &loadE{Arr: st, K: cir.Int, Idx: ref(jv, cir.Int)}
+	rot := bin(cir.Xor, bin(cir.Shl, cur, iconst(sh)), bin(cir.Shr, cloneExpr(cur), iconst(7-sh)))
+	b.emit(&forS{Var: jv, Lo: 0, Hi: n, Body: []stmt{
+		&storeS{Arr: out, K: cir.Char, Idx: ref(jv, cir.Int),
+			E: &castE{To: cir.Char, X: bin(cir.And, rot, iconst(255))}},
+	}})
+	b.tag("mixed-width")
+	b.tag("burst")
+	b.p.Out = typeSpec{K: cir.Char, Arr: true, Len: n}
+	b.p.ResultVar = out
+	b.defArray(out, cir.Char, n)
+}

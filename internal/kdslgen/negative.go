@@ -1,0 +1,168 @@
+package kdslgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"s2fa/internal/cir"
+)
+
+// negTemplate builds one negative case; parse/check templates are fixed
+// sources (the defect is the point, not diversity), purity templates
+// build a full prog so the case carries reference semantics.
+type negTemplate struct {
+	stage Reject
+	why   string
+	build func(rng *rand.Rand, name, id string) *Negative
+}
+
+func srcNeg(stage Reject, why, src string) negTemplate {
+	return negTemplate{stage: stage, why: why, build: func(_ *rand.Rand, name, id string) *Negative {
+		return &Negative{Name: name, Source: fmt.Sprintf(src, name, id), Stage: stage, Why: why}
+	}}
+}
+
+var negTemplates = []negTemplate{
+	srcNeg(RejectParse, "unbalanced parenthesis in expression",
+		`class %s extends Accelerator[Int, Int] {
+  val id: String = %q
+  def call(in: Int): Int = {
+    (in +
+  }
+}
+`),
+	srcNeg(RejectParse, "illegal character in method body",
+		`class %s extends Accelerator[Int, Int] {
+  val id: String = %q
+  def call(in: Int): Int = {
+    in $ 2
+  }
+}
+`),
+	srcNeg(RejectParse, "misspelled extends keyword",
+		`class %s extend Accelerator[Int, Int] {
+  val id: String = %q
+  def call(in: Int): Int = {
+    in
+  }
+}
+`),
+	srcNeg(RejectCheck, "narrowing initializer without explicit cast",
+		`class %s extends Accelerator[Int, Int] {
+  val id: String = %q
+  def call(in: Int): Int = {
+    val x: Int = 1.5
+    x
+  }
+}
+`),
+	srcNeg(RejectCheck, "shift on floating-point operand",
+		`class %s extends Accelerator[Int, Int] {
+  val id: String = %q
+  def call(in: Int): Int = {
+    val x: Double = (in.toDouble << 1)
+    x.toInt
+  }
+}
+`),
+	srcNeg(RejectCheck, "array input without inSizes",
+		`class %s extends Accelerator[Array[Int], Int] {
+  val id: String = %q
+  def call(in: Array[Int]): Int = {
+    in(0)
+  }
+}
+`),
+	srcNeg(RejectCheck, "assignment to immutable val",
+		`class %s extends Accelerator[Int, Int] {
+  val id: String = %q
+  def call(in: Int): Int = {
+    val x: Int = 1
+    x = 2
+    x
+  }
+}
+`),
+	srcNeg(RejectCheck, "non-Boolean while condition",
+		`class %s extends Accelerator[Int, Int] {
+  val id: String = %q
+  def call(in: Int): Int = {
+    var w: Int = 3
+    while (w) {
+      w = w - 1
+    }
+    w
+  }
+}
+`),
+	srcNeg(RejectCheck, "result not assignable to declared return type",
+		`class %s extends Accelerator[Int, Int] {
+  val id: String = %q
+  def call(in: Int): Int = {
+    in.toDouble
+  }
+}
+`),
+	srcNeg(RejectCheck, "helper method beyond call/reduce",
+		`class %s extends Accelerator[Int, Int] {
+  val id: String = %q
+  def call(in: Int): Int = {
+    in
+  }
+  def helper(a: Int): Int = {
+    a
+  }
+}
+`),
+	{stage: RejectPurity, why: "kernel writes into its input array",
+		build: func(rng *rand.Rand, name, id string) *Negative { return purityNeg(rng, name, id) }},
+}
+
+// purityNeg builds a kernel that compiles cleanly but mutates its input
+// array — §3.3-conforming in structure, impure in effect. absint must
+// flag it and the blaze runtime must refuse to offload it; the JVM path
+// (and the reference evaluator, whose binds alias) still executes it.
+func purityNeg(rng *rand.Rand, name, id string) *Negative {
+	n := 8 + 4*rng.Intn(3)
+	b := &builder{rng: rng}
+	b.p = &prog{
+		ClassName: name,
+		ID:        id,
+		In:        []typeSpec{{K: cir.Int, Arr: true, Len: n}},
+		Tags:      []string{"purity-negative"},
+	}
+	b.bindInputs()
+	a := b.arrays[0]
+	iv := b.fresh("i")
+	// In-place update: a genuine write to caller-owned memory.
+	b.emit(&forS{Var: iv, Lo: 0, Hi: n, Body: []stmt{
+		&storeS{Arr: a.name, K: a.k, Idx: ref(iv, cir.Int),
+			E: bin(cir.Add, &loadE{Arr: a.name, K: a.k, Idx: ref(iv, cir.Int)}, iconst(int64(1+rng.Intn(5))))},
+	}})
+	acc := b.declAcc(cir.Int)
+	jv := b.fresh("i")
+	b.emit(&forS{Var: jv, Lo: 0, Hi: n, Body: []stmt{
+		&assignS{Name: acc, K: cir.Int, E: bin(cir.Add, ref(acc, cir.Int),
+			&loadE{Arr: a.name, K: a.k, Idx: ref(jv, cir.Int)})},
+	}})
+	b.p.Out = typeSpec{K: cir.Int}
+	b.p.ResultVar = acc
+	k := newKernel(b.p)
+	return &Negative{Name: name, Source: k.Source, Stage: RejectPurity,
+		Why: "kernel writes into its input array", Kernel: k}
+}
+
+// GenerateNegatives returns n tagged invalid kernels, cycling through
+// the defect templates. Deterministic in (seed, n) the same way
+// Generate is.
+func GenerateNegatives(seed int64, n int) []*Negative {
+	out := make([]*Negative, n)
+	for i := 0; i < n; i++ {
+		rng := rand.New(rand.NewSource(seed*2_000_003 + int64(i)))
+		t := negTemplates[i%len(negTemplates)]
+		name := fmt.Sprintf("Neg%d", i)
+		id := fmt.Sprintf("neg_s%d_%d", seed, i)
+		out[i] = t.build(rng, name, id)
+	}
+	return out
+}

@@ -1,0 +1,376 @@
+package kdslgen
+
+import "s2fa/internal/cir"
+
+// typeSpec describes one kdsl value type: a primitive scalar or a
+// statically sized array of primitives. Len is meaningful for arrays
+// (input arrays size inSizes; local arrays size their allocation).
+type typeSpec struct {
+	K   cir.Kind
+	Arr bool
+	Len int
+}
+
+// constDef is a class constant field (`val name: T = ...` / Array(...)).
+// Exactly one of Ints/Fls is populated, matching K's class.
+type constDef struct {
+	Name string
+	K    cir.Kind
+	Arr  bool
+	Ints []int64
+	Fls  []float64
+}
+
+// prog is the generator's mini-IR for one kernel class. It is the single
+// source of truth: render() prints it as §3.3-conforming kdsl source and
+// eval() executes it directly on cir scalar semantics, so the rendered
+// source and the reference semantics can never drift apart.
+type prog struct {
+	ClassName string
+	ID        string
+	In        []typeSpec // 1..3 input fields; >1 renders as a tuple
+	Out       typeSpec
+	Consts    []constDef
+	Body      []stmt
+	// ResultVar names the local holding the kernel result: a scalar
+	// variable when Out is scalar, a local array when Out is an array.
+	// It is always the final statement of the rendered call body.
+	ResultVar string
+	// Reduce, when non-empty ("vecsum"), emits an elementwise-sum
+	// combiner over the (array) output type, accumulating into its
+	// first parameter — the in-place template b2c inlines.
+	Reduce string
+	Tags   []string
+}
+
+// Statements. All stmt implementations are pointers so the shrinker can
+// edit a cloned tree in place.
+type stmt interface{ isStmt() }
+
+// declS declares a scalar local: `val|var Name: K = Init`.
+type declS struct {
+	Name string
+	K    cir.Kind
+	Mut  bool
+	Init expr
+}
+
+// declArrS declares a local array: `var Name: Array[K] = new Array[K](Len)`.
+type declArrS struct {
+	Name string
+	K    cir.Kind
+	Len  int
+}
+
+// bindS binds an input field to a local: `val Name: T = in._N` (or `in`
+// when the input is not a tuple). Array binds alias the caller's array,
+// matching JVM reference semantics.
+type bindS struct {
+	Name  string
+	T     typeSpec
+	Field int // index into prog.In
+}
+
+// assignS assigns a scalar local: `Name = E`.
+type assignS struct {
+	Name string
+	K    cir.Kind
+	E    expr
+}
+
+// storeS stores into an array element: `Arr(Idx) = E`.
+type storeS struct {
+	Arr string
+	K   cir.Kind // element kind
+	Idx expr
+	E   expr
+}
+
+// forS is a counted loop `for (Var <- Lo until Hi)` with constant bounds.
+type forS struct {
+	Var    string
+	Lo, Hi int
+	Body   []stmt
+}
+
+// whileS renders as
+//
+//	while ((Var > 0) && Extra) { Body...; Var = Var - 1 }
+//
+// Var is a mutable Int local declared earlier; the unconditional
+// decrement (emitted by the renderer and mirrored by the evaluator)
+// bounds the loop structurally, so generated while-loops always
+// terminate regardless of data.
+type whileS struct {
+	Var   string
+	Extra expr // optional extra Bool conjunct; nil for plain countdown
+	Body  []stmt
+}
+
+// ifS is `if (Cond) { Then } [else { Else }]`.
+type ifS struct {
+	Cond expr
+	Then []stmt
+	Else []stmt
+}
+
+func (*declS) isStmt()    {}
+func (*declArrS) isStmt() {}
+func (*bindS) isStmt()    {}
+func (*assignS) isStmt()  {}
+func (*storeS) isStmt()   {}
+func (*forS) isStmt()     {}
+func (*whileS) isStmt()   {}
+func (*ifS) isStmt()      {}
+
+// Expressions. Every expression carries its result kind, computed at
+// build time with exactly the kdsl checker's promotion rules (promote,
+// widens, implicit casts), so the evaluator and the compiled pipeline
+// agree on every intermediate width.
+type expr interface{ kind() cir.Kind }
+
+// intE is an integer literal. K is Int or Long (Long renders a `L`
+// suffix); narrower kinds are produced with castE, as in the source
+// language.
+type intE struct {
+	K cir.Kind
+	V int64
+}
+
+// floatE is a floating literal; K is Double (Float values are produced
+// with castE, rendered `.toFloat`).
+type floatE struct {
+	K cir.Kind
+	V float64
+}
+
+// varE reads a scalar local, loop variable, or scalar constant field.
+type varE struct {
+	Name string
+	K    cir.Kind
+}
+
+// loadE reads Arr(Idx); K is the element kind.
+type loadE struct {
+	Arr string
+	K   cir.Kind
+	Idx expr
+}
+
+// binE applies Op. Prom is the checker's promoted operand kind
+// (promote(l,r)); K is the result kind (Prom for arithmetic, Bool for
+// comparisons and logical ops).
+type binE struct {
+	Op      cir.BinOp
+	K, Prom cir.Kind
+	L, R    expr
+}
+
+// unE applies a unary op; K is the (already Int-promoted, for
+// Char/Short operands) result kind.
+type unE struct {
+	Op cir.UnOp
+	K  cir.Kind
+	X  expr
+}
+
+// castE is an explicit `.toK` conversion.
+type castE struct {
+	To cir.Kind
+	X  expr
+}
+
+// mathE is a java.lang.Math call. K is the checker's result kind; Prom
+// the kind arguments are implicitly cast to.
+type mathE struct {
+	Name    string
+	K, Prom cir.Kind
+	Args    []expr
+}
+
+func (e *intE) kind() cir.Kind   { return e.K }
+func (e *floatE) kind() cir.Kind { return e.K }
+func (e *varE) kind() cir.Kind   { return e.K }
+func (e *loadE) kind() cir.Kind  { return e.K }
+func (e *binE) kind() cir.Kind   { return e.K }
+func (e *unE) kind() cir.Kind    { return e.K }
+func (e *castE) kind() cir.Kind  { return e.To }
+func (e *mathE) kind() cir.Kind  { return e.K }
+
+// promote mirrors kdsl's JVM binary numeric promotion (minimum Int).
+func promote(a, b cir.Kind) cir.Kind {
+	rank := func(k cir.Kind) int {
+		switch k {
+		case cir.Char, cir.Short:
+			return 1
+		case cir.Int:
+			return 2
+		case cir.Long:
+			return 3
+		case cir.Float:
+			return 4
+		case cir.Double:
+			return 5
+		}
+		return 0
+	}
+	order := []cir.Kind{cir.Int, cir.Long, cir.Float, cir.Double}
+	r := rank(a)
+	if rank(b) > r {
+		r = rank(b)
+	}
+	if r < 2 {
+		r = 2
+	}
+	return order[r-2]
+}
+
+// Constructors that compute kinds the way the checker does.
+
+func bin(op cir.BinOp, l, r expr) *binE {
+	p := promote(l.kind(), r.kind())
+	k := p
+	if op.IsCompare() || op.IsLogical() {
+		k = cir.Bool
+	}
+	return &binE{Op: op, K: k, Prom: p, L: l, R: r}
+}
+
+func un(op cir.UnOp, x expr) *unE {
+	k := x.kind()
+	if (op == cir.Neg || op == cir.BitNot) && (k == cir.Char || k == cir.Short) {
+		k = cir.Int
+	}
+	return &unE{Op: op, K: k, X: x}
+}
+
+func math1(name string, a expr) *mathE {
+	switch name {
+	case "abs":
+		k := a.kind()
+		if k == cir.Char || k == cir.Short {
+			k = cir.Int
+		}
+		return &mathE{Name: name, K: k, Prom: k, Args: []expr{a}}
+	default: // exp, log, sqrt, floor
+		return &mathE{Name: name, K: cir.Double, Prom: cir.Double, Args: []expr{a}}
+	}
+}
+
+func math2(name string, a, b expr) *mathE {
+	switch name {
+	case "pow":
+		return &mathE{Name: name, K: cir.Double, Prom: cir.Double, Args: []expr{a, b}}
+	default: // min, max
+		k := promote(a.kind(), b.kind())
+		return &mathE{Name: name, K: k, Prom: k, Args: []expr{a, b}}
+	}
+}
+
+func iconst(v int64) *intE              { return &intE{K: cir.Int, V: v} }
+func fconst(v float64) *floatE          { return &floatE{K: cir.Double, V: v} }
+func ref(name string, k cir.Kind) *varE { return &varE{Name: name, K: k} }
+
+// clone deep-copies the prog so the shrinker can edit candidates freely.
+func (p *prog) clone() *prog {
+	q := *p
+	q.In = append([]typeSpec(nil), p.In...)
+	q.Consts = make([]constDef, len(p.Consts))
+	for i, c := range p.Consts {
+		q.Consts[i] = c
+		q.Consts[i].Ints = append([]int64(nil), c.Ints...)
+		q.Consts[i].Fls = append([]float64(nil), c.Fls...)
+	}
+	q.Tags = append([]string(nil), p.Tags...)
+	q.Body = cloneBlock(p.Body)
+	return &q
+}
+
+func cloneBlock(b []stmt) []stmt {
+	out := make([]stmt, len(b))
+	for i, s := range b {
+		out[i] = cloneStmt(s)
+	}
+	return out
+}
+
+func cloneStmt(s stmt) stmt {
+	switch s := s.(type) {
+	case *declS:
+		c := *s
+		c.Init = cloneExpr(s.Init)
+		return &c
+	case *declArrS:
+		c := *s
+		return &c
+	case *bindS:
+		c := *s
+		return &c
+	case *assignS:
+		c := *s
+		c.E = cloneExpr(s.E)
+		return &c
+	case *storeS:
+		c := *s
+		c.Idx = cloneExpr(s.Idx)
+		c.E = cloneExpr(s.E)
+		return &c
+	case *forS:
+		c := *s
+		c.Body = cloneBlock(s.Body)
+		return &c
+	case *whileS:
+		c := *s
+		if s.Extra != nil {
+			c.Extra = cloneExpr(s.Extra)
+		}
+		c.Body = cloneBlock(s.Body)
+		return &c
+	case *ifS:
+		c := *s
+		c.Cond = cloneExpr(s.Cond)
+		c.Then = cloneBlock(s.Then)
+		c.Else = cloneBlock(s.Else)
+		return &c
+	}
+	return s
+}
+
+func cloneExpr(e expr) expr {
+	switch e := e.(type) {
+	case *intE:
+		c := *e
+		return &c
+	case *floatE:
+		c := *e
+		return &c
+	case *varE:
+		c := *e
+		return &c
+	case *loadE:
+		c := *e
+		c.Idx = cloneExpr(e.Idx)
+		return &c
+	case *binE:
+		c := *e
+		c.L = cloneExpr(e.L)
+		c.R = cloneExpr(e.R)
+		return &c
+	case *unE:
+		c := *e
+		c.X = cloneExpr(e.X)
+		return &c
+	case *castE:
+		c := *e
+		c.X = cloneExpr(e.X)
+		return &c
+	case *mathE:
+		c := *e
+		c.Args = make([]expr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = cloneExpr(a)
+		}
+		return &c
+	}
+	return e
+}

@@ -1,0 +1,244 @@
+package kdslgen
+
+import (
+	"fmt"
+	"strings"
+
+	"s2fa/internal/cir"
+)
+
+// render prints the prog as kdsl source in the same style as the
+// hand-written workloads in internal/apps. Subexpressions are fully
+// parenthesized so rendering is independent of operator precedence.
+func (p *prog) render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "class %s extends Accelerator[%s, %s] {\n",
+		p.ClassName, inTypeStr(p.In), tsStr(p.Out))
+	fmt.Fprintf(&b, "  val id: String = %q\n", p.ID)
+	if needsInSizes(p.In) {
+		sizes := make([]string, len(p.In))
+		for i, f := range p.In {
+			n := 1
+			if f.Arr {
+				n = f.Len
+			}
+			sizes[i] = fmt.Sprint(n)
+		}
+		fmt.Fprintf(&b, "  val inSizes: Array[Int] = Array(%s)\n", strings.Join(sizes, ", "))
+	}
+	for _, c := range p.Consts {
+		fmt.Fprintf(&b, "  val %s: %s = %s\n", c.Name, tsStr(typeSpec{K: c.K, Arr: c.Arr}), constInit(c))
+	}
+	fmt.Fprintf(&b, "  def call(in: %s): %s = {\n", inTypeStr(p.In), tsStr(p.Out))
+	renderBlock(&b, p.Body, 2)
+	fmt.Fprintf(&b, "    %s\n  }\n", p.ResultVar)
+	if p.Reduce != "" {
+		t := tsStr(p.Out)
+		fmt.Fprintf(&b, "  def reduce(a: %s, b: %s): %s = {\n", t, t, t)
+		fmt.Fprintf(&b, "    for (i <- 0 until %d) {\n      a(i) = (a(i) + b(i))\n    }\n    a\n  }\n", p.Out.Len)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func needsInSizes(in []typeSpec) bool {
+	for _, f := range in {
+		if f.Arr {
+			return true
+		}
+	}
+	return false
+}
+
+func inTypeStr(in []typeSpec) string {
+	if len(in) == 1 {
+		return tsStr(in[0])
+	}
+	parts := make([]string, len(in))
+	for i, f := range in {
+		parts[i] = tsStr(f)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func tsStr(t typeSpec) string {
+	if t.Arr {
+		return "Array[" + kindStr(t.K) + "]"
+	}
+	return kindStr(t.K)
+}
+
+func kindStr(k cir.Kind) string {
+	switch k {
+	case cir.Bool:
+		return "Boolean"
+	case cir.Char:
+		return "Char"
+	case cir.Short:
+		return "Short"
+	case cir.Int:
+		return "Int"
+	case cir.Long:
+		return "Long"
+	case cir.Float:
+		return "Float"
+	case cir.Double:
+		return "Double"
+	}
+	return "?"
+}
+
+func constInit(c constDef) string {
+	var lits []string
+	if c.K.IsFloat() {
+		for _, v := range c.Fls {
+			lits = append(lits, floatLit(v))
+		}
+	} else {
+		for _, v := range c.Ints {
+			s := fmt.Sprint(v)
+			if c.K == cir.Long {
+				s += "L"
+			}
+			lits = append(lits, s)
+		}
+	}
+	if !c.Arr {
+		return lits[0]
+	}
+	return "Array(" + strings.Join(lits, ", ") + ")"
+}
+
+func floatLit(v float64) string {
+	s := fmt.Sprintf("%.17g", v)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func renderBlock(b *strings.Builder, stmts []stmt, depth int) {
+	for _, s := range stmts {
+		renderStmt(b, s, depth)
+	}
+}
+
+func ind(depth int) string { return strings.Repeat("  ", depth) }
+
+func renderStmt(b *strings.Builder, s stmt, depth int) {
+	pre := ind(depth)
+	switch s := s.(type) {
+	case *declS:
+		kw := "val"
+		if s.Mut {
+			kw = "var"
+		}
+		fmt.Fprintf(b, "%s%s %s: %s = %s\n", pre, kw, s.Name, kindStr(s.K), renderExpr(s.Init))
+	case *declArrS:
+		fmt.Fprintf(b, "%svar %s: Array[%s] = new Array[%s](%d)\n", pre, s.Name, kindStr(s.K), kindStr(s.K), s.Len)
+	case *bindS:
+		src := "in"
+		if s.Field >= 0 {
+			src = fmt.Sprintf("in._%d", s.Field+1)
+		}
+		fmt.Fprintf(b, "%sval %s: %s = %s\n", pre, s.Name, tsStr(s.T), src)
+	case *assignS:
+		fmt.Fprintf(b, "%s%s = %s\n", pre, s.Name, renderExpr(s.E))
+	case *storeS:
+		fmt.Fprintf(b, "%s%s(%s) = %s\n", pre, s.Arr, renderExpr(s.Idx), renderExpr(s.E))
+	case *forS:
+		fmt.Fprintf(b, "%sfor (%s <- %d until %d) {\n", pre, s.Var, s.Lo, s.Hi)
+		renderBlock(b, s.Body, depth+1)
+		fmt.Fprintf(b, "%s}\n", pre)
+	case *whileS:
+		cond := fmt.Sprintf("%s > 0", s.Var)
+		if s.Extra != nil {
+			cond = fmt.Sprintf("(%s > 0) && %s", s.Var, renderExpr(s.Extra))
+		}
+		fmt.Fprintf(b, "%swhile (%s) {\n", pre, cond)
+		renderBlock(b, s.Body, depth+1)
+		fmt.Fprintf(b, "%s%s = %s - 1\n", ind(depth+1), s.Var, s.Var)
+		fmt.Fprintf(b, "%s}\n", pre)
+	case *ifS:
+		fmt.Fprintf(b, "%sif (%s) {\n", pre, renderExpr(s.Cond))
+		renderBlock(b, s.Then, depth+1)
+		if len(s.Else) > 0 {
+			fmt.Fprintf(b, "%s} else {\n", pre)
+			renderBlock(b, s.Else, depth+1)
+		}
+		fmt.Fprintf(b, "%s}\n", pre)
+	}
+}
+
+var opSym = map[cir.BinOp]string{
+	cir.Add: "+", cir.Sub: "-", cir.Mul: "*", cir.Div: "/", cir.Rem: "%",
+	cir.And: "&", cir.Or: "|", cir.Xor: "^", cir.Shl: "<<", cir.Shr: ">>",
+	cir.Lt: "<", cir.Le: "<=", cir.Gt: ">", cir.Ge: ">=", cir.Eq: "==", cir.Ne: "!=",
+	cir.LAnd: "&&", cir.LOr: "||",
+}
+
+var castSel = map[cir.Kind]string{
+	cir.Char: "toChar", cir.Short: "toShort", cir.Int: "toInt",
+	cir.Long: "toLong", cir.Float: "toFloat", cir.Double: "toDouble",
+}
+
+func renderExpr(e expr) string {
+	switch e := e.(type) {
+	case *intE:
+		s := fmt.Sprint(e.V)
+		if e.K == cir.Long {
+			s += "L"
+		}
+		if e.V < 0 {
+			s = "(" + s + ")"
+		}
+		return s
+	case *floatE:
+		s := floatLit(e.V)
+		if e.V < 0 {
+			s = "(" + s + ")"
+		}
+		return s
+	case *varE:
+		return e.Name
+	case *loadE:
+		return fmt.Sprintf("%s(%s)", e.Arr, renderExpr(e.Idx))
+	case *binE:
+		return fmt.Sprintf("(%s %s %s)", renderExpr(e.L), opSym[e.Op], renderExpr(e.R))
+	case *unE:
+		switch e.Op {
+		case cir.Neg:
+			return fmt.Sprintf("(-%s)", renderExpr(e.X))
+		case cir.Not:
+			return fmt.Sprintf("(!%s)", renderExpr(e.X))
+		case cir.BitNot:
+			return fmt.Sprintf("(~%s)", renderExpr(e.X))
+		}
+	case *castE:
+		return fmt.Sprintf("%s.%s", renderOperand(e.X), castSel[e.To])
+	case *mathE:
+		args := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			args[i] = renderExpr(a)
+		}
+		return fmt.Sprintf("Math.%s(%s)", e.Name, strings.Join(args, ", "))
+	}
+	return "?"
+}
+
+// renderOperand wraps literal cast receivers in parens only when needed:
+// `5.toChar` parses, but a negative literal needs `(-5).toChar`.
+func renderOperand(e expr) string {
+	s := renderExpr(e)
+	if !strings.HasPrefix(s, "(") {
+		switch e.(type) {
+		case *varE, *intE, *loadE:
+			return s
+		default:
+			// Float literals are parenthesized too: `1.5.toFloat` would
+			// make the lexer chase a second decimal point.
+			return "(" + s + ")"
+		}
+	}
+	return s
+}

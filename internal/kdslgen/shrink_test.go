@@ -1,0 +1,93 @@
+package kdslgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"s2fa/internal/jvmsim"
+	"s2fa/internal/kdsl"
+)
+
+// mismatchesJVM is the shrink predicate of the injected-defect demo: it
+// compiles the kernel, runs fixed tasks through the JVM, and reports
+// whether the kernel's (possibly defective) reference evaluator
+// disagrees. Kernels broken by shrinking — they no longer compile or no
+// longer evaluate — answer false, as the Shrink contract requires.
+func mismatchesJVM(k *Kernel) bool {
+	cls, err := kdsl.CompileSource(k.Source)
+	if err != nil {
+		return false
+	}
+	vm := jvmsim.New(cls)
+	rng := rand.New(rand.NewSource(4242))
+	for task := 0; task < 2; task++ {
+		in := k.NewTask(rng)
+		want, err := k.Eval(in)
+		if err != nil {
+			return false
+		}
+		got, err := vm.Call(toVal(in))
+		if err != nil {
+			return false
+		}
+		if !sameResult(want, got) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestShrinkInjectedDefect demonstrates the acceptance-criteria
+// scenario: corrupt the reference semantics (subtraction evaluates as
+// addition), observe the differential suite fail, and shrink the failing
+// kernel to a minimal reproducer that still fails for the same reason.
+func TestShrinkInjectedDefect(t *testing.T) {
+	var victim *Kernel
+	for _, k := range Generate(11, 24) {
+		if !mismatchesJVM(k) && mismatchesJVM(k.WithEvalDefect()) {
+			victim = k.WithEvalDefect()
+			break
+		}
+	}
+	if victim == nil {
+		t.Fatalf("no kernel in the population exposes the injected sub-as-add defect")
+	}
+	before := weight(victim.p)
+	min := victim.Shrink(mismatchesJVM)
+	after := weight(min.p)
+	if after >= before {
+		t.Fatalf("shrinking made no progress: weight %d -> %d\n%s", before, after, min.Source)
+	}
+	if !mismatchesJVM(min) {
+		t.Fatalf("shrunk kernel no longer fails the predicate:\n%s", min.Source)
+	}
+	if _, err := kdsl.CompileSource(min.Source); err != nil {
+		t.Fatalf("shrunk kernel does not compile: %v\n%s", err, min.Source)
+	}
+	// The minimal reproducer of a subtraction defect should be tiny: a
+	// handful of statements, not the original loop nest.
+	if c := min.StmtCount(); c > 6 {
+		t.Logf("shrunk kernel still has %d statements:\n%s", c, min.Source)
+	}
+	t.Logf("shrunk weight %d -> %d, %d statements:\n%s", before, after, min.StmtCount(), min.Source)
+}
+
+// TestShrinkIsDeterministic: shrinking the same kernel with the same
+// predicate twice yields byte-identical output.
+func TestShrinkIsDeterministic(t *testing.T) {
+	var victim *Kernel
+	for _, k := range Generate(11, 24) {
+		if !mismatchesJVM(k) && mismatchesJVM(k.WithEvalDefect()) {
+			victim = k.WithEvalDefect()
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no defect-exposing kernel")
+	}
+	a := victim.Shrink(mismatchesJVM)
+	b := victim.Shrink(mismatchesJVM)
+	if a.Source != b.Source {
+		t.Fatalf("shrink is nondeterministic:\n--- a ---\n%s\n--- b ---\n%s", a.Source, b.Source)
+	}
+}
