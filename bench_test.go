@@ -15,7 +15,9 @@ import (
 	"s2fa/internal/apps"
 	"s2fa/internal/b2c"
 	"s2fa/internal/blaze"
+	"s2fa/internal/ccache"
 	"s2fa/internal/cir"
+	"s2fa/internal/compile"
 	"s2fa/internal/dse"
 	"s2fa/internal/exp"
 	"s2fa/internal/fpga"
@@ -151,6 +153,95 @@ func BenchmarkBytecodeToC(b *testing.B) {
 		for _, a := range cls {
 			c, _ := a.Class()
 			if _, err := b2c.Compile(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFrontendScratch is BenchmarkFrontend with reused arena
+// buffers (compile.Scratch): the allocation delta between the two is
+// the frontend's per-kernel transient garbage.
+func BenchmarkFrontendScratch(b *testing.B) {
+	srcs := make([]string, 0, 8)
+	for _, a := range apps.All() {
+		srcs = append(srcs, a.Source)
+	}
+	sc := compile.NewScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range srcs {
+			if _, err := kdsl.CompileSourceScratch(src, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBytecodeToCScratch is BenchmarkBytecodeToC with reused
+// verifier/abstract-interpreter buffers.
+func BenchmarkBytecodeToCScratch(b *testing.B) {
+	var cls []*apps.App
+	for _, a := range apps.All() {
+		if _, err := a.Class(); err != nil {
+			b.Fatal(err)
+		}
+		cls = append(cls, a)
+	}
+	sc := compile.NewScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range cls {
+			c, _ := a.Class()
+			if _, err := b2c.CompileScratch(c, nil, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCompileCold measures the full source-to-kernel pipeline
+// (frontend + verify + absint + b2c) per kernel set, no caching.
+func BenchmarkCompileCold(b *testing.B) {
+	srcs := make([]string, 0, 8)
+	for _, a := range apps.All() {
+		srcs = append(srcs, a.Source)
+	}
+	sc := compile.NewScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range srcs {
+			cls, err := kdsl.CompileSourceScratch(src, sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := b2c.CompileScratch(cls, nil, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCompileCached measures the same pipeline served from the
+// content-addressed compile cache (every iteration after the first is a
+// source-memo hit: one SHA-256 of the source plus one integrity check of
+// the cached kernel).
+func BenchmarkCompileCached(b *testing.B) {
+	srcs := make([]string, 0, 8)
+	for _, a := range apps.All() {
+		srcs = append(srcs, a.Source)
+	}
+	cache := ccache.New()
+	sc := compile.NewScratch()
+	for _, src := range srcs { // warm the cache
+		if _, _, err := cache.CompileSource(src, nil, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range srcs {
+			if _, _, err := cache.CompileSource(src, nil, sc); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -21,6 +21,8 @@ import (
 // (kernel, configuration, seed).
 var hotPaths = []string{
 	"internal/access",
+	"internal/ccache",
+	"internal/compile",
 	"internal/depend",
 	"internal/dse",
 	"internal/hls",

@@ -28,6 +28,8 @@ import (
 
 	"s2fa/internal/apps"
 	"s2fa/internal/b2c"
+	"s2fa/internal/ccache"
+	"s2fa/internal/compile"
 	"s2fa/internal/dse"
 	"s2fa/internal/exp"
 	"s2fa/internal/fpga"
@@ -46,6 +48,13 @@ const (
 	// interpreter on the S-W batch (the heaviest baseline workload).
 	minJITSpeedup   = 3.0
 	regressionSlack = 1.20 // fail when current > committed * this
+	// minCacheSpeedup gates the compile cache: a full-suite pass served
+	// from the cache must beat the cold pipeline by this factor. The
+	// ratio is taken on one machine, so (unlike the wall-clock gates) it
+	// is enforced unconditionally.
+	minCacheSpeedup = 5.0
+	// allocRuns is the sample count for the allocation measurements.
+	allocRuns = 10
 )
 
 type benchReport struct {
@@ -91,6 +100,22 @@ type benchReport struct {
 	// recorded before the metrics registry existed; the regression gates
 	// read only StageMicros, so old files stay valid.
 	StagePercentiles map[string]stagePct `json:"stage_percentiles,omitempty"`
+	// CompileColdUSOp / CompileCachedUSOp time one full source-to-kernel
+	// pass over the whole workload suite: cold (frontend + verify +
+	// absint + b2c per kernel) vs served from the content-addressed
+	// compile cache (one source hash + one integrity checksum per
+	// kernel). CacheSpeedup is their ratio, gated unconditionally at
+	// minCacheSpeedup — a same-machine ratio, unlike the wall-clock
+	// gates. Zero in baselines recorded before the cache existed.
+	CompileColdUSOp   float64 `json:"compile_cold_us_op,omitempty"`
+	CompileCachedUSOp float64 `json:"compile_cached_us_op,omitempty"`
+	CacheSpeedup      float64 `json:"cache_speedup,omitempty"`
+	// FrontendAllocsPerOp / B2CAllocsPerOp count heap allocations of one
+	// cold suite pass of the corresponding stage (runtime.MemStats
+	// deltas). Allocation counts are hardware-independent, so their >20%
+	// regression gates apply regardless of core counts.
+	FrontendAllocsPerOp float64 `json:"frontend_allocs_per_op,omitempty"`
+	B2CAllocsPerOp      float64 `json:"b2c_allocs_per_op,omitempty"`
 }
 
 // stagePct is the tail of one stage's measurement loop, in us/op.
@@ -138,6 +163,21 @@ func timeItDist(fn func()) (float64, stagePct) {
 	}
 	mean := float64(time.Since(start).Microseconds()) / float64(n)
 	return mean, stagePct{P50: h.P50(), P99: h.P99()}
+}
+
+// allocsPerRun reports the mean heap allocations of one fn() call,
+// measured over allocRuns calls from runtime.MemStats deltas. Unlike
+// wall-clock, the count is hardware-independent.
+func allocsPerRun(fn func()) float64 {
+	fn() // warm caches and lazy inits
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < allocRuns; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / allocRuns
 }
 
 // fig3MS regenerates Fig. 3 (timed) and Fig. 4 (on the same warm suite,
@@ -295,6 +335,47 @@ func measure(seed int64, sweepCores bool) (*benchReport, error) {
 		}
 	})
 
+	sc := compile.NewScratch()
+	coldPass := func() {
+		for _, src := range srcs {
+			cls, err := kdsl.CompileSourceScratch(src, sc)
+			if err != nil {
+				panic(err)
+			}
+			if _, err := b2c.CompileScratch(cls, nil, sc); err != nil {
+				panic(err)
+			}
+		}
+	}
+	cache := ccache.New()
+	cachedPass := func() {
+		for _, src := range srcs {
+			if _, _, err := cache.CompileSource(src, nil, sc); err != nil {
+				panic(err)
+			}
+		}
+	}
+	rep.CompileColdUSOp = timeIt(coldPass)
+	rep.CompileCachedUSOp = timeIt(cachedPass)
+	if rep.CompileCachedUSOp > 0 {
+		rep.CacheSpeedup = rep.CompileColdUSOp / rep.CompileCachedUSOp
+	}
+	rep.FrontendAllocsPerOp = allocsPerRun(func() {
+		for _, src := range srcs {
+			if _, err := kdsl.CompileSource(src); err != nil {
+				panic(err)
+			}
+		}
+	})
+	rep.B2CAllocsPerOp = allocsPerRun(func() {
+		for _, a := range apps.All() {
+			c, _ := a.Class()
+			if _, err := b2c.Compile(c); err != nil {
+				panic(err)
+			}
+		}
+	})
+
 	a := apps.Get("S-W")
 	k, err := a.Kernel()
 	if err != nil {
@@ -343,6 +424,69 @@ func printScaling(curve []scalePoint) {
 	}
 }
 
+// runCompileBench is the `-compile N` mode: N timed passes over the
+// whole workload suite through the frontend + b2c pipeline, cold vs
+// served from the content-addressed compile cache, reported as
+// kernels/sec alongside the cache's own counters.
+func runCompileBench(n int) error {
+	srcs := make([]string, 0, 8)
+	for _, a := range apps.All() {
+		srcs = append(srcs, a.Source)
+	}
+	kernels := float64(n * len(srcs))
+	sc := compile.NewScratch()
+
+	// Warm both paths once so lazy initialization is off the clock.
+	for _, src := range srcs {
+		cls, err := kdsl.CompileSourceScratch(src, sc)
+		if err != nil {
+			return err
+		}
+		if _, err := b2c.CompileScratch(cls, nil, sc); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		for _, src := range srcs {
+			cls, err := kdsl.CompileSourceScratch(src, sc)
+			if err != nil {
+				return err
+			}
+			if _, err := b2c.CompileScratch(cls, nil, sc); err != nil {
+				return err
+			}
+		}
+	}
+	coldSec := time.Since(start).Seconds()
+
+	cache := ccache.New()
+	for _, src := range srcs { // first pass populates the cache
+		if _, _, err := cache.CompileSource(src, nil, sc); err != nil {
+			return err
+		}
+	}
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		for _, src := range srcs {
+			if _, _, err := cache.CompileSource(src, nil, sc); err != nil {
+				return err
+			}
+		}
+	}
+	cachedSec := time.Since(start).Seconds()
+
+	st := cache.Stats()
+	fmt.Printf("compile throughput over %d kernels x %d passes:\n", len(srcs), n)
+	fmt.Printf("  cold   : %8.0f kernels/sec (%.1fms per suite pass)\n", kernels/coldSec, 1000*coldSec/float64(n))
+	fmt.Printf("  cached : %8.0f kernels/sec (%.1fms per suite pass, %.1fx)\n",
+		kernels/cachedSec, 1000*cachedSec/float64(n), coldSec/cachedSec)
+	fmt.Printf("  cache  : %d hits (%d source, %d semantic), %d misses, %d poisoned, %d bytes cached\n",
+		st.Hits(), st.SourceHits, st.SemanticHits, st.Misses, st.Poisoned, st.Bytes)
+	return nil
+}
+
 func checkBench(path string, seed int64, sweepCores bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -380,6 +524,25 @@ func checkBench(path string, seed int64, sweepCores bool) error {
 		fmt.Printf("skipping the %.1fx parallel and %.1fx JIT speedup gates: only %d CPU(s) available\n",
 			minSpeedup, minJITSpeedup, cur.Cores)
 	}
+	// Same-machine ratios and allocation counts are hardware-independent:
+	// these gates apply unconditionally.
+	fmt.Printf("compile: cold %.0fus/pass, cached %.0fus/pass (%.1fx); allocs/pass frontend %.0f, b2c %.0f\n",
+		cur.CompileColdUSOp, cur.CompileCachedUSOp, cur.CacheSpeedup,
+		cur.FrontendAllocsPerOp, cur.B2CAllocsPerOp)
+	if cur.CacheSpeedup < minCacheSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"compile cache speedup %.2fx < required %.1fx (cold %.0fus vs cached %.0fus per suite pass)",
+			cur.CacheSpeedup, minCacheSpeedup, cur.CompileColdUSOp, cur.CompileCachedUSOp))
+	}
+	allocGate := func(name string, committed, current float64) {
+		if committed > 0 && current > committed*regressionSlack {
+			failures = append(failures, fmt.Sprintf(
+				"%s regressed: %.0f -> %.0f allocs/pass (>%.0f%%)",
+				name, committed, current, (regressionSlack-1)*100))
+		}
+	}
+	allocGate("frontend allocations", committed.FrontendAllocsPerOp, cur.FrontendAllocsPerOp)
+	allocGate("b2c allocations", committed.B2CAllocsPerOp, cur.B2CAllocsPerOp)
 	if committed.Cores == cur.Cores {
 		gate := func(name string, committed, current float64) {
 			if committed > 0 && current > committed*regressionSlack {

@@ -35,6 +35,7 @@ func main() {
 		benchOut   = flag.String("bench", "", "measure the performance baseline (Fig. 3 on both engines + stage micros) and write it to this JSON file")
 		benchCheck = flag.String("bench-check", "", "re-measure the baseline and fail on regression against this committed JSON file")
 		cores      = flag.Bool("cores", false, "with -bench/-bench-check: sweep the parallel DSE pool from 1 to GOMAXPROCS and record the per-core scaling curve in the JSON report")
+		compileN   = flag.Int("compile", 0, "measure compile throughput: N passes over the whole kernel suite through frontend + b2c, cold vs served from the compile cache (kernels/sec)")
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (DSE pool goroutines carry s2fa_pool_worker/s2fa_kernel/s2fa_partition pprof labels)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -86,6 +87,13 @@ func main() {
 		}()
 		stop := obs.StartRuntimeSampler(reg, 0)
 		defer stop()
+	}
+
+	if *compileN > 0 {
+		if err := runCompileBench(*compileN); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	if *benchOut != "" || *benchCheck != "" {

@@ -272,7 +272,12 @@ func DiagnoseClass(c *bytecode.Class) (*ClassFacts, error) {
 	return analyzeClass(c)
 }
 
-func analyzeClass(c *bytecode.Class) (*ClassFacts, error) {
+func analyzeClass(c *bytecode.Class) (*ClassFacts, error) { return analyzeClassS(c, nil) }
+
+func analyzeClassS(c *bytecode.Class, as *absintScratch) (*ClassFacts, error) {
+	if as == nil {
+		as = &absintScratch{}
+	}
 	cf := &ClassFacts{Class: c}
 
 	callIn := make([]Abstract, len(c.Call.Params))
@@ -280,7 +285,7 @@ func analyzeClass(c *bytecode.Class) (*ClassFacts, error) {
 		callIn[i] = inputAbstract(p, c.InSizes)
 	}
 	var err error
-	cf.Call, err = analyzeMethod(c.Call, c, callIn, true)
+	cf.Call, err = analyzeMethodS(c.Call, c, callIn, true, as)
 	if err != nil {
 		return nil, err
 	}
@@ -297,7 +302,7 @@ func analyzeClass(c *bytecode.Class) (*ClassFacts, error) {
 			}
 			// Reduce combines framework-owned intermediate values, so its
 			// argument writes are not caller-visible heap effects.
-			cf.Reduce, err = analyzeMethod(c.Reduce, c, args, false)
+			cf.Reduce, err = analyzeMethodS(c.Reduce, c, args, false, as)
 			if err != nil {
 				return nil, err
 			}

@@ -126,28 +126,8 @@ type state struct {
 	locals []absVal
 }
 
-func (s *state) clone() *state {
-	out := &state{locals: make([]absVal, len(s.locals))}
-	copy(out.locals, s.locals)
-	return out
-}
-
-func (s *state) join(o *state) *state {
-	out := &state{locals: make([]absVal, len(s.locals))}
-	for i := range s.locals {
-		out.locals[i] = s.locals[i].join(o.locals[i])
-	}
-	return out
-}
-
-func (s *state) equal(o *state) bool {
-	for i := range s.locals {
-		if !s.locals[i].equal(o.locals[i]) {
-			return false
-		}
-	}
-	return true
-}
+// States are cloned, joined element-wise in place, and recycled through
+// the analyzer's freelist (see scratch.go and fixpoint's edge loop).
 
 // arrObj is one abstract array object during analysis.
 type arrObj struct {
@@ -186,6 +166,11 @@ type analyzer struct {
 	escapes    map[int]Effect
 	viol       map[int]Violation
 	objChanged bool
+
+	// as holds the reusable state freelist and simBlock buffers; never
+	// nil (analyzeMethod makes a private one when no Scratch is threaded
+	// through).
+	as *absintScratch
 }
 
 type edge struct {
@@ -194,8 +179,15 @@ type edge struct {
 }
 
 func analyzeMethod(m *bytecode.Method, cls *bytecode.Class, args []Abstract, argWrites bool) (*MethodFacts, error) {
+	return analyzeMethodS(m, cls, args, argWrites, nil)
+}
+
+func analyzeMethodS(m *bytecode.Method, cls *bytecode.Class, args []Abstract, argWrites bool, as *absintScratch) (*MethodFacts, error) {
+	if as == nil {
+		as = &absintScratch{}
+	}
 	a := &analyzer{
-		m: m, cls: cls, args: args, argWrites: argWrites,
+		m: m, cls: cls, args: args, argWrites: argWrites, as: as,
 		in:      make(map[int]*state),
 		joins:   make(map[int]int),
 		statics: make(map[string]int),
@@ -244,6 +236,11 @@ func analyzeMethod(m *bytecode.Method, cls *bytecode.Class, args []Abstract, arg
 	a.facts.Purity.ArgEscapes = sortedEffects(a.escapes)
 	for _, o := range a.objs {
 		a.facts.Arrays = append(a.facts.Arrays, o.facts)
+	}
+	// The recorded facts hold only intervals and copies, never states, so
+	// the per-leader states can feed the next method's analysis.
+	for _, st := range a.in {
+		a.release(st)
 	}
 	return a.facts, nil
 }
@@ -424,7 +421,7 @@ func (a *analyzer) fixpoint() error {
 			work = work[1:]
 			queued[pc] = false
 			a.facts.Fixpoint.Iterations++
-			st := a.in[pc].clone()
+			st := a.cloneOf(a.in[pc])
 			edges, err := a.simBlock(pc, st, false)
 			if err != nil {
 				return err
@@ -434,20 +431,32 @@ func (a *analyzer) fixpoint() error {
 				if !ok {
 					a.in[e.to] = e.st
 				} else {
-					next := prev.join(e.st)
+					// Join in place into the edge's state (each edge owns
+					// its state, and prev stays intact until the loop ends,
+					// so widening still reads the pre-join bounds).
 					a.joins[e.to]++
 					a.facts.Fixpoint.Joins++
-					if a.backTargets[e.to] && a.joins[e.to] > widenAfter {
+					widen := a.backTargets[e.to] && a.joins[e.to] > widenAfter
+					if widen {
 						a.facts.Fixpoint.Widenings++
-						for i := range next.locals {
-							lim := a.widenLimit(next.locals[i])
-							next.locals[i].iv = next.locals[i].iv.Widen(prev.locals[i].iv, lim)
-						}
 					}
-					if next.equal(prev) {
+					changed := false
+					for i := range e.st.locals {
+						next := prev.locals[i].join(e.st.locals[i])
+						if widen {
+							next.iv = next.iv.Widen(prev.locals[i].iv, a.widenLimit(next))
+						}
+						if !changed && !next.equal(prev.locals[i]) {
+							changed = true
+						}
+						e.st.locals[i] = next
+					}
+					if !changed {
+						a.release(e.st)
 						continue
 					}
-					a.in[e.to] = next
+					a.in[e.to] = e.st
+					a.release(prev)
 				}
 				if !queued[e.to] {
 					queued[e.to] = true
@@ -492,8 +501,12 @@ func (a *analyzer) narrowHeap() error {
 	for pass := 0; pass < widenAfter; pass++ {
 		a.objChanged = false
 		for _, pc := range pcs {
-			if _, err := a.simBlock(pc, a.in[pc].clone(), false); err != nil {
+			edges, err := a.simBlock(pc, a.cloneOf(a.in[pc]), false)
+			if err != nil {
 				return err
+			}
+			for _, e := range edges {
+				a.release(e.st)
 			}
 		}
 		if !a.objChanged {
@@ -515,9 +528,12 @@ func (a *analyzer) record() error {
 	}
 	sort.Ints(pcs)
 	for _, pc := range pcs {
-		st := a.in[pc].clone()
-		if _, err := a.simBlock(pc, st, true); err != nil {
+		edges, err := a.simBlock(pc, a.cloneOf(a.in[pc]), true)
+		if err != nil {
 			return err
+		}
+		for _, e := range edges {
+			a.release(e.st)
 		}
 	}
 	return nil
@@ -564,7 +580,8 @@ func (a *analyzer) lensOf(v absVal) Interval {
 func (a *analyzer) simBlock(start int, st *state, record bool) ([]edge, error) {
 	m := a.m
 	end := a.blockEnd(start)
-	var stack []absVal
+	stack := a.as.stk[:0]
+	defer func() { a.as.stk = stack[:0] }()
 	push := func(v absVal) { stack = append(stack, v) }
 	pop := func(at int) (absVal, error) {
 		if len(stack) == 0 {
@@ -574,7 +591,16 @@ func (a *analyzer) simBlock(start int, st *state, record bool) ([]edge, error) {
 		stack = stack[:len(stack)-1]
 		return v, nil
 	}
-	vers := make([]int, len(st.locals))
+	var vers []int
+	if cap(a.as.vers) >= len(st.locals) {
+		vers = a.as.vers[:len(st.locals)]
+		for i := range vers {
+			vers[i] = 0
+		}
+	} else {
+		vers = make([]int, len(st.locals))
+		a.as.vers = vers
+	}
 
 	if record {
 		for i := range st.locals {
@@ -792,22 +818,27 @@ func (a *analyzer) simBlock(start int, st *state, record bool) ([]edge, error) {
 			}
 			var edges []edge
 			if c.iv.Contains(1) || c.iv.Hi > 0 {
-				ts := st.clone()
+				ts := a.cloneOf(st)
 				if refineEdge(ts, vers, c.cond, true) {
 					edges = append(edges, edge{to: trueTo, st: ts})
+				} else {
+					a.release(ts)
 				}
 			}
 			if c.iv.Contains(0) {
-				fs := st.clone()
+				fs := a.cloneOf(st)
 				if refineEdge(fs, vers, c.cond, false) {
 					edges = append(edges, edge{to: falseTo, st: fs})
+				} else {
+					a.release(fs)
 				}
 			}
 			if len(edges) == 0 {
 				// Degenerate condition abstraction: keep both edges to stay
 				// sound.
-				edges = []edge{{to: trueTo, st: st}, {to: falseTo, st: st.clone()}}
+				return []edge{{to: trueTo, st: st}, {to: falseTo, st: a.cloneOf(st)}}, nil
 			}
+			a.release(st)
 			return edges, nil
 
 		case bytecode.OpReturn:
@@ -821,6 +852,7 @@ func (a *analyzer) simBlock(start int, st *state, record bool) ([]edge, error) {
 					a.recRet(pc, v)
 				}
 			}
+			a.release(st)
 			return nil, nil
 
 		default:

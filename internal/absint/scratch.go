@@ -1,0 +1,70 @@
+package absint
+
+import (
+	"s2fa/internal/bytecode"
+	"s2fa/internal/compile"
+)
+
+// absintScratch is the abstract interpreter's slot in a compile.Scratch:
+// a freelist of state objects plus the operand-stack and local-version
+// buffers simBlock reuses call after call. One is created per
+// analyzeMethod even without a Scratch (the fixpoint alone re-simulates
+// blocks hundreds of times); a Scratch carries it across methods and
+// classes so steady-state analysis stops allocating states at all.
+type absintScratch struct {
+	free []*state
+	stk  []absVal
+	vers []int
+}
+
+// absintScratchOf returns (allocating on first use) the analyzer scratch
+// stored in sc, or nil when sc is nil.
+func absintScratchOf(sc *compile.Scratch) *absintScratch {
+	if sc == nil {
+		return nil
+	}
+	if as, ok := sc.Absint.(*absintScratch); ok {
+		return as
+	}
+	as := &absintScratch{}
+	sc.Absint = as
+	return as
+}
+
+// AnalyzeClassScratch is AnalyzeClass with reusable analyzer buffers from
+// sc. A nil sc behaves exactly like AnalyzeClass. The returned facts
+// retain nothing from the scratch.
+func AnalyzeClassScratch(c *bytecode.Class, sc *compile.Scratch) (*ClassFacts, error) {
+	if err := bytecode.VerifyClassScratch(c, sc); err != nil {
+		return nil, err
+	}
+	return analyzeClassS(c, absintScratchOf(sc))
+}
+
+// newState hands out a state with n locals, recycling released ones.
+func (a *analyzer) newState(n int) *state {
+	if l := len(a.as.free); l > 0 {
+		st := a.as.free[l-1]
+		a.as.free = a.as.free[:l-1]
+		if cap(st.locals) >= n {
+			st.locals = st.locals[:n]
+			return st
+		}
+	}
+	return &state{locals: make([]absVal, n)}
+}
+
+// cloneOf is state.clone via the freelist.
+func (a *analyzer) cloneOf(s *state) *state {
+	out := a.newState(len(s.locals))
+	copy(out.locals, s.locals)
+	return out
+}
+
+// release returns a state to the freelist. The caller promises it holds
+// no other reference to st (in particular, st is not in a.in).
+func (a *analyzer) release(st *state) {
+	if st != nil {
+		a.as.free = append(a.as.free, st)
+	}
+}

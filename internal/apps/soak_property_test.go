@@ -25,6 +25,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -33,6 +34,7 @@ import (
 	"s2fa/internal/b2c"
 	"s2fa/internal/blaze"
 	"s2fa/internal/bytecode"
+	"s2fa/internal/ccache"
 	"s2fa/internal/cir"
 	"s2fa/internal/depend"
 	"s2fa/internal/dse"
@@ -53,6 +55,11 @@ var (
 )
 
 const soakTasks = 3
+
+// soakCache is shared across the whole soak population: the cache is
+// content-addressed, so distinct generated kernels coexist and shrinker
+// re-runs of the same kernel become hits.
+var soakCache = ccache.New()
 
 // soakTaskSeed derives the per-kernel input seed from the run seed and
 // the kernel identity (FNV-1a over the accelerator id), so task batches
@@ -188,6 +195,33 @@ func runSoakPipeline(k *kdslgen.Kernel, seed int64) (string, string) {
 	}
 	if fs := lint.Lint(kern); fs.HasErrors() {
 		return "lint", fmt.Sprintf("%v", fs.Errors())
+	}
+
+	// Cache shadow: a deterministic coin per kernel routes roughly half
+	// the soak population through the shared content-addressed compile
+	// cache — twice, so both the miss and the hit path are exercised.
+	// The served bytecode, rendered C, and lint verdicts must be
+	// bit-identical to the fresh compile above; the rest of the pipeline
+	// then runs on the cache-served kernel, so every downstream
+	// differential (JVM, cir evaluator, merlin, DSE, blaze) also vouches
+	// for the cached artifact.
+	if soakTaskSeed(seed, k.ID)&1 == 0 {
+		for pass := 0; pass < 2; pass++ {
+			ccls, e, err := soakCache.CompileSource(k.Source, nil, nil)
+			if err != nil {
+				return "ccache", err.Error()
+			}
+			if !reflect.DeepEqual(ccls, cls) {
+				return "ccache", fmt.Sprintf("pass %d: cached bytecode differs from fresh compile", pass)
+			}
+			if cir.Print(e.Kernel) != cir.Print(kern) {
+				return "ccache", fmt.Sprintf("pass %d: cached kernel renders different C", pass)
+			}
+			if !reflect.DeepEqual(e.Lint, lint.Lint(kern)) {
+				return "ccache", fmt.Sprintf("pass %d: cached lint verdicts differ from fresh", pass)
+			}
+			kern = e.Kernel
+		}
 	}
 
 	// Reference semantics vs JVM interpreter, bit-exact per task.

@@ -7,6 +7,7 @@ import (
 	"s2fa/internal/absint"
 	"s2fa/internal/bytecode"
 	"s2fa/internal/cir"
+	"s2fa/internal/compile"
 	"s2fa/internal/lint"
 	"s2fa/internal/obs"
 )
@@ -25,11 +26,17 @@ func Compile(cls *bytecode.Class) (*cir.Kernel, error) {
 // counts), and the lint gate each get a span under the b2c compile span.
 // A nil trace is free.
 func CompileTraced(cls *bytecode.Class, tr *obs.Trace) (*cir.Kernel, error) {
+	return CompileScratch(cls, tr, nil)
+}
+
+// CompileScratch is CompileTraced with reusable verifier and analyzer
+// buffers drawn from sc. A nil sc behaves exactly like CompileTraced.
+func CompileScratch(cls *bytecode.Class, tr *obs.Trace, sc *compile.Scratch) (*cir.Kernel, error) {
 	outer := tr.Begin("b2c", "compile", obs.Str("class", cls.Name))
 	defer outer.End()
 
 	vs := tr.Begin("bytecode", "verify")
-	err := bytecode.VerifyClass(cls)
+	err := bytecode.VerifyClassScratch(cls, sc)
 	vs.End(obs.Bool("ok", err == nil))
 	if err != nil {
 		return nil, err
@@ -43,7 +50,7 @@ func CompileTraced(cls *bytecode.Class, tr *obs.Trace) (*cir.Kernel, error) {
 	// The class just verified, so analysis cannot fail; a nil facts value
 	// simply disables the extra precision.
 	as := tr.Begin("absint", "analyze")
-	facts, err := absint.AnalyzeClass(cls)
+	facts, err := absint.AnalyzeClassScratch(cls, sc)
 	if err != nil {
 		facts = nil
 	}
@@ -52,6 +59,20 @@ func CompileTraced(cls *bytecode.Class, tr *obs.Trace) (*cir.Kernel, error) {
 		emitFixpoint(tr, "call", facts.Call)
 		emitFixpoint(tr, "reduce", facts.Reduce)
 	}
+	return compileVerified(cls, facts, tr)
+}
+
+// CompileVerified compiles a class that is already verified and analyzed,
+// skipping the verifier and abstract-interpretation stages: the compile
+// cache's miss path, which computes the absint facts while fingerprinting
+// and must not pay for them twice.
+func CompileVerified(cls *bytecode.Class, facts *absint.ClassFacts, tr *obs.Trace) (*cir.Kernel, error) {
+	outer := tr.Begin("b2c", "compile", obs.Str("class", cls.Name))
+	defer outer.End()
+	return compileVerified(cls, facts, tr)
+}
+
+func compileVerified(cls *bytecode.Class, facts *absint.ClassFacts, tr *obs.Trace) (*cir.Kernel, error) {
 	callFacts := methodFacts(facts, cls.Call)
 	callBody, callLift, err := decompile(cls, cls.Call, callFacts)
 	if err != nil {

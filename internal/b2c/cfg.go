@@ -17,6 +17,7 @@ package b2c
 
 import (
 	"fmt"
+	"math/bits"
 
 	"s2fa/internal/bytecode"
 )
@@ -40,7 +41,7 @@ type cfg struct {
 	// idom[b] is the immediate dominator block id (-1 for entry).
 	idom []int
 	// domSets[b] is the full dominator set of block b.
-	domSets []map[int]bool
+	domSets []bitset
 	// ipdom[b] is the immediate postdominator (-1 for virtual exit).
 	ipdom []int
 	// loopHeaders maps header block id to the set of blocks in its
@@ -106,80 +107,36 @@ func buildCFG(m *bytecode.Method) (*cfg, error) {
 	return g, nil
 }
 
-// computeDominators uses the iterative dataflow algorithm (the CFGs here
-// are tiny).
+// computeDominators uses the iterative dataflow algorithm over bitsets —
+// the CFGs here are small, so the whole lattice fits in a handful of
+// words and each meet is a few AND instructions.
 func (g *cfg) computeDominators() {
 	n := len(g.blocks)
-	dom := make([]map[int]bool, n)
-	all := map[int]bool{}
-	for i := 0; i < n; i++ {
-		all[i] = true
+	dom, inter := newBitsetRows(n)
+	for i := 1; i < n; i++ {
+		dom[i].fill(n)
 	}
-	for i := 0; i < n; i++ {
-		if i == 0 {
-			dom[i] = map[int]bool{0: true}
-		} else {
-			cp := map[int]bool{}
-			for k := range all {
-				cp[k] = true
-			}
-			dom[i] = cp
-		}
-	}
+	dom[0].set(0)
 	changed := true
 	for changed {
 		changed = false
 		for i := 1; i < n; i++ {
 			b := g.blocks[i]
-			var inter map[int]bool
+			inter.fill(n)
 			for _, p := range b.preds {
-				if inter == nil {
-					inter = map[int]bool{}
-					for k := range dom[p] {
-						inter[k] = true
-					}
-				} else {
-					for k := range inter {
-						if !dom[p][k] {
-							delete(inter, k)
-						}
-					}
-				}
+				inter.intersect(dom[p])
 			}
-			if inter == nil {
-				inter = map[int]bool{}
+			if len(b.preds) == 0 {
+				inter.clear()
 			}
-			inter[i] = true
-			if len(inter) != len(dom[i]) {
-				dom[i] = inter
+			inter.set(i)
+			if !inter.equal(dom[i]) {
+				dom[i].copyFrom(inter)
 				changed = true
-				continue
-			}
-			for k := range inter {
-				if !dom[i][k] {
-					dom[i] = inter
-					changed = true
-					break
-				}
 			}
 		}
 	}
-	g.idom = make([]int, n)
-	for i := 0; i < n; i++ {
-		g.idom[i] = -1
-		// The immediate dominator is the dominator with the largest
-		// dominator set other than the block itself.
-		bestSize := -1
-		for d := range dom[i] {
-			if d == i {
-				continue
-			}
-			if len(dom[d]) > bestSize {
-				bestSize = len(dom[d])
-				g.idom[i] = d
-			}
-		}
-	}
+	g.idom = immediateOf(dom)
 	g.domSets = dom
 }
 
@@ -187,12 +144,8 @@ func (g *cfg) computeDominators() {
 // with a virtual exit joining all return blocks.
 func (g *cfg) computePostdominators() {
 	n := len(g.blocks)
-	pdom := make([]map[int]bool, n)
-	all := map[int]bool{}
-	for i := 0; i < n; i++ {
-		all[i] = true
-	}
-	exits := map[int]bool{}
+	pdom, inter := newBitsetRows(n)
+	exits := make([]bool, n)
 	for _, b := range g.blocks {
 		if len(b.succs) == 0 {
 			exits[b.id] = true
@@ -200,13 +153,9 @@ func (g *cfg) computePostdominators() {
 	}
 	for i := 0; i < n; i++ {
 		if exits[i] {
-			pdom[i] = map[int]bool{i: true}
+			pdom[i].set(i)
 		} else {
-			cp := map[int]bool{}
-			for k := range all {
-				cp[k] = true
-			}
-			pdom[i] = cp
+			pdom[i].fill(n)
 		}
 	}
 	changed := true
@@ -217,57 +166,44 @@ func (g *cfg) computePostdominators() {
 				continue
 			}
 			b := g.blocks[i]
-			var inter map[int]bool
+			inter.fill(n)
 			for _, s := range b.succs {
-				if inter == nil {
-					inter = map[int]bool{}
-					for k := range pdom[s] {
-						inter[k] = true
-					}
-				} else {
-					for k := range inter {
-						if !pdom[s][k] {
-							delete(inter, k)
-						}
-					}
-				}
+				inter.intersect(pdom[s])
 			}
-			if inter == nil {
-				inter = map[int]bool{}
+			if len(b.succs) == 0 {
+				inter.clear()
 			}
-			inter[i] = true
-			if !sameSet(inter, pdom[i]) {
-				pdom[i] = inter
+			inter.set(i)
+			if !inter.equal(pdom[i]) {
+				pdom[i].copyFrom(inter)
 				changed = true
 			}
 		}
 	}
-	g.ipdom = make([]int, n)
-	for i := 0; i < n; i++ {
-		g.ipdom[i] = -1
-		bestSize := -1
-		for d := range pdom[i] {
-			if d == i {
-				continue
-			}
-			if len(pdom[d]) > bestSize {
-				bestSize = len(pdom[d])
-				g.ipdom[i] = d
-			}
-		}
-	}
+	g.ipdom = immediateOf(pdom)
 }
 
-func sameSet(a, b map[int]bool) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k := range a {
-		if !b[k] {
-			return false
+// immediateOf extracts the immediate (post)dominator from full sets: the
+// member (other than the block itself) with the largest set. Dominators
+// of a block form a chain, so set sizes along it are strictly increasing
+// and the choice is unique.
+func immediateOf(sets []bitset) []int {
+	n := len(sets)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = -1
+		bestSize := -1
+		for d := 0; d < n; d++ {
+			if d == i || !sets[i].has(d) {
+				continue
+			}
+			if c := sets[d].count(); c > bestSize {
+				bestSize = c
+				out[i] = d
+			}
 		}
 	}
-	return true
+	return out
 }
 
 // findLoops identifies natural loops from back edges (t -> h with h
@@ -322,5 +258,67 @@ func (g *cfg) findLoops() error {
 }
 
 func (g *cfg) dominates(a, b int) bool {
-	return g.domSets[b][a]
+	return g.domSets[b].has(a)
+}
+
+// bitset is a little-endian bit vector over block ids.
+type bitset []uint64
+
+// newBitsetRows carves n zeroed row bitsets plus one scratch row out of a
+// single allocation.
+func newBitsetRows(n int) ([]bitset, bitset) {
+	words := (n + 63) / 64
+	if words == 0 {
+		words = 1
+	}
+	buf := make([]uint64, (n+1)*words)
+	rows := make([]bitset, n)
+	for i := range rows {
+		rows[i] = buf[i*words : (i+1)*words]
+	}
+	return rows, buf[n*words:]
+}
+
+func (s bitset) set(i int)      { s[i>>6] |= 1 << (i & 63) }
+func (s bitset) has(i int) bool { return s[i>>6]&(1<<(i&63)) != 0 }
+
+// fill sets bits [0, n).
+func (s bitset) fill(n int) {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+	if rem := n & 63; rem != 0 {
+		s[len(s)-1] = (1 << rem) - 1
+	}
+}
+
+func (s bitset) clear() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func (s bitset) intersect(o bitset) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+func (s bitset) copyFrom(o bitset) { copy(s, o) }
+
+func (s bitset) equal(o bitset) bool {
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s bitset) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }

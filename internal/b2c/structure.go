@@ -159,24 +159,15 @@ func (st *structurer) loopRegion(cur, header int, body map[int]bool, exit int) (
 				return out, nil
 			}
 			// Interior conditional: join at the immediate postdominator.
-			join := st.g.ipdom[cur]
-			thenB, err := st.loopRegion(t, header, body, exit)
-			if err != nil {
-				return nil, err
-			}
-			elseB, err := st.loopRegion(f, header, body, exit)
-			if err != nil {
-				return nil, err
-			}
-			// When the join stays inside the loop, both branches were
-			// followed to the back edge/exit — acceptable but duplicates
-			// tails. Use the postdominator split when it is in the loop.
-			if join != -1 && body[join] && join != header {
-				thenB, err = st.regionWithin(t, join, body)
+			// When the join stays inside the loop, split there (following
+			// both branches to the back edge would duplicate the tails —
+			// and cost exponential work on if-chains).
+			if join := st.g.ipdom[cur]; join != -1 && body[join] && join != header {
+				thenB, err := st.regionWithin(t, join, body)
 				if err != nil {
 					return nil, err
 				}
-				elseB, err = st.regionWithin(f, join, body)
+				elseB, err := st.regionWithin(f, join, body)
 				if err != nil {
 					return nil, err
 				}
@@ -184,6 +175,14 @@ func (st *structurer) loopRegion(cur, header int, body map[int]bool, exit int) (
 				cur = join
 				first = false
 				continue
+			}
+			thenB, err := st.loopRegion(t, header, body, exit)
+			if err != nil {
+				return nil, err
+			}
+			elseB, err := st.loopRegion(f, header, body, exit)
+			if err != nil {
+				return nil, err
 			}
 			out = append(out, &cir.If{Cond: b.term.cond, Then: thenB, Else: elseB})
 			return out, nil

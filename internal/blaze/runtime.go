@@ -99,6 +99,25 @@ func (m *Manager) purityGate(cls *bytecode.Class) string {
 	return d
 }
 
+// SeedPurity pre-seeds the purity-verdict cache for cls from facts the
+// caller already computed (the compile cache carries them), so the first
+// offload of the class skips re-running the abstract interpreter. The
+// seeded verdict is exactly what purityGate would derive; an existing
+// verdict is never overwritten.
+func (m *Manager) SeedPurity(cls *bytecode.Class, facts *absint.ClassFacts) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.purity[cls]; ok {
+		return
+	}
+	d := ""
+	if !facts.Pure() {
+		d = fmt.Sprintf("kernel is impure, offload would drop the side effect at %s",
+			facts.Impurities()[0])
+	}
+	m.purity[cls] = d
+}
+
 // Device returns the managed FPGA.
 func (m *Manager) Device() *fpga.Device { return m.device }
 

@@ -1,0 +1,59 @@
+package bytecode
+
+import "s2fa/internal/compile"
+
+// verifyScratch is the verifier's slot in a compile.Scratch: the operand
+// stack and leader bitmap grow once and are reused across every method
+// verified with the same Scratch.
+type verifyScratch struct {
+	stack   []TypeDesc
+	leaders []bool
+}
+
+// verifyScratchOf returns (allocating on first use) the verifier scratch
+// stored in sc, or nil when sc is nil.
+func verifyScratchOf(sc *compile.Scratch) *verifyScratch {
+	if sc == nil {
+		return nil
+	}
+	if vs, ok := sc.Verify.(*verifyScratch); ok {
+		return vs
+	}
+	vs := &verifyScratch{}
+	sc.Verify = vs
+	return vs
+}
+
+// VerifyClassScratch is VerifyClass with reusable verifier buffers from
+// sc. A nil sc behaves exactly like VerifyClass.
+func VerifyClassScratch(c *Class, sc *compile.Scratch) error {
+	return verifyClassS(c, true, verifyScratchOf(sc))
+}
+
+// leadersInto is Leaders with a reusable buffer (resized and cleared, or
+// grown when too small).
+func leadersInto(m *Method, buf []bool) []bool {
+	if cap(buf) >= len(m.Code) {
+		buf = buf[:len(m.Code)]
+		for i := range buf {
+			buf[i] = false
+		}
+	} else {
+		buf = make([]bool, len(m.Code))
+	}
+	if len(buf) > 0 {
+		buf[0] = true
+	}
+	for i, in := range m.Code {
+		switch in.Op {
+		case OpGoto, OpBrFalse, OpBrTrue:
+			if in.Target >= 0 && in.Target < len(m.Code) {
+				buf[in.Target] = true
+			}
+			if i+1 < len(m.Code) {
+				buf[i+1] = true
+			}
+		}
+	}
+	return buf
+}

@@ -30,7 +30,9 @@ func Verify(m *Method) error { return verify(m, true) }
 // sourced diagnostics.
 func VerifyStructural(m *Method) error { return verify(m, false) }
 
-func verify(m *Method, legality bool) error {
+func verify(m *Method, legality bool) error { return verifyS(m, legality, nil) }
+
+func verifyS(m *Method, legality bool, vs *verifyScratch) error {
 	n := len(m.Code)
 	if n == 0 {
 		return fmt.Errorf("bytecode: %s: empty code", m.Name)
@@ -43,9 +45,15 @@ func verify(m *Method, legality bool) error {
 			}
 		}
 	}
-	leaders := Leaders(m)
-
+	var leaders []bool
 	var stack []TypeDesc
+	if vs != nil {
+		leaders = leadersInto(m, vs.leaders)
+		vs.leaders = leaders
+		stack = vs.stack[:0]
+	} else {
+		leaders = Leaders(m)
+	}
 	push := func(t TypeDesc) { stack = append(stack, t) }
 	pop := func(at int) (TypeDesc, error) {
 		if len(stack) == 0 {
@@ -221,6 +229,9 @@ func verify(m *Method, legality bool) error {
 	if last.Op != OpReturn && last.Op != OpGoto {
 		return fmt.Errorf("bytecode: %s: code falls off the end", m.Name)
 	}
+	if vs != nil {
+		vs.stack = stack[:0]
+	}
 	return nil
 }
 
@@ -231,15 +242,17 @@ func VerifyClass(c *Class) error { return verifyClass(c, true) }
 // rules deferred (see VerifyStructural).
 func VerifyClassStructural(c *Class) error { return verifyClass(c, false) }
 
-func verifyClass(c *Class, legality bool) error {
+func verifyClass(c *Class, legality bool) error { return verifyClassS(c, legality, nil) }
+
+func verifyClassS(c *Class, legality bool, vs *verifyScratch) error {
 	if c.Call == nil {
 		return fmt.Errorf("bytecode: class %s has no call method", c.Name)
 	}
-	if err := verify(c.Call, legality); err != nil {
+	if err := verifyS(c.Call, legality, vs); err != nil {
 		return err
 	}
 	if c.Reduce != nil {
-		if err := verify(c.Reduce, legality); err != nil {
+		if err := verifyS(c.Reduce, legality, vs); err != nil {
 			return err
 		}
 	}

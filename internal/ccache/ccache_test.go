@@ -1,0 +1,217 @@
+package ccache
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"s2fa/internal/access"
+	"s2fa/internal/apps"
+	"s2fa/internal/b2c"
+	"s2fa/internal/cir"
+	"s2fa/internal/compile"
+	"s2fa/internal/depend"
+	"s2fa/internal/kdsl"
+	"s2fa/internal/lint"
+	"s2fa/internal/obs"
+)
+
+// TestCachedMatchesFresh is the core soundness claim: for every
+// workload, the entry served by the cache — on the miss, on the source
+// hit, and on a semantic hit — renders byte-identical HLS C to a fresh
+// uncached compile, and carries the same lint verdicts and analysis
+// conclusions.
+func TestCachedMatchesFresh(t *testing.T) {
+	c := New()
+	sc := compile.NewScratch()
+	for _, app := range apps.All() {
+		cls, err := kdsl.CompileSource(app.Source)
+		if err != nil {
+			t.Fatalf("%s: frontend: %v", app.Name, err)
+		}
+		fresh, err := b2c.Compile(cls)
+		if err != nil {
+			t.Fatalf("%s: fresh b2c: %v", app.Name, err)
+		}
+		freshC := cir.Print(fresh)
+		freshLint := lint.Lint(fresh)
+
+		_, miss, err := c.CompileSource(app.Source, nil, sc)
+		if err != nil {
+			t.Fatalf("%s: cached compile: %v", app.Name, err)
+		}
+		_, hit, err := c.CompileSource(app.Source, nil, sc)
+		if err != nil {
+			t.Fatalf("%s: cache hit: %v", app.Name, err)
+		}
+		if hit != miss {
+			t.Fatalf("%s: source hit returned a different entry", app.Name)
+		}
+		if got := cir.Print(hit.Kernel); got != freshC {
+			t.Errorf("%s: cached kernel differs from fresh compile", app.Name)
+		}
+		if !reflect.DeepEqual(hit.Lint, freshLint) {
+			t.Errorf("%s: cached lint verdicts differ from fresh", app.Name)
+		}
+		// Cached analysis conclusions must agree with a fresh analysis
+		// of the fresh kernel (loop IDs are positional, shared across
+		// compiles of the same source).
+		freshDep := depend.Analyze(fresh)
+		if !reflect.DeepEqual(hit.Depend.Order, freshDep.Order) {
+			t.Errorf("%s: cached depend loop order differs from fresh", app.Name)
+		}
+		for _, id := range hit.Depend.Order {
+			if got, want := hit.Depend.Serializing(id), freshDep.Serializing(id); got != want {
+				t.Errorf("%s: loop %s: cached Serializing=%v want %v", app.Name, id, got, want)
+			}
+		}
+		freshAcc := access.Analyze(fresh)
+		for _, id := range freshAcc.LoopOrder {
+			if got, want := hit.Access.PortCap(id), freshAcc.PortCap(id); got != want {
+				t.Errorf("%s: loop %s: cached PortCap=%d want %d", app.Name, id, got, want)
+			}
+		}
+	}
+	st := c.Stats()
+	n := int64(len(apps.All()))
+	if st.Misses != n || st.SourceHits != n {
+		t.Fatalf("stats: misses=%d sourceHits=%d, want %d each", st.Misses, st.SourceHits, n)
+	}
+	if st.Poisoned != 0 {
+		t.Fatalf("stats: unexpected poisonings: %d", st.Poisoned)
+	}
+}
+
+// TestSemanticHit: two source texts that differ only in a trailing
+// comment compile to identical bytecode and facts, so the second skips
+// b2c via the semantic layer even though its source hash is new.
+func TestSemanticHit(t *testing.T) {
+	src := apps.All()[0].Source
+	c := New()
+	_, e1, err := c.CompileSource(src, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, e2, err := c.CompileSource(src+"\n// trailing comment\n", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatalf("semantically identical sources got distinct entries")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.SemanticHits != 1 {
+		t.Fatalf("stats: misses=%d semanticHits=%d, want 1 and 1", st.Misses, st.SemanticHits)
+	}
+}
+
+// TestPoisoningFallback corrupts a cached entry and checks the full
+// recovery path: the checksum mismatch is detected on the next hit, the
+// entry is evicted, the incident is counted and dumped by the flight
+// recorder, and the caller gets a fresh, valid compile.
+func TestPoisoningFallback(t *testing.T) {
+	src := apps.All()[0].Source
+	rec := obs.NewRecorder(obs.RecorderConfig{})
+	tr := obs.New(rec)
+	c := New()
+	_, e, err := c.CompileSource(src, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cir.Print(e.Kernel)
+	// Corrupt the cached kernel in place — the render no longer matches
+	// the checksum taken at insertion.
+	e.Kernel.Name += "_corrupted"
+
+	_, e2, err := c.CompileSource(src, tr, nil)
+	if err != nil {
+		t.Fatalf("poisoned hit did not fall back to a fresh compile: %v", err)
+	}
+	if e2 == e {
+		t.Fatalf("poisoned entry was served again")
+	}
+	if got := cir.Print(e2.Kernel); got != want {
+		t.Errorf("fresh fallback kernel differs from the original compile")
+	}
+	st := c.Stats()
+	if st.Poisoned != 1 {
+		t.Fatalf("stats: poisoned=%d, want 1", st.Poisoned)
+	}
+	if st.Misses != 2 {
+		t.Fatalf("stats: misses=%d, want 2 (original + fallback)", st.Misses)
+	}
+	if got := tr.Counters()["ccache.poisoned"]; got != 1 {
+		t.Fatalf("obs counter ccache.poisoned=%d, want 1", got)
+	}
+	tr.Close()
+	dumps := rec.Dumps()
+	if len(dumps) != 1 || dumps[0].Reason != obs.ReasonCachePoisoned {
+		t.Fatalf("recorder dumps=%v, want one %s dump", dumps, obs.ReasonCachePoisoned)
+	}
+}
+
+// TestSingleFlight: concurrent misses on one class run b2c once.
+func TestSingleFlight(t *testing.T) {
+	app := apps.All()[0]
+	cls, err := kdsl.CompileSource(app.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New()
+	const n = 8
+	entries := make([]*Entry, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := c.CompileClass(cls, nil, nil)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+				return
+			}
+			entries[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if entries[i] != entries[0] {
+			t.Fatalf("goroutine %d got a distinct entry", i)
+		}
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("stats: misses=%d, want 1 (single flight)", st.Misses)
+	}
+}
+
+// TestFingerprint checks determinism and sensitivity of the content
+// address.
+func TestFingerprint(t *testing.T) {
+	var fps []Fingerprint
+	for _, app := range apps.All() {
+		cls, err := apps.Get(app.Name).Class()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := New()
+		e, err := c.CompileClass(cls, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := New().CompileClass(cls, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Fingerprint != e2.Fingerprint {
+			t.Fatalf("%s: fingerprint not deterministic", app.Name)
+		}
+		fps = append(fps, e.Fingerprint)
+	}
+	seen := map[Fingerprint]string{}
+	for i, app := range apps.All() {
+		if prev, dup := seen[fps[i]]; dup {
+			t.Fatalf("fingerprint collision between %s and %s", prev, app.Name)
+		}
+		seen[fps[i]] = app.Name
+	}
+}

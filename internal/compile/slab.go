@@ -1,0 +1,59 @@
+package compile
+
+// Slab is a chunked arena for values of one type: New hands out pointers
+// into exponentially growing chunks, so allocating n nodes costs O(log n)
+// heap allocations instead of n. Reset recycles every chunk for the next
+// compilation — the caller promises that no pointer from before the Reset
+// is still live (the kdsl AST, for example, dies when its bytecode class
+// is built).
+//
+// A Slab never moves values once handed out, so pointers stay valid until
+// Reset. Not safe for concurrent use.
+type Slab[T any] struct {
+	chunks [][]T
+	// cur indexes the chunk currently being filled; n is the number of
+	// values used in it. Chunks before cur are full.
+	cur, n int
+}
+
+const (
+	slabMinChunk = 64
+	slabMaxChunk = 8192
+)
+
+// New returns a pointer to a zeroed T from the slab.
+func (s *Slab[T]) New() *T {
+	if s.cur >= len(s.chunks) {
+		size := slabMinChunk << s.cur
+		if size > slabMaxChunk {
+			size = slabMaxChunk
+		}
+		s.chunks = append(s.chunks, make([]T, size))
+	}
+	c := s.chunks[s.cur]
+	if s.n == len(c) {
+		s.cur++
+		s.n = 0
+		return s.New()
+	}
+	p := &c[s.n]
+	s.n++
+	return p
+}
+
+// Reset makes every chunk available again, zeroing the recycled values so
+// the next New hands out clean memory. Pointers obtained before Reset
+// must no longer be used.
+func (s *Slab[T]) Reset() {
+	var zero T
+	for i := 0; i <= s.cur && i < len(s.chunks); i++ {
+		c := s.chunks[i]
+		if i == s.cur {
+			c = c[:s.n]
+		}
+		for j := range c {
+			c[j] = zero
+		}
+	}
+	s.cur, s.n = 0, 0
+}

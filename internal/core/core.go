@@ -19,7 +19,9 @@ import (
 	"s2fa/internal/b2c"
 	"s2fa/internal/blaze"
 	"s2fa/internal/bytecode"
+	"s2fa/internal/ccache"
 	"s2fa/internal/cir"
+	"s2fa/internal/compile"
 	"s2fa/internal/dse"
 	"s2fa/internal/fpga"
 	"s2fa/internal/hls"
@@ -46,6 +48,19 @@ type Framework struct {
 	// emits. A nil Trace costs nothing; a live one never perturbs the
 	// search — traced and untraced runs are byte-identical.
 	Trace *obs.Trace
+	// Scratch, when set, supplies reusable compile-stage buffers (token
+	// and AST arenas, verifier stacks, abstract-interpreter states) so
+	// batch compilations stop re-allocating them per kernel. Results are
+	// byte-identical with or without it. Not safe for concurrent use —
+	// give each goroutine its own.
+	Scratch *compile.Scratch
+	// Cache, when set, is the content-addressed compile cache: Compile
+	// serves repeated kernels from it (a hit skips the frontend and b2c
+	// entirely), BuildFromClass reuses its cached dependence/access
+	// analyses for the DSE collapse guards, and Deploy pre-seeds the
+	// Blaze purity gate from its cached facts. Cached and fresh runs are
+	// byte-identical.
+	Cache *ccache.Cache
 }
 
 // New returns a framework targeting the EC2 F1's VU9P with the paper's
@@ -81,15 +96,25 @@ func (b *Build) BestHLSSource() string {
 }
 
 // Compile runs only the front half: source -> bytecode -> HLS-C kernel.
+// With Cache set it goes through the compile cache (repeat sources skip
+// the whole pipeline); otherwise it compiles fresh, reusing Scratch
+// buffers when present.
 func (f *Framework) Compile(src string) (*bytecode.Class, *cir.Kernel, error) {
+	if f.Cache != nil {
+		cls, e, err := f.Cache.CompileSource(src, f.Trace, f.Scratch)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cls, e.Kernel, nil
+	}
 	span := f.Trace.Begin("kdsl", "compile", obs.Int("src_bytes", len(src)))
-	cls, err := kdsl.CompileSource(src)
+	cls, err := kdsl.CompileSourceScratch(src, f.Scratch)
 	if err != nil {
 		span.End(obs.Bool("ok", false))
 		return nil, nil, err
 	}
 	span.End(obs.Bool("ok", true), obs.Str("class", cls.Name))
-	k, err := b2c.CompileTraced(cls, f.Trace)
+	k, err := b2c.CompileScratch(cls, f.Trace, f.Scratch)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -122,6 +147,19 @@ func (f *Framework) BuildFromClass(cls *bytecode.Class, k *cir.Kernel) (*Build, 
 	}
 	if cfg.Trace == nil {
 		cfg.Trace = f.Trace
+	}
+	if f.Cache != nil {
+		// A kernel that came out of the cache carries precomputed
+		// dependence/access analyses; hand them to the collapse guards
+		// so a cache hit skips their re-analysis too.
+		if e := f.Cache.EntryFor(k); e != nil {
+			if cfg.Depend == nil {
+				cfg.Depend = e.Depend
+			}
+			if cfg.Access == nil {
+				cfg.Access = e.Access
+			}
+		}
 	}
 	tasks := f.Tasks
 	if tasks <= 0 {
@@ -199,6 +237,13 @@ func (f *Framework) BuildWithDirectives(cls *bytecode.Class, k *cir.Kernel, d me
 func (f *Framework) Deploy(b *Build, mgr *blaze.Manager) error {
 	if b.Accelerator == nil {
 		return fmt.Errorf("core: build has no accelerator")
+	}
+	if f.Cache != nil {
+		// Seed the manager's purity gate from the cached facts so the
+		// first offload skips re-running the abstract interpreter.
+		if e := f.Cache.EntryFor(b.Kernel); e != nil && e.Facts != nil {
+			mgr.SeedPurity(b.Class, e.Facts)
+		}
 	}
 	return mgr.Register(b.Accelerator)
 }

@@ -4,7 +4,6 @@ import (
 	"sync"
 
 	"s2fa/internal/access"
-	"s2fa/internal/cir"
 	"s2fa/internal/obs"
 	"s2fa/internal/space"
 	"s2fa/internal/tuner"
@@ -25,8 +24,7 @@ import (
 // inner evaluator would have produced, the search trajectory is
 // preserved by construction. counter tallies first-time points served
 // from a sibling's report.
-func accessPruneEvaluator(k *cir.Kernel, sp *space.Space, inner tuner.Evaluator, counter *int, tr *obs.Trace) tuner.Evaluator {
-	acc := access.Analyze(k)
+func accessPruneEvaluator(acc *access.Analysis, sp *space.Space, inner tuner.Evaluator, counter *int, tr *obs.Trace) tuner.Evaluator {
 	type capped struct {
 		id  string
 		cap int

@@ -30,7 +30,7 @@ func TestAccessPruneEvaluatorShortCircuit(t *testing.T) {
 		return tuner.Result{Point: pt, Objective: 1, Feasible: true, Minutes: 5}
 	}
 	pruned := 0
-	eval := accessPruneEvaluator(k, sp, inner, &pruned, nil)
+	eval := accessPruneEvaluator(access.Analyze(k), sp, inner, &pruned, nil)
 
 	sibling := sp.AreaSeed()
 	sibling["L2.parallel"] = 32

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"s2fa/internal/depend"
 	"s2fa/internal/fpga"
 	"s2fa/internal/hls"
 	"s2fa/internal/space"
@@ -26,7 +27,7 @@ func TestDependPruneEvaluatorShortCircuit(t *testing.T) {
 		return tuner.Result{Point: pt, Objective: 1, Feasible: true, Minutes: 5}
 	}
 	pruned := 0
-	eval := dependPruneEvaluator(k, sp, inner, &pruned, nil)
+	eval := dependPruneEvaluator(depend.Analyze(k), sp, inner, &pruned, nil)
 
 	// Evaluate the canonical sibling first, then the contradicting point:
 	// L2 carries the cell recurrence through H, so parallel lanes without

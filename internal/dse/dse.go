@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math"
 
+	"s2fa/internal/access"
 	"s2fa/internal/cir"
+	"s2fa/internal/depend"
 	"s2fa/internal/fpga"
 	"s2fa/internal/obs"
 	"s2fa/internal/space"
@@ -182,6 +184,15 @@ type Config struct {
 	// Device supplies the DDR interface model for RestrictRanges; nil
 	// defaults to the paper's VU9P.
 	Device *fpga.Device
+	// Depend and Access optionally supply precomputed analyses of the
+	// explored kernel (e.g. from the compile cache) consumed by the
+	// DependPrune/AccessPrune guard assembly instead of re-running
+	// depend.Analyze/access.Analyze. Both analyses are deterministic
+	// pure functions of the kernel, so supplying them never changes the
+	// search trajectory — only setup cost. They must describe the same
+	// kernel Run receives; nil fields are computed on demand.
+	Depend *depend.Analysis
+	Access *access.Analysis
 	// Trace, when set, receives the search telemetry: per-partition
 	// spans on per-worker tracks, per-evaluation events (disposition,
 	// objective, virtual clock), entropy-window values, bandit arm
@@ -308,14 +319,22 @@ func wrapEvaluator(k *cir.Kernel, sp *space.Space, eval tuner.Evaluator, cfg Con
 		// cap-clamped sibling's report. Layered inside DependPrune so the
 		// dependence collapse intercepts its (disjoint, parallel=1) class
 		// first, keeping both counters' meanings stable.
-		eval = accessPruneEvaluator(k, sp, eval, &out.AccessPruned, cfg.Trace)
+		acc := cfg.Access
+		if acc == nil {
+			acc = access.Analyze(k)
+		}
+		eval = accessPruneEvaluator(acc, sp, eval, &out.AccessPruned, cfg.Trace)
 	}
 	if cfg.DependPrune {
 		// Collapse points whose parallel factors contradict a proven loop
 		// serialization onto their parallel=1 siblings before they reach
 		// Merlin + the estimator. Layered inside StaticPrune: a point must
 		// first be legal before its dependence profile is worth consulting.
-		eval = dependPruneEvaluator(k, sp, eval, &out.DependPruned, cfg.Trace)
+		dep := cfg.Depend
+		if dep == nil {
+			dep = depend.Analyze(k)
+		}
+		eval = dependPruneEvaluator(dep, sp, eval, &out.DependPruned, cfg.Trace)
 	}
 	if cfg.StaticPrune {
 		// Guard the evaluator with the lint legality pass: statically

@@ -66,8 +66,7 @@ func staticPruneEvaluator(k *cir.Kernel, sp *space.Space, inner tuner.Evaluator,
 // design), which the verdicts explicitly permit and the distance-scaled
 // II model rewards. counter tallies first-time points served from a
 // sibling's report.
-func dependPruneEvaluator(k *cir.Kernel, sp *space.Space, inner tuner.Evaluator, counter *int, tr *obs.Trace) tuner.Evaluator {
-	dep := depend.Analyze(k)
+func dependPruneEvaluator(dep *depend.Analysis, sp *space.Space, inner tuner.Evaluator, counter *int, tr *obs.Trace) tuner.Evaluator {
 	var serializing []string
 	for _, id := range dep.Order {
 		if dep.Serializing(id) {

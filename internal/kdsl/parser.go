@@ -27,6 +27,9 @@ func Parse(src string) (*ClassDef, error) {
 type parser struct {
 	toks []Token
 	pos  int
+	// sc, when set, backs the hottest AST node types with slab arenas
+	// (see scratch.go); nil means plain heap allocation.
+	sc *kdslScratch
 }
 
 func (p *parser) cur() Token  { return p.toks[p.pos] }
@@ -216,7 +219,8 @@ func (p *parser) literalExpr() (Expr, error) {
 		if neg {
 			v = -v
 		}
-		e := &IntLit{Val: v, Long: long}
+		e := p.newIntLit()
+		e.Val, e.Long = v, long
 		e.pos = pos
 		return e, nil
 	case TokFloat:
@@ -235,7 +239,8 @@ func (p *parser) literalExpr() (Expr, error) {
 		if neg {
 			v = -v
 		}
-		e := &FloatLit{Val: v, Single: single}
+		e := p.newFloatLit()
+		e.Val, e.Single = v, single
 		e.pos = pos
 		return e, nil
 	case TokChar:
@@ -603,7 +608,8 @@ func (p *parser) binExpr(level int) (Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				e := &BinExpr{Op: binOps[opText], L: left, R: right}
+				e := p.newBinExpr()
+				e.Op, e.L, e.R = binOps[opText], left, right
 				e.pos = pos
 				left = e
 				matched = true
@@ -680,7 +686,8 @@ func (p *parser) postfixExpr() (Expr, error) {
 			if err := p.expectPunct(")"); err != nil {
 				return nil, err
 			}
-			ix := &IndexExpr{X: e, Idx: idx}
+			ix := p.newIndexExpr()
+			ix.X, ix.Idx = e, idx
 			ix.pos = pos
 			e = ix
 		default:
@@ -787,7 +794,8 @@ func (p *parser) primaryExpr() (Expr, error) {
 		return e, nil
 	case p.cur().Kind == TokIdent:
 		t := p.advance()
-		e := &Ident{Name: t.Text}
+		e := p.newIdent()
+		e.Name = t.Text
 		e.pos = pos
 		return e, nil
 	case p.isPunct("("):

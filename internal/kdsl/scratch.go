@@ -1,0 +1,116 @@
+package kdsl
+
+import (
+	"s2fa/internal/compile"
+)
+
+// kdslScratch is the frontend's slot in a compile.Scratch: the reusable
+// token buffer plus slab arenas for the hottest AST node types (integer
+// literals dominate — every static table element is one — followed by
+// identifier references and binary/index expressions).
+//
+// The arenas are recycled at the start of each parse, so an AST produced
+// by ParseScratch is only valid until the next ParseScratch call on the
+// same Scratch. CompileSourceScratch consumes the AST before returning,
+// which is the intended pattern; callers that need a longer-lived AST
+// use Parse.
+type kdslScratch struct {
+	toks []Token
+
+	ints    compile.Slab[IntLit]
+	floats  compile.Slab[FloatLit]
+	idents  compile.Slab[Ident]
+	bins    compile.Slab[BinExpr]
+	indexes compile.Slab[IndexExpr]
+}
+
+// kdslScratchOf returns (allocating on first use) the frontend scratch
+// stored in sc, or nil when sc is nil.
+func kdslScratchOf(sc *compile.Scratch) *kdslScratch {
+	if sc == nil {
+		return nil
+	}
+	if ks, ok := sc.Kdsl.(*kdslScratch); ok {
+		return ks
+	}
+	ks := &kdslScratch{}
+	sc.Kdsl = ks
+	return ks
+}
+
+// reset recycles the AST arenas for the next parse.
+func (ks *kdslScratch) reset() {
+	ks.ints.Reset()
+	ks.floats.Reset()
+	ks.idents.Reset()
+	ks.bins.Reset()
+	ks.indexes.Reset()
+}
+
+// ParseScratch is Parse with reusable buffers: the token slice, the
+// identifier interner, and the AST node arenas all come from sc and are
+// recycled on the next ParseScratch call with the same Scratch. A nil sc
+// behaves exactly like Parse.
+func ParseScratch(src string, sc *compile.Scratch) (*ClassDef, error) {
+	ks := kdslScratchOf(sc)
+	if ks == nil {
+		return Parse(src)
+	}
+	ks.reset()
+	var intern *compile.Interner
+	if sc != nil {
+		intern = sc.Strings
+	}
+	toks, err := lexTokens(src, ks.toks, intern)
+	if err != nil {
+		return nil, err
+	}
+	ks.toks = toks
+	p := &parser{toks: toks, sc: ks}
+	cls, err := p.classDef()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, errf(p.cur().Pos, "unexpected %q after class definition", p.cur().Text)
+	}
+	return cls, nil
+}
+
+// Parser-side allocation helpers: slab-backed with a scratch, plain heap
+// without.
+
+func (p *parser) newIntLit() *IntLit {
+	if p.sc != nil {
+		return p.sc.ints.New()
+	}
+	return &IntLit{}
+}
+
+func (p *parser) newFloatLit() *FloatLit {
+	if p.sc != nil {
+		return p.sc.floats.New()
+	}
+	return &FloatLit{}
+}
+
+func (p *parser) newIdent() *Ident {
+	if p.sc != nil {
+		return p.sc.idents.New()
+	}
+	return &Ident{}
+}
+
+func (p *parser) newBinExpr() *BinExpr {
+	if p.sc != nil {
+		return p.sc.bins.New()
+	}
+	return &BinExpr{}
+}
+
+func (p *parser) newIndexExpr() *IndexExpr {
+	if p.sc != nil {
+		return p.sc.indexes.New()
+	}
+	return &IndexExpr{}
+}

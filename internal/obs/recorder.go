@@ -13,7 +13,10 @@ package obs
 //     ("dse-budget-exhausted") — the search ran out of virtual budget
 //     before the entropy stop, so the window shows where time went;
 //   - a blaze fallback instant ("blaze-fallback") — an accelerator
-//     request bounced back to the JVM.
+//     request bounced back to the JVM;
+//   - a compile-cache poisoning instant ("ccache-poisoned") — a cached
+//     kernel failed its integrity checksum on a hit, was evicted, and
+//     the caller fell back to a fresh compile.
 //
 // Like every sink, the recorder is passive: it only reads the event
 // stream and never feeds anything back into the run.
@@ -30,6 +33,7 @@ const (
 	ReasonHLSLatency      = "hls-latency"
 	ReasonBudgetExhausted = "dse-budget-exhausted"
 	ReasonBlazeFallback   = "blaze-fallback"
+	ReasonCachePoisoned   = "ccache-poisoned"
 )
 
 // RecorderConfig bounds the recorder's memory and tunes its triggers.
@@ -154,6 +158,9 @@ func (r *Recorder) Emit(e Event) {
 	case PhaseInstant:
 		if e.Cat == "blaze" && e.Name == "fallback" {
 			r.dump(ReasonBlazeFallback, e)
+		}
+		if e.Cat == "ccache" && e.Name == "poisoned" {
+			r.dump(ReasonCachePoisoned, e)
 		}
 	}
 }

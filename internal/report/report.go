@@ -50,6 +50,7 @@ func Render(events []obs.Event, metrics *obs.MetricsSnapshot, opt Options) strin
 	a.renderWaterfall(&b, opt)
 	a.renderSlowEstimations(&b, opt)
 	a.renderPrunes(&b, opt)
+	renderCompileCache(&b, a, metrics, opt)
 	a.renderWorkers(&b, opt)
 	a.renderBlaze(&b, opt)
 	renderRuntime(&b, metrics, opt)
@@ -317,6 +318,45 @@ func (a *analysis) renderPrunes(b *strings.Builder, opt Options) {
 	}
 	rows = append(rows, []string{"HLS cache", fmt.Sprintf("%d", a.counters["hls.cache_hits"]), "re-evaluations served from the report cache"})
 	writeTable(b, rows, opt)
+}
+
+// renderCompileCache surfaces the content-addressed compile cache:
+// hit/miss/poisoning counts and cached-entry bytes. Counter events from
+// the trace win; the ccache.* series of a metrics snapshot (headless
+// runs that only kept the registry) are the fallback, so the section
+// appears either way. Absent entirely when no cache was attached —
+// hit runs are also visible indirectly in the waterfall, where the
+// kdsl/b2c stage counts drop below the kernel count.
+func renderCompileCache(b *strings.Builder, a *analysis, m *obs.MetricsSnapshot, opt Options) {
+	get := func(name string) int64 {
+		if v := a.counters[name]; v != 0 {
+			return v
+		}
+		if m != nil {
+			return m.Counters[name]
+		}
+		return 0
+	}
+	hits := get("ccache.hits")
+	misses := get("ccache.misses")
+	poisoned := get("ccache.poisoned")
+	bytes := get("ccache.bytes")
+	if hits == 0 && misses == 0 && poisoned == 0 {
+		return
+	}
+	b.WriteString("\n## Compile cache\n\n")
+	b.WriteString("Content-addressed cache over the kdsl -> bytecode -> b2c pipeline; a hit skips b2c, lint, and the DSE guard analyses.\n\n")
+	rows := [][]string{
+		{"series", "value", "meaning"},
+		{"ccache.hits", fmt.Sprintf("%d", hits), "compilations served from the cache"},
+		{"ccache.misses", fmt.Sprintf("%d", misses), "full pipeline runs that populated an entry"},
+		{"ccache.poisoned", fmt.Sprintf("%d", poisoned), "checksum mismatches (entry evicted, fresh recompile)"},
+		{"ccache.bytes", fmt.Sprintf("%d", bytes), "rendered-kernel bytes held by stored entries"},
+	}
+	writeTable(b, rows, opt)
+	if total := hits + misses; total > 0 {
+		fmt.Fprintf(b, "\nHit rate: %.1f%% over %d compilations.\n", 100*float64(hits)/float64(total), total)
+	}
 }
 
 func (a *analysis) renderWorkers(b *strings.Builder, opt Options) {

@@ -12,6 +12,7 @@ import (
 
 	"s2fa/internal/apps"
 	"s2fa/internal/blaze"
+	"s2fa/internal/ccache"
 	"s2fa/internal/core"
 	"s2fa/internal/fpga"
 	"s2fa/internal/jvmsim"
@@ -114,6 +115,56 @@ func TestReportRendersBothFormats(t *testing.T) {
 		if !strings.Contains(txt, section) {
 			t.Errorf("text report missing section %q", section)
 		}
+	}
+}
+
+// TestReportCompileCache attaches a compile cache to the framework,
+// compiles the same source twice (miss then hit), and checks the report
+// grows a "Compile cache" section with the counters — and that the same
+// section appears when the counters arrive only via the metrics
+// snapshot (a headless run that kept the registry but not the trace).
+func TestReportCompileCache(t *testing.T) {
+	var ns int64
+	clock := func() int64 { ns += 1000; return ns }
+	reg := obs.NewRegistry()
+	var jsonl bytes.Buffer
+	tr := obs.New(obs.NewJSONL(&jsonl), obs.WithClock(clock), obs.WithRegistry(reg))
+
+	a := apps.Get("S-W")
+	fw := core.New()
+	fw.Trace = tr
+	fw.Cache = ccache.New()
+	for i := 0; i < 2; i++ {
+		if _, _, err := fw.Compile(a.Source); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadJSONL(bytes.NewReader(jsonl.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := report.Render(events, nil, report.Options{Markdown: true})
+	for _, want := range []string{"## Compile cache", "ccache.hits", "Hit rate: 50.0% over 2 compilations."} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report with cached compiles missing %q", want)
+		}
+	}
+
+	// Fallback path: counters only in the snapshot, no trace events.
+	var mj bytes.Buffer
+	if err := reg.WriteJSON(&mj); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := obs.ReadMetricsJSON(&mj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	headless := report.Render(nil, snap, report.Options{Markdown: true})
+	if !strings.Contains(headless, "## Compile cache") {
+		t.Error("metrics-only report missing the compile cache section")
 	}
 }
 
